@@ -1,0 +1,111 @@
+// Ablation: attack-model diversity. The paper argues (via Fig. 9c and the
+// data-processing inequality) that "our defense is effective for all
+// machine learning based attack models". This bench cross-checks the MLP
+// results with two structurally different learners — Gaussian naive Bayes
+// (generative) and k-nearest-neighbours (non-parametric) — clean and under
+// the defense.
+#include "attack/dataset.hpp"
+#include "bench_common.hpp"
+#include "ml/gaussian_nb.hpp"
+#include "ml/knn.hpp"
+
+using namespace aegis;
+
+namespace {
+
+struct LabelledFeatures {
+  ml::FeatureMatrix X;
+  ml::Labels y;
+};
+
+LabelledFeatures featurize(const trace::TraceSet& set, std::size_t windows,
+                           const trace::Standardizer& standardizer) {
+  LabelledFeatures out;
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    std::vector<double> f = set.traces[i].window_features(windows);
+    standardizer.apply(f);
+    out.X.push_back(std::move(f));
+    out.y.push_back(set.labels[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::scale_from_args(argc, argv);
+  const std::size_t slices = bench::scaled(180, scale, 100);
+  constexpr std::size_t kWindows = 24;
+
+  attack::WfaScale wfa_scale;
+  wfa_scale.sites = bench::scaled(12, scale, 8);
+  wfa_scale.traces_per_site = bench::scaled(18, scale, 12);
+  wfa_scale.slices = slices;
+  auto secrets = attack::make_wfa_secrets(wfa_scale);
+  bench::OfflineSetup setup(secrets, scale);
+  const auto& db = setup.aegis.database();
+
+  attack::CollectionConfig collect;
+  collect.event_ids = bench::amd_attack_events(db);
+  collect.traces_per_secret = wfa_scale.traces_per_site;
+
+  dp::MechanismConfig mech;
+  mech.kind = dp::MechanismKind::kLaplace;
+  mech.epsilon = 0.25;
+  auto obf = setup.aegis.make_obfuscator(setup.result, secrets, mech);
+
+  // The realistic threat (Fig. 9a): every model family trains on CLEAN
+  // template traces; exploitation happens against clean and defended
+  // victim runs.
+  const trace::TraceSet train_set = collect_traces(db, secrets, collect, nullptr);
+  attack::CollectionConfig test_collect = collect;
+  test_collect.traces_per_secret = bench::scaled(4, scale, 3);
+  test_collect.seed = 0x7E57ULL;
+  const trace::TraceSet clean_test =
+      collect_traces(db, secrets, test_collect, nullptr);
+  test_collect.seed = 0x7E58ULL;
+  const trace::TraceSet defended_test =
+      collect_traces(db, secrets, test_collect, [&] { return obf->session(); });
+
+  ml::FeatureMatrix raw;
+  for (const auto& t : train_set.traces) raw.push_back(t.window_features(kWindows));
+  trace::Standardizer standardizer;
+  standardizer.fit(raw);
+  const LabelledFeatures train = featurize(train_set, kWindows, standardizer);
+  const LabelledFeatures clean_f = featurize(clean_test, kWindows, standardizer);
+  const LabelledFeatures defended_f =
+      featurize(defended_test, kWindows, standardizer);
+
+  ml::MlpConfig mlp_config;
+  mlp_config.epochs = bench::scaled(22, scale, 14);
+  ml::MlpClassifier mlp(train.X.front().size(),
+                        static_cast<std::size_t>(train_set.num_classes),
+                        mlp_config);
+  (void)mlp.fit(train.X, train.y, {}, {});
+  ml::GaussianNbClassifier nb;
+  nb.fit(train.X, train.y, train_set.num_classes);
+  ml::KnnClassifier knn(5);
+  knn.fit(train.X, train.y, train_set.num_classes);
+
+  const std::array<double, 3> clean{mlp.accuracy(clean_f.X, clean_f.y),
+                                    nb.accuracy(clean_f.X, clean_f.y),
+                                    knn.accuracy(clean_f.X, clean_f.y)};
+  const std::array<double, 3> defended{mlp.accuracy(defended_f.X, defended_f.y),
+                                       nb.accuracy(defended_f.X, defended_f.y),
+                                       knn.accuracy(defended_f.X, defended_f.y)};
+
+  bench::print_header(
+      "Ablation — defense generality across attack-model families (WFA)");
+  util::Table table({"model", "clean acc", "defended acc (Laplace eps=2^-2)"});
+  const char* names[] = {"MLP (CNN-analog)", "Gaussian naive Bayes",
+                         "k-nearest neighbours"};
+  for (std::size_t m = 0; m < 3; ++m) {
+    table.add_row({names[m], util::fmt_pct(clean[m]), util::fmt_pct(defended[m])});
+  }
+  table.print(std::cout);
+  std::cout << "random guess: "
+            << util::fmt_pct(1.0 / static_cast<double>(wfa_scale.sites))
+            << ". paper: the DP noise bounds I(X';Y), so EVERY learner "
+               "degrades — not just the one used in the evaluation\n";
+  return 0;
+}

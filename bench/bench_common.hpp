@@ -1,0 +1,69 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench accepts a scale factor (env AEGIS_SCALE or argv[1], default
+// 1.0) multiplying trace counts / sweep sizes; the default is sized so the
+// whole bench suite completes in minutes while preserving the shape of the
+// paper's tables and figures. EXPERIMENTS.md records paper-vs-measured
+// values at default scale.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "attack/ksa.hpp"
+#include "attack/mea.hpp"
+#include "attack/wfa.hpp"
+#include "core/aegis.hpp"
+#include "util/table.hpp"
+
+namespace aegis::bench {
+
+inline double scale_from_args(int argc, char** argv) {
+  if (const char* env = std::getenv("AEGIS_SCALE")) {
+    return std::atof(env) > 0 ? std::atof(env) : 1.0;
+  }
+  if (argc > 1) {
+    const double s = std::atof(argv[1]);
+    if (s > 0) return s;
+  }
+  return 1.0;
+}
+
+inline std::size_t scaled(std::size_t base, double scale,
+                          std::size_t minimum = 1) {
+  const auto v = static_cast<std::size_t>(static_cast<double>(base) * scale);
+  return v < minimum ? minimum : v;
+}
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+inline std::vector<std::uint32_t> amd_attack_events(const pmu::EventDatabase& db) {
+  std::vector<std::uint32_t> events;
+  for (auto name : pmu::kAmdAttackEvents) events.push_back(*db.find(name));
+  return events;
+}
+
+/// The offline pipeline at bench scale: shared by the defense benches.
+struct OfflineSetup {
+  core::Aegis aegis{isa::CpuModel::kAmdEpyc7252};
+  core::OfflineResult result;
+
+  explicit OfflineSetup(
+      const std::vector<std::unique_ptr<workload::Workload>>& secrets,
+      double scale) {
+    core::OfflineConfig config = core::make_quick_offline_config(11);
+    config.profiler.ranking_runs_per_secret = scaled(5, scale, 3);
+    config.fuzzer.reset_sample = scaled(40, scale, 24);
+    config.fuzzer.trigger_sample = scaled(40, scale, 24);
+    config.fuzz_top_events = 0;  // fuzz every warm-up survivor
+    result = aegis.analyze(*secrets.front(), secrets, config);
+  }
+};
+
+}  // namespace aegis::bench

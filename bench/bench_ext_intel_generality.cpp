@@ -1,0 +1,73 @@
+// Extension: cross-vendor generality. The paper's case studies run on the
+// AMD EPYC 7252; its methodology claims generality across processors
+// (Section V profiles both vendors, Table III fuzzes both). This bench
+// runs the full attack-and-defend loop on the Intel Xeon E5-1650 substrate
+// with Intel-named events, demonstrating that nothing in the pipeline is
+// vendor-specific.
+#include "bench_common.hpp"
+
+using namespace aegis;
+
+int main(int argc, char** argv) {
+  const double scale = bench::scale_from_args(argc, argv);
+  const std::size_t slices = bench::scaled(180, scale, 100);
+
+  core::Aegis engine(isa::CpuModel::kIntelXeonE5_1650);
+  const auto& db = engine.database();
+  std::cout << "substrate: " << isa::to_string(engine.cpu()) << " — "
+            << db.size() << " events, " << engine.specification().legal_count()
+            << " legal variants\n";
+
+  // The Intel-side monitored quartet (same roles as the AMD events).
+  std::vector<std::uint32_t> events;
+  for (const char* name :
+       {"UOPS_RETIRED:ALL", "MEM_UOPS_RETIRED:ALL_LOADS",
+        "MEM_LOAD_UOPS_RETIRED:L1_HIT", "LONGEST_LAT_CACHE:MISS"}) {
+    events.push_back(*db.find(name));
+  }
+
+  attack::WfaScale wfa_scale;
+  wfa_scale.sites = bench::scaled(12, scale, 8);
+  wfa_scale.traces_per_site = bench::scaled(14, scale, 10);
+  wfa_scale.epochs = bench::scaled(20, scale, 12);
+  wfa_scale.slices = slices;
+  auto secrets = attack::make_wfa_secrets(wfa_scale);
+
+  attack::ClassificationAttack attacker(db,
+                                        attack::make_wfa_config(events, wfa_scale));
+  (void)attacker.train(secrets);
+  const double clean = attacker.exploit(secrets, 2, 0x17E1);
+  std::cout << "clean WFA accuracy on Intel events: " << util::fmt_pct(clean)
+            << "\n";
+
+  // The offline pipeline fuzzes the (much larger) Intel survivor set.
+  core::OfflineConfig config = core::make_quick_offline_config();
+  config.fuzz_top_events = 0;
+  const core::OfflineResult analysis =
+      engine.analyze(*secrets[0], secrets, config);
+  std::cout << "offline: " << analysis.warmup.surviving.size()
+            << " vulnerable events (paper: ~738 on Intel), cover of "
+            << analysis.cover.gadgets.size() << " gadgets, "
+            << analysis.cover.uncovered_events.size() << " uncovered\n";
+
+  bench::print_header("Defense on the Intel substrate");
+  util::Table table({"mechanism", "epsilon", "attack acc"});
+  for (dp::MechanismKind kind :
+       {dp::MechanismKind::kLaplace, dp::MechanismKind::kDStar}) {
+    for (double epsilon : {8.0, 1.0, 0.25}) {
+      dp::MechanismConfig mech;
+      mech.kind = kind;
+      mech.epsilon = epsilon;
+      auto obf = engine.make_obfuscator(analysis, secrets, mech);
+      const double acc =
+          attacker.exploit(secrets, 2, 0x17E2, [&] { return obf->session(); });
+      table.add_row({std::string(dp::to_string(kind)), util::fmt_f(epsilon, 2),
+                     util::fmt_pct(acc)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "random guess: "
+            << util::fmt_pct(1.0 / static_cast<double>(wfa_scale.sites))
+            << " — the pipeline is vendor-agnostic end to end\n";
+  return 0;
+}

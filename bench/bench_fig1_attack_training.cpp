@@ -1,0 +1,70 @@
+// Fig. 1: training curves of the three HPC side-channel attacks, plus
+// victim-VM exploitation accuracy.
+// Paper: WFA 98.72 % val / 98.57 % victim; KSA 95.21 / 95.48 %;
+//        MEA 91.8 / 90.5 % (matched layers).
+#include "bench_common.hpp"
+
+using namespace aegis;
+
+namespace {
+
+void print_history(const std::string& label,
+                   const std::vector<ml::EpochStats>& history) {
+  util::Table table({"epoch", "train loss", "train acc", "val acc"});
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (i % 3 != 0 && i + 1 != history.size()) continue;  // thin the curve
+    table.add_row({std::to_string(history[i].epoch),
+                   util::fmt_f(history[i].train_loss, 4),
+                   util::fmt_pct(history[i].train_accuracy),
+                   util::fmt_pct(history[i].val_accuracy)});
+  }
+  bench::print_header(label);
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::scale_from_args(argc, argv);
+  const auto db = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
+  const auto events = bench::amd_attack_events(db);
+
+  // --- Fig. 1a: website fingerprinting (45 sites) ---
+  attack::WfaScale wfa_scale;
+  wfa_scale.traces_per_site = bench::scaled(20, scale, 10);
+  wfa_scale.epochs = bench::scaled(30, scale, 15);
+  wfa_scale.slices = bench::scaled(240, scale, 120);
+  const auto wfa_secrets = attack::make_wfa_secrets(wfa_scale);
+  attack::ClassificationAttack wfa(db, attack::make_wfa_config(events, wfa_scale));
+  print_history("Fig. 1a — WFA training (45 websites)", wfa.train(wfa_secrets));
+  const double wfa_victim = wfa.exploit(wfa_secrets, bench::scaled(3, scale), 901);
+  std::cout << "victim-VM attack accuracy: " << util::fmt_pct(wfa_victim)
+            << "   (paper: 98.72 % val, 98.57 % victim)\n";
+
+  // --- Fig. 1b: keystroke sniffing (K in [0, 9]) ---
+  attack::KsaScale ksa_scale;
+  ksa_scale.traces_per_count = bench::scaled(90, scale, 40);
+  ksa_scale.epochs = bench::scaled(30, scale, 15);
+  ksa_scale.slices = bench::scaled(240, scale, 120);
+  const auto ksa_secrets = attack::make_ksa_secrets(ksa_scale);
+  attack::ClassificationAttack ksa(db, attack::make_ksa_config(events, ksa_scale));
+  print_history("Fig. 1b — KSA training (10 keystroke counts)",
+                ksa.train(ksa_secrets));
+  const double ksa_victim = ksa.exploit(ksa_secrets, bench::scaled(6, scale), 902);
+  std::cout << "victim-VM attack accuracy: " << util::fmt_pct(ksa_victim)
+            << "   (paper: 95.21 % val, 95.48 % victim)\n";
+
+  // --- Fig. 1c: model extraction (30 DNN architectures) ---
+  attack::MeaConfig mea_config;
+  mea_config.event_ids = events;
+  mea_config.scale.traces_per_model = bench::scaled(10, scale, 6);
+  mea_config.scale.epochs = bench::scaled(16, scale, 10);
+  mea_config.scale.slices = bench::scaled(240, scale, 160);
+  attack::MeaAttack mea(db, mea_config);
+  print_history("Fig. 1c — MEA frame-classifier training (30 DNN models)",
+                mea.train());
+  const double mea_victim = mea.exploit(bench::scaled(2, scale), 903);
+  std::cout << "victim-VM matched-layers accuracy: " << util::fmt_pct(mea_victim)
+            << "   (paper: 91.8 % val, 90.5 % victim)\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table II: HPC event type distribution (H/S/HC/T/R/O) and the percentage
+// of each type remaining after warm-up profiling.
+// Paper (all events): Intel 0.39/0.31/1.00/36.15/7.75/54.40 %;
+//                     AMD 1.26/1.00/3.26/87.17/5.20/2.11 %.
+// Warm-up survivors: ~738 events (Intel), 137 (AMD).
+#include "bench_common.hpp"
+#include "profiler/profiler.hpp"
+#include "workload/website.hpp"
+
+using namespace aegis;
+
+namespace {
+
+void report_cpu(isa::CpuModel model, double scale) {
+  const auto db = pmu::EventDatabase::generate(model);
+  profiler::ProfilerConfig config;
+  config.warmup_slices = bench::scaled(100, scale, 40);
+  config.warmup_repeats = 5;  // the paper's 5 repeated warm-up profilings
+  profiler::ApplicationProfiler profiler(db, config);
+  const workload::WebsiteWorkload app(0, config.warmup_slices);
+  const profiler::WarmupReport report = profiler.warmup(app);
+
+  bench::print_header(std::string("Table II — ") + std::string(isa::to_string(model)));
+  util::Table table({"Type", "Events", "% of all", "Survive warm-up",
+                     "% of type surviving"});
+  for (std::size_t t = 0; t < pmu::kNumEventTypes; ++t) {
+    const auto type = static_cast<pmu::EventType>(t);
+    const double before = static_cast<double>(report.before_by_type[t]);
+    const double after = static_cast<double>(report.after_by_type[t]);
+    table.add_row({std::string(pmu::short_code(type)),
+                   std::to_string(report.before_by_type[t]),
+                   util::fmt_pct(before / static_cast<double>(db.size())),
+                   std::to_string(report.after_by_type[t]),
+                   before > 0 ? util::fmt_pct(after / before) : "-"});
+  }
+  table.print(std::cout);
+  std::cout << "total surviving: " << report.surviving.size() << " of "
+            << report.total_events << " ("
+            << util::fmt_pct(static_cast<double>(report.surviving.size()) /
+                             static_cast<double>(report.total_events))
+            << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::scale_from_args(argc, argv);
+  report_cpu(isa::CpuModel::kIntelXeonE5_1650, scale);
+  report_cpu(isa::CpuModel::kAmdEpyc7252, scale);
+  std::cout << "\npaper: Intel H/S/HC/T/R/O = 0.39/0.31/1.00/36.15/7.75/54.40 %"
+               " -> ~738 survive; AMD = 1.26/1.00/3.26/87.17/5.20/2.11 %"
+               " -> 137 survive\n";
+  return 0;
+}

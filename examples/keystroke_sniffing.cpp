@@ -1,0 +1,80 @@
+// Case study: keystroke sniffing (paper Section III-D).
+//
+// xdotool-style keystroke bursts leave timing-correlated spikes in the HPC
+// traces; the attacker counts how many keys were typed in the monitoring
+// window (whose timing pattern in turn identifies the keys). This example
+// also shows the order-statistic feature trick that gives a plain MLP the
+// burst-position invariance a CNN gets from convolution.
+#include <iostream>
+
+#include "util/table.hpp"
+
+#include "attack/ksa.hpp"
+#include "attack/wfa.hpp"
+#include "core/aegis.hpp"
+
+using namespace aegis;
+
+int main() {
+  core::Aegis engine(isa::CpuModel::kAmdEpyc7252);
+  std::vector<std::uint32_t> events;
+  for (auto name : pmu::kAmdAttackEvents) {
+    events.push_back(*engine.database().find(name));
+  }
+
+  attack::KsaScale scale;
+  scale.traces_per_count = 90;
+  scale.epochs = 25;
+  scale.slices = 240;
+  auto secrets = attack::make_ksa_secrets(scale);
+
+  std::cout << "training the keystroke-count model (K in [0, 9], "
+            << scale.traces_per_count << " windows per count)...\n";
+  attack::ClassificationAttack attacker(engine.database(),
+                                        attack::make_ksa_config(events, scale));
+  const auto history = attacker.train(secrets);
+  std::cout << "validation accuracy: "
+            << util::fmt_pct(history.back().val_accuracy)
+            << " (paper: 95.21 %)\n\n";
+
+  // Sniff a few victim windows.
+  util::Rng rng(0x5EULL);
+  attack::CollectionConfig collect;
+  collect.event_ids = events;
+  std::cout << "sample victim windows:\n";
+  for (std::size_t k : {0u, 2u, 5u, 9u}) {
+    const trace::Trace t =
+        attack::collect_one(engine.database(), *secrets[k], collect, rng.next_u64());
+    std::cout << "  typed " << k << " keys  ->  sniffed "
+              << attacker.predict(t) << "\n";
+  }
+
+  // Why sorted features matter: the same attack without them.
+  auto positional = attack::make_ksa_config(events, scale, 0x4A5CULL);
+  positional.sort_windows = false;
+  attack::ClassificationAttack positional_attacker(engine.database(), positional);
+  const auto positional_history = positional_attacker.train(secrets);
+  std::cout << "\nwithout order-statistic features the same model reaches only "
+            << util::fmt_pct(positional_history.back().val_accuracy)
+            << " (burst positions are random; a positional MLP cannot count "
+               "them)\n";
+
+  // Defense.
+  attack::WfaScale site_scale;
+  site_scale.sites = 10;
+  site_scale.slices = scale.slices;
+  auto site_secrets = attack::make_wfa_secrets(site_scale);
+  core::OfflineConfig offline = core::make_quick_offline_config();
+  offline.fuzz_top_events = 0;
+  const core::OfflineResult analysis =
+      engine.analyze(*site_secrets[0], site_secrets, offline);
+  dp::MechanismConfig mechanism;
+  mechanism.kind = dp::MechanismKind::kLaplace;
+  mechanism.epsilon = 1.0;
+  auto obfuscator = engine.make_obfuscator(analysis, site_secrets, mechanism);
+  const double defended =
+      attacker.exploit(secrets, 4, 0x5FULL, [&] { return obfuscator->session(); });
+  std::cout << "\nunder Aegis (Laplace, eps=2^0): " << util::fmt_pct(defended)
+            << " sniffing accuracy (random guess 10.00 %)\n";
+  return 0;
+}

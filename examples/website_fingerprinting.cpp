@@ -1,0 +1,82 @@
+// Case study: website fingerprinting (paper Section III-C + Fig. 9a).
+//
+// A malicious hypervisor samples four HPC events while the guest browses,
+// and a classifier maps each 4 x T trace to one of the 45 Alexa-top sites.
+// This example trains the attack at full 45-site width, shows per-site
+// results, then sweeps the Event Obfuscator's privacy budget to trace the
+// accuracy-vs-epsilon defense curve for both DP mechanisms.
+#include <iostream>
+
+#include "util/table.hpp"
+
+#include "attack/wfa.hpp"
+#include "core/aegis.hpp"
+
+using namespace aegis;
+
+int main() {
+  core::Aegis engine(isa::CpuModel::kAmdEpyc7252);
+
+  attack::WfaScale scale;
+  scale.sites = 45;
+  scale.traces_per_site = 12;
+  scale.epochs = 20;
+  scale.slices = 200;
+  auto secrets = attack::make_wfa_secrets(scale);
+
+  std::vector<std::uint32_t> events;
+  for (auto name : pmu::kAmdAttackEvents) {
+    events.push_back(*engine.database().find(name));
+  }
+  std::cout << "monitored events:";
+  for (auto id : events) std::cout << " " << engine.database().by_id(id).name;
+  std::cout << "\n\ntraining the fingerprinting model on " << scale.sites
+            << " sites x " << scale.traces_per_site << " visits...\n";
+  attack::ClassificationAttack attacker(engine.database(),
+                                        attack::make_wfa_config(events, scale));
+  const auto history = attacker.train(secrets);
+  std::cout << "validation accuracy: "
+            << util::fmt_pct(history.back().val_accuracy)
+            << " (paper: 98.72 %)\n";
+
+  // A few per-site predictions against the victim VM.
+  std::cout << "\nsample victim predictions:\n";
+  util::Rng rng(0xE6ULL);
+  attack::CollectionConfig collect;
+  collect.event_ids = events;
+  for (std::size_t s = 0; s < 45; s += 9) {
+    const trace::Trace t =
+        attack::collect_one(engine.database(), *secrets[s], collect, rng.next_u64());
+    const int predicted = attacker.predict(t);
+    std::cout << "  visited " << secrets[s]->name() << "  ->  predicted "
+              << secrets[static_cast<std::size_t>(predicted)]->name()
+              << (predicted == static_cast<int>(s) ? "  [hit]" : "  [miss]")
+              << "\n";
+  }
+
+  // Offline analysis + defense sweep.
+  std::cout << "\nrunning the Aegis offline pipeline...\n";
+  core::OfflineConfig config = core::make_quick_offline_config();
+  config.fuzz_top_events = 0;
+  const core::OfflineResult analysis = engine.analyze(*secrets[0], secrets, config);
+
+  std::cout << "\ndefense sweep (victim accuracy under Aegis):\n";
+  util::Table table({"mechanism", "epsilon", "attack accuracy"});
+  for (dp::MechanismKind kind :
+       {dp::MechanismKind::kLaplace, dp::MechanismKind::kDStar}) {
+    for (double epsilon : {8.0, 1.0, 0.125}) {
+      dp::MechanismConfig mechanism;
+      mechanism.kind = kind;
+      mechanism.epsilon = epsilon;
+      auto obfuscator = engine.make_obfuscator(analysis, secrets, mechanism);
+      const double accuracy =
+          attacker.exploit(secrets, 2, 7, [&] { return obfuscator->session(); });
+      table.add_row({std::string(dp::to_string(kind)), util::fmt_f(epsilon, 3),
+                     util::fmt_pct(accuracy)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "random guess: " << util::fmt_pct(1.0 / 45.0)
+            << " — the paper's \"attack accuracy drops from >90 % to 2 %\"\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "attack/classification_attack.hpp"
+
+#include <stdexcept>
+
+namespace aegis::attack {
+
+ClassificationAttack::ClassificationAttack(const pmu::EventDatabase& db,
+                                           ClassificationAttackConfig config)
+    : db_(&db), config_(std::move(config)) {}
+
+std::vector<double> ClassificationAttack::featurize(const trace::Trace& t) const {
+  std::vector<double> f = config_.sort_windows
+                              ? t.sorted_window_features(config_.feature_windows)
+                              : t.window_features(config_.feature_windows);
+  if (standardizer_.fitted()) standardizer_.apply(f);
+  return f;
+}
+
+std::vector<ml::EpochStats> ClassificationAttack::train(
+    const std::vector<std::unique_ptr<workload::Workload>>& secrets,
+    const AgentFactory& template_agent) {
+  const trace::TraceSet all =
+      collect_traces(*db_, secrets, config_.collection, template_agent);
+
+  util::Rng rng(config_.collection.seed ^ 0x5A11ULL);
+  trace::TraceSet train_set, val_set;
+  all.split(config_.train_fraction, rng, train_set, val_set);
+
+  auto raw_features = [this](const trace::Trace& t) {
+    return config_.sort_windows
+               ? t.sorted_window_features(config_.feature_windows)
+               : t.window_features(config_.feature_windows);
+  };
+  ml::FeatureMatrix X_train, X_val;
+  for (const auto& t : train_set.traces) X_train.push_back(raw_features(t));
+  standardizer_ = trace::Standardizer{};
+  standardizer_.fit(X_train);
+  standardizer_.apply_all(X_train);
+  for (const auto& t : val_set.traces) {
+    std::vector<double> f = raw_features(t);
+    standardizer_.apply(f);
+    X_val.push_back(std::move(f));
+  }
+
+  model_ = std::make_unique<ml::MlpClassifier>(
+      X_train.front().size(), static_cast<std::size_t>(all.num_classes),
+      config_.mlp);
+  auto history = model_->fit(X_train, train_set.labels, X_val, val_set.labels);
+  validation_accuracy_ = history.empty() ? 0.0 : history.back().val_accuracy;
+  return history;
+}
+
+int ClassificationAttack::predict(const trace::Trace& trace) const {
+  if (!model_) throw std::logic_error("ClassificationAttack: not trained");
+  return model_->predict(featurize(trace));
+}
+
+double ClassificationAttack::exploit(
+    const std::vector<std::unique_ptr<workload::Workload>>& secrets,
+    std::size_t visits_per_secret, std::uint64_t seed,
+    const AgentFactory& victim_agent) const {
+  if (!model_) throw std::logic_error("ClassificationAttack: not trained");
+  util::Rng rng(seed);
+  std::size_t correct = 0, total = 0;
+  for (std::size_t s = 0; s < secrets.size(); ++s) {
+    for (std::size_t v = 0; v < visits_per_secret; ++v) {
+      sim::SliceAgent agent = victim_agent ? victim_agent() : sim::SliceAgent{};
+      const trace::Trace t = collect_one(*db_, *secrets[s], config_.collection,
+                                         rng.next_u64(), agent);
+      if (predict(t) == static_cast<int>(s)) ++correct;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace aegis::attack

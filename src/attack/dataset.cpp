@@ -1,0 +1,38 @@
+#include "attack/dataset.hpp"
+
+namespace aegis::attack {
+
+trace::Trace collect_one(const pmu::EventDatabase& db,
+                         const workload::Workload& secret,
+                         const CollectionConfig& config, std::uint64_t visit_seed,
+                         const sim::SliceAgent& agent) {
+  sim::VirtualMachine vm(config.vm, visit_seed ^ 0xF00DULL);
+  sim::HostMonitor monitor(db, visit_seed ^ 0xBEEFULL);
+  const sim::MonitorResult result =
+      monitor.monitor(vm, secret.visit(visit_seed), config.event_ids,
+                      secret.trace_slices(), agent);
+  trace::Trace t;
+  t.samples = result.samples;
+  return t;
+}
+
+trace::TraceSet collect_traces(
+    const pmu::EventDatabase& db,
+    const std::vector<std::unique_ptr<workload::Workload>>& secrets,
+    const CollectionConfig& config, const AgentFactory& agent_factory) {
+  trace::TraceSet set;
+  set.num_classes = static_cast<int>(secrets.size());
+  util::Rng rng(config.seed);
+  for (std::size_t s = 0; s < secrets.size(); ++s) {
+    for (std::size_t v = 0; v < config.traces_per_secret; ++v) {
+      const std::uint64_t visit_seed = rng.next_u64();
+      sim::SliceAgent agent = agent_factory ? agent_factory() : sim::SliceAgent{};
+      set.traces.push_back(
+          collect_one(db, *secrets[s], config, visit_seed, agent));
+      set.labels.push_back(static_cast<int>(s));
+    }
+  }
+  return set;
+}
+
+}  // namespace aegis::attack

@@ -1,0 +1,42 @@
+// Trace collection: the attacker's offline template phase and online
+// exploitation phase both reduce to "run a workload in a VM while the host
+// samples 4 HPC events" (Section III-B). This module packages that loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "pmu/event_database.hpp"
+#include "sim/host_monitor.hpp"
+#include "trace/trace.hpp"
+#include "workload/workload.hpp"
+
+namespace aegis::attack {
+
+/// Builds a fresh in-guest agent (e.g. an Event Obfuscator session) for one
+/// workload execution. Null = undefended VM.
+using AgentFactory = std::function<sim::SliceAgent()>;
+
+struct CollectionConfig {
+  std::vector<std::uint32_t> event_ids;  // monitored events (4 in the paper)
+  std::size_t traces_per_secret = 30;
+  std::uint64_t seed = 42;
+  sim::VmConfig vm;
+};
+
+/// Runs every secret's workload `traces_per_secret` times and records the
+/// monitored 4 x T trace of each run. Labels are secret indices.
+trace::TraceSet collect_traces(
+    const pmu::EventDatabase& db,
+    const std::vector<std::unique_ptr<workload::Workload>>& secrets,
+    const CollectionConfig& config, const AgentFactory& agent_factory = nullptr);
+
+/// Single-run variant used by the profiler and benches.
+trace::Trace collect_one(const pmu::EventDatabase& db,
+                         const workload::Workload& secret,
+                         const CollectionConfig& config, std::uint64_t visit_seed,
+                         const sim::SliceAgent& agent = nullptr);
+
+}  // namespace aegis::attack

@@ -1,0 +1,61 @@
+// Key extraction attack (the paper's future-work scenario): recover an
+// RSA-style secret exponent from HPC traces of a square-and-multiply
+// modular exponentiation. Square and multiply operations have distinct HPC
+// signatures; the decoded operation sequence maps directly back to key
+// bits (S -> next bit, M -> that bit is 1).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "attack/dataset.hpp"
+#include "ml/sequence_model.hpp"
+#include "workload/crypto.hpp"
+
+namespace aegis::attack {
+
+struct KeaConfig {
+  std::vector<std::uint32_t> event_ids;
+  std::size_t key_bits = 40;
+  std::size_t training_keys = 16;      // attacker-chosen template keys
+  std::size_t traces_per_key = 6;
+  std::size_t epochs = 14;
+  std::size_t slices = 260;
+  double train_fraction = 0.75;
+  std::uint64_t seed = 0x4EAULL;
+  sim::VmConfig vm;
+};
+
+/// Reconstructs key bits from a decoded square/multiply token sequence.
+std::vector<bool> ops_to_key(const std::vector<int>& tokens);
+
+class KeyExtractionAttack {
+ public:
+  KeyExtractionAttack(const pmu::EventDatabase& db, KeaConfig config);
+
+  /// Offline: runs exponentiations with attacker-chosen keys and trains the
+  /// frame/sequence model on the aligned square/multiply labels.
+  std::vector<ml::EpochStats> train(const AgentFactory& template_agent = nullptr);
+
+  /// Extracts the key from one victim exponentiation run.
+  std::vector<bool> extract(const workload::CryptoWorkload& victim,
+                            std::uint64_t visit_seed,
+                            const sim::SliceAgent& agent = nullptr) const;
+
+  /// Mean per-bit recovery accuracy over fresh victim keys.
+  double exploit(std::size_t victim_keys, std::size_t runs_per_key,
+                 std::uint64_t seed,
+                 const AgentFactory& victim_agent = nullptr) const;
+
+ private:
+  ml::FrameSequence monitor_run(const workload::CryptoWorkload& target,
+                                std::uint64_t visit_seed, bool want_labels,
+                                const sim::SliceAgent& agent) const;
+
+  const pmu::EventDatabase* db_;
+  KeaConfig config_;
+  trace::Standardizer frame_standardizer_;
+  std::unique_ptr<ml::FrameSequenceModel> seq_model_;
+};
+
+}  // namespace aegis::attack

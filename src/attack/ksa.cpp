@@ -1,0 +1,33 @@
+#include "attack/ksa.hpp"
+
+namespace aegis::attack {
+
+std::vector<std::unique_ptr<workload::Workload>> make_ksa_secrets(
+    const KsaScale& scale) {
+  std::vector<std::unique_ptr<workload::Workload>> secrets;
+  secrets.reserve(workload::KeystrokeWorkload::kMaxKeys + 1);
+  for (std::size_t k = 0; k <= workload::KeystrokeWorkload::kMaxKeys; ++k) {
+    secrets.push_back(
+        std::make_unique<workload::KeystrokeWorkload>(k, scale.slices));
+  }
+  return secrets;
+}
+
+ClassificationAttackConfig make_ksa_config(std::vector<std::uint32_t> event_ids,
+                                           const KsaScale& scale,
+                                           std::uint64_t seed) {
+  ClassificationAttackConfig config;
+  config.collection.event_ids = std::move(event_ids);
+  config.collection.traces_per_secret = scale.traces_per_count;
+  config.collection.seed = seed;
+  // Keystrokes are transient: finer temporal pooling preserves burst counts.
+  config.feature_windows = 40;
+  config.sort_windows = true;  // burst-position invariance (counting task)
+  config.mlp.hidden = {96, 48};
+  config.mlp.epochs = scale.epochs;
+  config.mlp.learning_rate = 0.025;
+  config.mlp.seed = seed ^ 0x4D0DE1ULL;
+  return config;
+}
+
+}  // namespace aegis::attack

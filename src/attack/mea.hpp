@@ -1,0 +1,65 @@
+// Model extraction attack (paper Section III-E): recover the layer sequence
+// of a DNN running in the guest from HPC traces — a sequence-to-sequence
+// task (paper: bidirectional GRU + CTC + beam search; here: frame classifier
+// + CTC prefix beam search). Undefended accuracy in the paper: 91.8 %
+// validation / 90.5 % (matched layers) on the victim VM.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "attack/dataset.hpp"
+#include "ml/sequence_model.hpp"
+#include "workload/dnn.hpp"
+
+namespace aegis::attack {
+
+struct MeaScale {
+  std::size_t models = workload::DnnWorkload::kNumModels;
+  std::size_t slices = 240;            // paper: 3000
+  std::size_t traces_per_model = 12;   // paper: 1000 runs per model
+  std::size_t epochs = 18;
+};
+
+struct MeaConfig {
+  std::vector<std::uint32_t> event_ids;
+  MeaScale scale;
+  std::uint64_t seed = 0x6EAULL;
+  double train_fraction = 0.7;
+  sim::VmConfig vm;
+};
+
+class MeaAttack {
+ public:
+  MeaAttack(const pmu::EventDatabase& db, MeaConfig config);
+
+  /// Offline: runs each template model repeatedly, aligns frames with the
+  /// known layer schedule, trains the frame/sequence model. Returns the
+  /// frame-classifier training history (Fig. 1c analog).
+  std::vector<ml::EpochStats> train(const AgentFactory& template_agent = nullptr);
+
+  /// Online: monitors victim inference runs and scores the decoded layer
+  /// sequences against the true architectures (matched-layers metric).
+  double exploit(std::size_t runs_per_model, std::uint64_t seed,
+                 const AgentFactory& victim_agent = nullptr) const;
+
+  /// Decodes one run of one model (victim side; labels unknown).
+  std::vector<int> extract(std::size_t model_id, std::uint64_t visit_seed,
+                           const sim::SliceAgent& agent = nullptr) const;
+
+  double validation_frame_accuracy() const noexcept { return val_frame_accuracy_; }
+
+ private:
+  ml::FrameSequence monitor_run(const workload::DnnWorkload& model,
+                                std::uint64_t visit_seed, bool want_labels,
+                                const sim::SliceAgent& agent) const;
+
+  const pmu::EventDatabase* db_;
+  MeaConfig config_;
+  std::vector<workload::DnnWorkload> models_;
+  trace::Standardizer frame_standardizer_;
+  std::unique_ptr<ml::FrameSequenceModel> seq_model_;
+  double val_frame_accuracy_ = 0.0;
+};
+
+}  // namespace aegis::attack

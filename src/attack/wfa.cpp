@@ -1,0 +1,31 @@
+#include "attack/wfa.hpp"
+
+namespace aegis::attack {
+
+std::vector<std::unique_ptr<workload::Workload>> make_wfa_secrets(
+    const WfaScale& scale) {
+  std::vector<std::unique_ptr<workload::Workload>> secrets;
+  secrets.reserve(scale.sites);
+  for (std::size_t s = 0; s < scale.sites; ++s) {
+    secrets.push_back(
+        std::make_unique<workload::WebsiteWorkload>(s, scale.slices));
+  }
+  return secrets;
+}
+
+ClassificationAttackConfig make_wfa_config(std::vector<std::uint32_t> event_ids,
+                                           const WfaScale& scale,
+                                           std::uint64_t seed) {
+  ClassificationAttackConfig config;
+  config.collection.event_ids = std::move(event_ids);
+  config.collection.traces_per_secret = scale.traces_per_site;
+  config.collection.seed = seed;
+  config.feature_windows = 24;
+  config.mlp.hidden = {96, 48};
+  config.mlp.epochs = scale.epochs;
+  config.mlp.learning_rate = 0.03;
+  config.mlp.seed = seed ^ 0x4D0DE1ULL;
+  return config;
+}
+
+}  // namespace aegis::attack

@@ -1,0 +1,19 @@
+#include "core/config.hpp"
+
+namespace aegis::core {
+
+OfflineConfig make_quick_offline_config(std::uint64_t seed) {
+  OfflineConfig config;
+  config.profiler.seed = seed;
+  config.profiler.warmup_repeats = 3;
+  config.profiler.warmup_slices = 80;
+  config.profiler.ranking_runs_per_secret = 6;
+  config.fuzzer.seed = seed ^ 0xF022ULL;
+  config.fuzzer.reset_sample = 32;
+  config.fuzzer.trigger_sample = 32;
+  config.fuzzer.repeats = 6;
+  config.fuzz_top_events = 24;
+  return config;
+}
+
+}  // namespace aegis::core

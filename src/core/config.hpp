@@ -1,0 +1,21 @@
+// Top-level configuration for the Aegis pipeline.
+#pragma once
+
+#include "fuzzer/fuzzer.hpp"
+#include "obf/obfuscator.hpp"
+#include "profiler/profiler.hpp"
+
+namespace aegis::core {
+
+struct OfflineConfig {
+  profiler::ProfilerConfig profiler;
+  fuzzer::FuzzerConfig fuzzer;
+  /// Fuzz only the top-N ranked events (0 = every warm-up survivor). The
+  /// paper fuzzes every survivor; N lets scaled-down runs stay fast.
+  std::size_t fuzz_top_events = 0;
+};
+
+/// Scales a default OfflineConfig for quick runs (tests, examples).
+OfflineConfig make_quick_offline_config(std::uint64_t seed = 11);
+
+}  // namespace aegis::core

@@ -1,0 +1,224 @@
+#include "core/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace aegis::core {
+
+namespace {
+
+constexpr const char* kMagic = "aegis-offline-result v1";
+
+std::string event_name(const pmu::EventDatabase& db, std::uint32_t id) {
+  return db.by_id(id).name;
+}
+
+std::uint32_t event_id_or_throw(const pmu::EventDatabase& db,
+                                const std::string& name) {
+  const auto id = db.find(name);
+  if (!id) {
+    throw std::runtime_error("load_offline_result: unknown event '" + name + "'");
+  }
+  return *id;
+}
+
+/// Reads one non-empty line; throws at EOF.
+std::string read_line(std::istream& is, const char* context) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) return line;
+  }
+  throw std::runtime_error(std::string("load_offline_result: truncated input at ") +
+                           context);
+}
+
+void expect_section(std::istream& is, const std::string& name) {
+  const std::string line = read_line(is, name.c_str());
+  if (line != "[" + name + "]") {
+    throw std::runtime_error("load_offline_result: expected section [" + name +
+                             "], got '" + line + "'");
+  }
+}
+
+}  // namespace
+
+void save_offline_result(std::ostream& os, const OfflineResult& result,
+                         const pmu::EventDatabase& db) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << kMagic << "\n";
+  os << "cpu " << isa::to_string(db.model()) << "\n";
+
+  os << "[warmup]\n" << result.warmup.surviving.size() << "\n";
+  for (std::uint32_t id : result.warmup.surviving) {
+    os << event_name(db, id) << "\n";
+  }
+
+  os << "[ranking]\n" << result.ranking.size() << "\n";
+  for (const auto& rank : result.ranking) {
+    os << rank.mutual_information << "\t" << event_name(db, rank.event_id) << "\n";
+  }
+
+  // Per-event confirmed gadgets (uids are stable: the ISA spec is
+  // deterministic per CPU family).
+  os << "[gadgets]\n" << result.fuzz.reports.size() << "\n";
+  for (const auto& report : result.fuzz.reports) {
+    os << event_name(db, report.event_id) << "\t" << report.confirmed.size()
+       << "\t" << report.best.gadget.reset_uid << "\t"
+       << report.best.gadget.trigger_uid << "\t" << report.best.median_delta
+       << "\n";
+    for (const auto& g : report.confirmed) {
+      os << g.gadget.reset_uid << "\t" << g.gadget.trigger_uid << "\t"
+         << g.median_delta << "\n";
+    }
+  }
+
+  os << "[cover]\n" << result.cover.gadgets.size() << "\n";
+  for (const auto& g : result.cover.gadgets) {
+    os << g.reset_uid << "\t" << g.trigger_uid << "\n";
+  }
+  os << result.cover.segment_effect.size() << "\n";
+  for (const auto& [event, delta] : result.cover.segment_effect) {
+    os << delta << "\t" << event_name(db, event) << "\n";
+  }
+  os << result.cover.uncovered_events.size() << "\n";
+  for (std::uint32_t id : result.cover.uncovered_events) {
+    os << event_name(db, id) << "\n";
+  }
+}
+
+OfflineResult load_offline_result(std::istream& is,
+                                  const pmu::EventDatabase& db) {
+  OfflineResult result;
+  if (read_line(is, "magic") != kMagic) {
+    throw std::runtime_error("load_offline_result: bad magic line");
+  }
+  {
+    const std::string cpu_line = read_line(is, "cpu");
+    const std::string expected = "cpu " + std::string(isa::to_string(db.model()));
+    // Family members share event lists; accept any same-family model.
+    bool ok = cpu_line == expected;
+    if (!ok) {
+      for (isa::CpuModel m :
+           {isa::CpuModel::kIntelXeonE5_1650, isa::CpuModel::kIntelXeonE5_4617,
+            isa::CpuModel::kAmdEpyc7252, isa::CpuModel::kAmdEpyc7313P}) {
+        if (cpu_line == "cpu " + std::string(isa::to_string(m)) &&
+            isa::family_of(m) == isa::family_of(db.model())) {
+          ok = true;
+        }
+      }
+    }
+    if (!ok) {
+      throw std::runtime_error("load_offline_result: CPU family mismatch: " +
+                               cpu_line);
+    }
+  }
+
+  expect_section(is, "warmup");
+  {
+    const std::size_t n = std::stoul(read_line(is, "warmup count"));
+    result.warmup.total_events = db.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t id =
+          event_id_or_throw(db, read_line(is, "warmup event"));
+      result.warmup.surviving.push_back(id);
+      ++result.warmup.after_by_type[static_cast<std::size_t>(db.by_id(id).type)];
+    }
+    result.warmup.before_by_type = db.count_by_type();
+  }
+
+  expect_section(is, "ranking");
+  {
+    const std::size_t n = std::stoul(read_line(is, "ranking count"));
+    for (std::size_t i = 0; i < n; ++i) {
+      std::istringstream line(read_line(is, "ranking row"));
+      profiler::EventRank rank;
+      std::string name;
+      line >> rank.mutual_information;
+      std::getline(line >> std::ws, name);
+      rank.event_id = event_id_or_throw(db, name);
+      result.ranking.push_back(rank);
+    }
+  }
+
+  expect_section(is, "gadgets");
+  {
+    const std::size_t n = std::stoul(read_line(is, "gadget report count"));
+    for (std::size_t i = 0; i < n; ++i) {
+      std::istringstream header(read_line(is, "gadget report header"));
+      std::string rest;
+      // event-name may contain ':' but not tabs; parse by tabs.
+      std::getline(header, rest);
+      std::vector<std::string> fields;
+      std::stringstream ss(rest);
+      std::string field;
+      while (std::getline(ss, field, '\t')) fields.push_back(field);
+      if (fields.size() != 5) {
+        throw std::runtime_error("load_offline_result: bad gadget header");
+      }
+      fuzzer::EventFuzzReport report;
+      report.event_id = event_id_or_throw(db, fields[0]);
+      const std::size_t gadget_count = std::stoul(fields[1]);
+      report.best.gadget.reset_uid = static_cast<std::uint32_t>(std::stoul(fields[2]));
+      report.best.gadget.trigger_uid = static_cast<std::uint32_t>(std::stoul(fields[3]));
+      report.best.median_delta = std::stod(fields[4]);
+      report.best.event_id = report.event_id;
+      for (std::size_t g = 0; g < gadget_count; ++g) {
+        std::istringstream row(read_line(is, "gadget row"));
+        fuzzer::ConfirmedGadget confirmed;
+        row >> confirmed.gadget.reset_uid >> confirmed.gadget.trigger_uid >>
+            confirmed.median_delta;
+        confirmed.event_id = report.event_id;
+        report.confirmed.push_back(confirmed);
+      }
+      report.candidates = report.confirmed.size();
+      result.fuzz.reports.push_back(std::move(report));
+    }
+  }
+
+  expect_section(is, "cover");
+  {
+    const std::size_t gadgets = std::stoul(read_line(is, "cover gadget count"));
+    for (std::size_t i = 0; i < gadgets; ++i) {
+      std::istringstream row(read_line(is, "cover gadget"));
+      fuzzer::Gadget g;
+      row >> g.reset_uid >> g.trigger_uid;
+      result.cover.gadgets.push_back(g);
+    }
+    const std::size_t effects = std::stoul(read_line(is, "cover effect count"));
+    for (std::size_t i = 0; i < effects; ++i) {
+      std::istringstream row(read_line(is, "cover effect"));
+      double delta = 0.0;
+      std::string name;
+      row >> delta;
+      std::getline(row >> std::ws, name);
+      const std::uint32_t id = event_id_or_throw(db, name);
+      result.cover.segment_effect.emplace_back(id, delta);
+      result.cover.covered_events.push_back(id);
+    }
+    const std::size_t uncovered = std::stoul(read_line(is, "uncovered count"));
+    for (std::size_t i = 0; i < uncovered; ++i) {
+      result.cover.uncovered_events.push_back(
+          event_id_or_throw(db, read_line(is, "uncovered event")));
+    }
+  }
+  return result;
+}
+
+void save_offline_result(const std::string& path, const OfflineResult& result,
+                         const pmu::EventDatabase& db) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_offline_result: cannot open " + path);
+  save_offline_result(os, result, db);
+}
+
+OfflineResult load_offline_result(const std::string& path,
+                                  const pmu::EventDatabase& db) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_offline_result: cannot open " + path);
+  return load_offline_result(is, db);
+}
+
+}  // namespace aegis::core

@@ -1,0 +1,33 @@
+#include "dp/accountant.hpp"
+
+#include <cmath>
+
+namespace aegis::dp {
+
+void PrivacyAccountant::record_release(double epsilon) noexcept {
+  if (epsilon <= 0.0) return;
+  ++releases_;
+  basic_epsilon_ += epsilon;
+}
+
+double PrivacyAccountant::advanced_epsilon(double delta) const noexcept {
+  if (releases_ == 0) return 0.0;
+  const double mean_epsilon = basic_epsilon_ / static_cast<double>(releases_);
+  return advanced_composition(mean_epsilon, releases_, delta);
+}
+
+void PrivacyAccountant::reset() noexcept {
+  releases_ = 0;
+  basic_epsilon_ = 0.0;
+}
+
+double PrivacyAccountant::advanced_composition(double epsilon, std::size_t k,
+                                               double delta) noexcept {
+  if (k == 0 || epsilon <= 0.0) return 0.0;
+  if (delta <= 0.0 || delta >= 1.0) delta = 1e-6;
+  const double kd = static_cast<double>(k);
+  return epsilon * std::sqrt(2.0 * kd * std::log(1.0 / delta)) +
+         kd * epsilon * (std::exp(epsilon) - 1.0);
+}
+
+}  // namespace aegis::dp

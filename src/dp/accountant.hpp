@@ -1,0 +1,45 @@
+// Privacy-budget accounting across a protection session.
+//
+// The Laplace mechanism gives eps-DP PER SLICE (Theorem 1); a monitoring
+// window of T slices therefore composes. The accountant tracks the
+// cumulative budget under two standard bounds so a deployment can reason
+// about session-level privacy:
+//   * basic (sequential) composition: eps_total = sum of per-release eps;
+//   * advanced composition (Dwork–Rothblum–Vadhan): for k releases at eps
+//     each and slack delta,
+//       eps_total = eps * sqrt(2 k ln(1/delta)) + k eps (e^eps - 1),
+//     which is far tighter for small eps and large k.
+// The d* mechanism's guarantee is already series-level ((d*, 2 eps) over
+// the whole trace, Theorem 2) and does not compose per slice.
+#pragma once
+
+#include <cstddef>
+
+namespace aegis::dp {
+
+class PrivacyAccountant {
+ public:
+  /// Records one eps-DP release (one protected monitoring slice).
+  void record_release(double epsilon) noexcept;
+
+  std::size_t releases() const noexcept { return releases_; }
+
+  /// Basic sequential composition: the sum of recorded epsilons.
+  double basic_epsilon() const noexcept { return basic_epsilon_; }
+
+  /// Advanced composition over the recorded releases, treating them as k
+  /// releases at the mean epsilon, with the given delta slack.
+  double advanced_epsilon(double delta) const noexcept;
+
+  void reset() noexcept;
+
+  /// The standalone advanced-composition bound for k releases at `epsilon`.
+  static double advanced_composition(double epsilon, std::size_t k,
+                                     double delta) noexcept;
+
+ private:
+  std::size_t releases_ = 0;
+  double basic_epsilon_ = 0.0;
+};
+
+}  // namespace aegis::dp

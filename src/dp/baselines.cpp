@@ -1,0 +1,44 @@
+#include "dp/baselines.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dp/dstar.hpp"
+#include "dp/laplace.hpp"
+
+namespace aegis::dp {
+
+UniformRandomMechanism::UniformRandomMechanism(double bound, std::uint64_t seed)
+    : bound_(bound), rng_(seed) {
+  if (bound < 0.0) {
+    throw std::invalid_argument("UniformRandomMechanism: bound must be >= 0");
+  }
+}
+
+double UniformRandomMechanism::noisy_value(double x_t) {
+  return x_t + rng_.uniform(0.0, bound_);
+}
+
+ConstantOutputMechanism::ConstantOutputMechanism(double level) : level_(level) {}
+
+double ConstantOutputMechanism::noisy_value(double x_t) {
+  return std::max(x_t, level_);
+}
+
+std::unique_ptr<NoiseMechanism> make_mechanism(const MechanismConfig& config) {
+  switch (config.kind) {
+    case MechanismKind::kLaplace:
+      return std::make_unique<LaplaceMechanism>(config.epsilon,
+                                                config.sensitivity, config.seed);
+    case MechanismKind::kDStar:
+      return std::make_unique<DStarMechanism>(config.epsilon, config.seed);
+    case MechanismKind::kUniformRandom:
+      return std::make_unique<UniformRandomMechanism>(config.uniform_bound,
+                                                      config.seed);
+    case MechanismKind::kConstantOutput:
+      return std::make_unique<ConstantOutputMechanism>(config.constant_level);
+  }
+  throw std::invalid_argument("make_mechanism: unknown kind");
+}
+
+}  // namespace aegis::dp

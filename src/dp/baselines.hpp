@@ -1,0 +1,42 @@
+// Non-DP obfuscation baselines from the paper's Section IX-A discussion:
+//   * UniformRandomMechanism — add noise ~ U[0, bound]; no privacy proof,
+//     and (Fig. 11) needs ~4.37x more noise than Laplace for the same
+//     attack suppression;
+//   * ConstantOutputMechanism — pad every slice up to the peak value p so
+//     the observed series is flat; ~18x more injected counts than Laplace.
+#pragma once
+
+#include "dp/mechanism.hpp"
+#include "util/rng.hpp"
+
+namespace aegis::dp {
+
+class UniformRandomMechanism final : public NoiseMechanism {
+ public:
+  UniformRandomMechanism(double bound, std::uint64_t seed);
+
+  double noisy_value(double x_t) override;
+  void reset() override {}
+  std::string_view name() const noexcept override { return "UniformRandom"; }
+  double bound() const noexcept { return bound_; }
+
+ private:
+  double bound_;
+  util::Rng rng_;
+};
+
+class ConstantOutputMechanism final : public NoiseMechanism {
+ public:
+  /// `level` is the peak value p; output is max(x_t, level).
+  explicit ConstantOutputMechanism(double level);
+
+  double noisy_value(double x_t) override;
+  void reset() override {}
+  std::string_view name() const noexcept override { return "ConstantOutput"; }
+  double level() const noexcept { return level_; }
+
+ private:
+  double level_;
+};
+
+}  // namespace aegis::dp

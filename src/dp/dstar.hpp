@@ -1,0 +1,47 @@
+// d* mechanism (paper Section VII-B, after Chan et al. and Xiao et al.).
+//
+// For the metric d*(x, x') = sum_t |(x[t]-x[t-1]) - (x'[t]-x'[t-1])|, the
+// mechanism releases
+//     x~[t] = x~[G(t)] + (x[t] - x[G(t)]) + r_t
+// with the binary-tree index map
+//     G(t) = 0          if t = 1
+//          = t/2        if t = D(t) >= 2          (Eq. 4)
+//          = t - D(t)   if t > D(t)
+// where D(t) is the largest power of two dividing t, and
+//     r_t ~ Lap(1/eps)                 if t = D(t)  (Eq. 5)
+//         ~ Lap(floor(log2 t) / eps)   otherwise.
+// Theorem 2: the released series satisfies (d*, 2 eps)-privacy.
+#pragma once
+
+#include <vector>
+
+#include "dp/mechanism.hpp"
+#include "util/rng.hpp"
+
+namespace aegis::dp {
+
+/// Largest power of two dividing t (t >= 1).
+std::uint64_t largest_dividing_pow2(std::uint64_t t) noexcept;
+
+/// The Eq. 4 tree parent index G(t) (t >= 1).
+std::uint64_t dstar_parent(std::uint64_t t) noexcept;
+
+class DStarMechanism final : public NoiseMechanism {
+ public:
+  DStarMechanism(double epsilon, std::uint64_t seed);
+
+  double noisy_value(double x_t) override;
+  void reset() override;
+  std::string_view name() const noexcept override { return "d*"; }
+
+  double epsilon() const noexcept { return epsilon_; }
+
+ private:
+  double epsilon_;
+  util::Rng rng_;
+  // 1-indexed histories; index 0 holds the virtual origin x[0] = x~[0] = 0.
+  std::vector<double> x_;
+  std::vector<double> noisy_;
+};
+
+}  // namespace aegis::dp

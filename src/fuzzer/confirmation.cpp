@@ -1,0 +1,76 @@
+#include "fuzzer/confirmation.hpp"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace aegis::fuzzer {
+
+PathMeasurement measure_path(sim::GadgetRunner& runner, const Gadget& gadget,
+                             bool with_trigger, std::size_t event_slot,
+                             const ConfirmationParams& params) {
+  std::vector<double> deltas;
+  deltas.reserve(params.repeats);
+  // One unmeasured warm-up execution: the first run of a path carries a
+  // cold-cache/predictor transient that would otherwise break the
+  // cumulative-vs-median linearity check for genuine gadgets.
+  for (std::size_t r = 0; r < params.repeats + 1; ++r) {
+    std::vector<double> d;
+    if (with_trigger) {
+      // Reset executes lightly, trigger is unrolled: the measured window is
+      // dominated by the trigger's effect when the gadget is genuine.
+      const std::array<std::uint32_t, 2> seq = {gadget.reset_uid,
+                                                gadget.trigger_uid};
+      // Two sub-windows with different unrolls; sum the deltas.
+      const std::vector<double> a =
+          runner.execute_once(std::span(seq).first(1), params.reset_unroll);
+      const std::vector<double> b =
+          runner.execute_once(std::span(seq).last(1), params.trigger_unroll);
+      d.resize(a.size());
+      for (std::size_t i = 0; i < a.size(); ++i) d[i] = a[i] + b[i];
+    } else {
+      const std::array<std::uint32_t, 1> seq = {gadget.reset_uid};
+      d = runner.execute_once(seq, params.reset_unroll);
+    }
+    if (r > 0) deltas.push_back(d.at(event_slot));
+  }
+  PathMeasurement m;
+  m.median = util::median(deltas);
+  for (double v : deltas) m.cumulative += v;
+  return m;
+}
+
+ConfirmationOutcome confirm_gadget(sim::GadgetRunner& runner, const Gadget& gadget,
+                                   std::size_t event_slot,
+                                   const ConfirmationParams& params) {
+  ConfirmationOutcome outcome;
+  outcome.cold = measure_path(runner, gadget, false, event_slot, params);
+  outcome.hot = measure_path(runner, gadget, true, event_slot, params);
+
+  const double R = static_cast<double>(params.repeats);
+  const double v_diff = outcome.hot.median - outcome.cold.median;
+  const double V_diff = outcome.hot.cumulative - outcome.cold.cumulative;
+
+  // The trigger must produce a real, repeatable change...
+  if (v_diff < params.delta_threshold) return outcome;
+  // ...that accumulates linearly over repetitions, i.e. the reset sequence
+  // genuinely restores S0 each round (C6 rejection):
+  //    V2 - V1 = (1 - lambda1) R (v2 - v1),  lambda1 in [-0.2, 0.2].
+  const double expected = R * v_diff;
+  if (V_diff < (1.0 - params.lambda1) * expected ||
+      V_diff > (1.0 + params.lambda1) * expected) {
+    return outcome;
+  }
+  // ...and must dominate any side effect of the reset itself (C5):
+  //    V2 > lambda2 * V1. A tiny floor keeps the test meaningful for
+  //    events where the cold path counts essentially zero.
+  const double v1_floor = std::max(outcome.cold.cumulative, 0.02);
+  if (outcome.hot.cumulative <= params.lambda2 * v1_floor) return outcome;
+
+  outcome.confirmed = true;
+  return outcome;
+}
+
+}  // namespace aegis::fuzzer

@@ -1,0 +1,47 @@
+// Result-confirmation machinery (paper Section VI-E): decides whether a
+// candidate gadget genuinely drives the event change, rejecting reset-side
+// effects (C5) and inherited dirty state (C6).
+#pragma once
+
+#include <optional>
+
+#include "fuzzer/gadget.hpp"
+#include "sim/gadget_runner.hpp"
+
+namespace aegis::fuzzer {
+
+struct ConfirmationParams {
+  std::size_t repeats = 10;   // R
+  double lambda1 = 0.2;
+  double lambda2 = 10.0;
+  double reset_unroll = 2.0;
+  double trigger_unroll = 32.0;
+  double delta_threshold = 0.3;
+};
+
+struct PathMeasurement {
+  double median = 0.0;      // per-execution median count change (v)
+  double cumulative = 0.0;  // total over R executions (V)
+};
+
+/// Runs one path (reset only = cold, reset+trigger = hot) R times on the
+/// runner and summarizes the per-execution deltas for `event_slot` (index
+/// into the runner's programmed events).
+PathMeasurement measure_path(sim::GadgetRunner& runner, const Gadget& gadget,
+                             bool with_trigger, std::size_t event_slot,
+                             const ConfirmationParams& params);
+
+struct ConfirmationOutcome {
+  bool confirmed = false;
+  PathMeasurement cold;  // v1 / V1
+  PathMeasurement hot;   // v2 / V2
+  double trigger_delta() const noexcept { return hot.median - cold.median; }
+};
+
+/// The paper's repeated-trigger test:
+///   V2 - V1 within (1 +- lambda1) * R * (v2 - v1)   and   V2 > lambda2 * V1.
+ConfirmationOutcome confirm_gadget(sim::GadgetRunner& runner, const Gadget& gadget,
+                                   std::size_t event_slot,
+                                   const ConfirmationParams& params);
+
+}  // namespace aegis::fuzzer

@@ -1,0 +1,31 @@
+#include "fuzzer/filtering.hpp"
+
+#include <map>
+#include <tuple>
+
+namespace aegis::fuzzer {
+
+FilterOutcome filter_gadgets(const std::vector<ConfirmedGadget>& confirmed,
+                             const isa::IsaSpecification& spec) {
+  using ClusterKey = std::tuple<isa::Extension, isa::Category, isa::Extension,
+                                isa::Category>;
+  FilterOutcome outcome;
+  std::map<ClusterKey, ConfirmedGadget> clusters;
+  for (const ConfirmedGadget& g : confirmed) {
+    const isa::InstructionVariant& reset = spec.by_uid(g.gadget.reset_uid);
+    const isa::InstructionVariant& trigger = spec.by_uid(g.gadget.trigger_uid);
+    const ClusterKey key{reset.extension, reset.category, trigger.extension,
+                         trigger.category};
+    auto [it, inserted] = clusters.emplace(key, g);
+    if (!inserted && g.median_delta > it->second.median_delta) {
+      it->second = g;
+    }
+    if (g.median_delta > outcome.best.median_delta) outcome.best = g;
+  }
+  outcome.clusters = clusters.size();
+  outcome.representatives.reserve(clusters.size());
+  for (auto& [key, g] : clusters) outcome.representatives.push_back(g);
+  return outcome;
+}
+
+}  // namespace aegis::fuzzer

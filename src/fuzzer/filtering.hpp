@@ -1,0 +1,23 @@
+// Gadget filtering (paper Section VI-F): clusters confirmed gadgets by the
+// extension and general category of their reset and trigger instructions —
+// attributes that indicate the micro-architectural root cause — and keeps
+// one representative per cluster plus the highest-impact gadget per event.
+#pragma once
+
+#include <vector>
+
+#include "fuzzer/gadget.hpp"
+#include "isa/spec.hpp"
+
+namespace aegis::fuzzer {
+
+struct FilterOutcome {
+  std::vector<ConfirmedGadget> representatives;  // max-delta per cluster
+  ConfirmedGadget best;                          // overall max delta
+  std::size_t clusters = 0;
+};
+
+FilterOutcome filter_gadgets(const std::vector<ConfirmedGadget>& confirmed,
+                             const isa::IsaSpecification& spec);
+
+}  // namespace aegis::fuzzer

@@ -1,0 +1,70 @@
+#include "fuzzer/set_cover.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace aegis::fuzzer {
+
+GadgetCover minimal_gadget_cover(const FuzzResult& result) {
+  GadgetCover cover;
+
+  // gadget -> (event -> delta), from each event's confirmed list.
+  std::unordered_map<Gadget, std::unordered_map<std::uint32_t, double>, GadgetHash>
+      effect_of;
+  std::unordered_set<std::uint32_t> universe;
+  for (const EventFuzzReport& report : result.reports) {
+    if (report.confirmed.empty()) {
+      cover.uncovered_events.push_back(report.event_id);
+      continue;
+    }
+    universe.insert(report.event_id);
+    for (const ConfirmedGadget& g : report.confirmed) {
+      effect_of[g.gadget][report.event_id] =
+          std::max(effect_of[g.gadget][report.event_id], g.median_delta);
+    }
+  }
+
+  std::unordered_set<std::uint32_t> uncovered = universe;
+  while (!uncovered.empty()) {
+    // Pick the gadget covering the most still-uncovered events; break ties
+    // by total delta (stronger disturbance preferred).
+    const Gadget* best = nullptr;
+    std::size_t best_newly = 0;
+    double best_delta = 0.0;
+    for (const auto& [gadget, effects] : effect_of) {
+      std::size_t newly = 0;
+      double delta = 0.0;
+      for (const auto& [event, d] : effects) {
+        if (uncovered.contains(event)) {
+          ++newly;
+          delta += d;
+        }
+      }
+      if (newly > best_newly ||
+          (newly == best_newly && newly > 0 && delta > best_delta)) {
+        best = &gadget;
+        best_newly = newly;
+        best_delta = delta;
+      }
+    }
+    if (best == nullptr || best_newly == 0) break;  // defensive; cannot happen
+    cover.gadgets.push_back(*best);
+    for (const auto& [event, d] : effect_of[*best]) uncovered.erase(event);
+  }
+
+  // Segment effect: executing every chosen gadget once sums their deltas.
+  std::unordered_map<std::uint32_t, double> segment;
+  for (const Gadget& g : cover.gadgets) {
+    for (const auto& [event, d] : effect_of[g]) segment[event] += d;
+  }
+  for (std::uint32_t event : universe) {
+    cover.covered_events.push_back(event);
+    cover.segment_effect.emplace_back(event, segment[event]);
+  }
+  std::sort(cover.covered_events.begin(), cover.covered_events.end());
+  std::sort(cover.segment_effect.begin(), cover.segment_effect.end());
+  return cover;
+}
+
+}  // namespace aegis::fuzzer

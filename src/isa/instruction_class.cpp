@@ -1,0 +1,37 @@
+#include "isa/instruction_class.hpp"
+
+namespace aegis::isa {
+
+std::string_view to_string(InstructionClass c) noexcept {
+  switch (c) {
+    case InstructionClass::kNop: return "nop";
+    case InstructionClass::kIntAlu: return "int_alu";
+    case InstructionClass::kIntMul: return "int_mul";
+    case InstructionClass::kIntDiv: return "int_div";
+    case InstructionClass::kLogic: return "logic";
+    case InstructionClass::kBitManip: return "bit_manip";
+    case InstructionClass::kMov: return "mov";
+    case InstructionClass::kLoad: return "load";
+    case InstructionClass::kStore: return "store";
+    case InstructionClass::kPush: return "push";
+    case InstructionClass::kBranch: return "branch";
+    case InstructionClass::kCall: return "call";
+    case InstructionClass::kFpAdd: return "fp_add";
+    case InstructionClass::kFpMul: return "fp_mul";
+    case InstructionClass::kFpDiv: return "fp_div";
+    case InstructionClass::kSimdInt: return "simd_int";
+    case InstructionClass::kSimdFp: return "simd_fp";
+    case InstructionClass::kX87: return "x87";
+    case InstructionClass::kCrypto: return "crypto";
+    case InstructionClass::kString: return "string";
+    case InstructionClass::kAtomic: return "atomic";
+    case InstructionClass::kCacheFlush: return "cache_flush";
+    case InstructionClass::kFence: return "fence";
+    case InstructionClass::kSerialize: return "serialize";
+    case InstructionClass::kSystem: return "system";
+    case InstructionClass::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace aegis::isa

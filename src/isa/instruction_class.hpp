@@ -1,0 +1,73 @@
+// Behavioural instruction classes.
+//
+// The simulator's ground-truth leakage model maps *instruction classes* to
+// HPC event responses; every ISA variant (src/isa/spec.hpp) is tagged with
+// one class. The class is the behavioural unit ("what the instruction does
+// to the micro-architecture"), whereas extension/category are the
+// descriptive attributes the fuzzer's filtering stage clusters on.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace aegis::isa {
+
+enum class InstructionClass : unsigned char {
+  kNop = 0,
+  kIntAlu,       // add/sub/cmp/test
+  kIntMul,
+  kIntDiv,
+  kLogic,        // and/or/xor/shifts
+  kBitManip,     // popcnt/bsf/lzcnt
+  kMov,          // reg-reg moves
+  kLoad,         // memory reads
+  kStore,        // memory writes
+  kPush,         // stack traffic
+  kBranch,       // conditional jumps
+  kCall,         // call/ret
+  kFpAdd,
+  kFpMul,
+  kFpDiv,
+  kSimdInt,      // packed integer
+  kSimdFp,       // packed float
+  kX87,
+  kCrypto,       // aesenc etc.
+  kString,       // rep movs/stos
+  kAtomic,       // lock-prefixed rmw
+  kCacheFlush,   // clflush/clflushopt
+  kFence,        // mfence/lfence/sfence
+  kSerialize,    // cpuid-like
+  kSystem,       // privileged
+  kCount
+};
+
+inline constexpr std::size_t kNumInstructionClasses =
+    static_cast<std::size_t>(InstructionClass::kCount);
+
+/// Short stable name ("int_alu", "cache_flush", ...).
+std::string_view to_string(InstructionClass c) noexcept;
+
+/// Per-class value container indexable by InstructionClass.
+template <typename T>
+class ClassVector {
+ public:
+  constexpr T& operator[](InstructionClass c) noexcept {
+    return data_[static_cast<std::size_t>(c)];
+  }
+  constexpr const T& operator[](InstructionClass c) const noexcept {
+    return data_[static_cast<std::size_t>(c)];
+  }
+  constexpr T& at_index(std::size_t i) noexcept { return data_[i]; }
+  constexpr const T& at_index(std::size_t i) const noexcept { return data_[i]; }
+  constexpr std::size_t size() const noexcept { return data_.size(); }
+  constexpr auto begin() noexcept { return data_.begin(); }
+  constexpr auto end() noexcept { return data_.end(); }
+  constexpr auto begin() const noexcept { return data_.begin(); }
+  constexpr auto end() const noexcept { return data_.end(); }
+
+ private:
+  std::array<T, kNumInstructionClasses> data_{};
+};
+
+}  // namespace aegis::isa

@@ -1,0 +1,625 @@
+#include "isa/spec.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace aegis::isa {
+
+std::string_view to_string(CpuModel m) noexcept {
+  switch (m) {
+    case CpuModel::kIntelXeonE5_1650: return "Intel Xeon E5-1650";
+    case CpuModel::kIntelXeonE5_4617: return "Intel Xeon E5-4617";
+    case CpuModel::kAmdEpyc7252: return "AMD EPYC 7252";
+    case CpuModel::kAmdEpyc7313P: return "AMD EPYC 7313P";
+  }
+  return "?";
+}
+
+Vendor vendor_of(CpuModel m) noexcept {
+  switch (m) {
+    case CpuModel::kIntelXeonE5_1650:
+    case CpuModel::kIntelXeonE5_4617:
+      return Vendor::kIntel;
+    case CpuModel::kAmdEpyc7252:
+    case CpuModel::kAmdEpyc7313P:
+      return Vendor::kAmd;
+  }
+  return Vendor::kIntel;
+}
+
+int family_of(CpuModel m) noexcept {
+  // Table I groups the two Xeon E5 models into one family and the two EPYC
+  // models into another; family members share near-identical event lists.
+  return vendor_of(m) == Vendor::kIntel ? 0 : 1;
+}
+
+std::string_view to_string(Extension e) noexcept {
+  switch (e) {
+    case Extension::kBase: return "BASE";
+    case Extension::kMmx: return "MMX";
+    case Extension::kX87Fpu: return "X87-FPU";
+    case Extension::kSse: return "SSE";
+    case Extension::kSse2: return "SSE2";
+    case Extension::kSse4: return "SSE4";
+    case Extension::kAvx: return "AVX";
+    case Extension::kAvx2: return "AVX2";
+    case Extension::kAvx512: return "AVX512";
+    case Extension::kFma: return "FMA";
+    case Extension::kBmi: return "BMI";
+    case Extension::kAes: return "AES";
+    case Extension::kSha: return "SHA";
+    case Extension::kTsx: return "TSX";
+    case Extension::kClflushOpt: return "CLFLUSHOPT";
+    case Extension::kSystem: return "SYSTEM";
+    case Extension::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view to_string(Category c) noexcept {
+  switch (c) {
+    case Category::kArith: return "ARITH";
+    case Category::kLogical: return "LOGICAL";
+    case Category::kDataXfer: return "DATAXFER";
+    case Category::kBranch: return "BRANCH";
+    case Category::kFloat: return "FLOAT";
+    case Category::kSimd: return "SIMD";
+    case Category::kStringOp: return "STRINGOP";
+    case Category::kBitByte: return "BITBYTE";
+    case Category::kCrypto: return "CRYPTO";
+    case Category::kSemaphore: return "SEMAPHORE";
+    case Category::kFlush: return "FLUSH";
+    case Category::kFence: return "FENCE";
+    case Category::kSystemOp: return "SYSTEM";
+    case Category::kNopCat: return "NOP";
+    case Category::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+struct CatalogEntry {
+  const char* mnemonic;
+  InstructionClass iclass;
+  Category category;
+  Extension extension;
+  bool allows_memory;   // has reg-mem / mem-reg encodings
+  bool allows_store;    // has mem-destination encodings
+  std::uint8_t uops;    // base micro-op cost
+};
+
+// Mnemonic catalog. Expansion over operand widths and encodings below blows
+// this up to uops.info scale (~14 k variants per CPU).
+constexpr CatalogEntry kCatalog[] = {
+    // --- BASE integer arithmetic ---
+    {"ADD", InstructionClass::kIntAlu, Category::kArith, Extension::kBase, true, true, 1},
+    {"SUB", InstructionClass::kIntAlu, Category::kArith, Extension::kBase, true, true, 1},
+    {"ADC", InstructionClass::kIntAlu, Category::kArith, Extension::kBase, true, true, 1},
+    {"SBB", InstructionClass::kIntAlu, Category::kArith, Extension::kBase, true, true, 1},
+    {"INC", InstructionClass::kIntAlu, Category::kArith, Extension::kBase, true, true, 1},
+    {"DEC", InstructionClass::kIntAlu, Category::kArith, Extension::kBase, true, true, 1},
+    {"NEG", InstructionClass::kIntAlu, Category::kArith, Extension::kBase, true, true, 1},
+    {"CMP", InstructionClass::kIntAlu, Category::kArith, Extension::kBase, true, false, 1},
+    {"TEST", InstructionClass::kIntAlu, Category::kArith, Extension::kBase, true, false, 1},
+    {"IMUL", InstructionClass::kIntMul, Category::kArith, Extension::kBase, true, false, 1},
+    {"MUL", InstructionClass::kIntMul, Category::kArith, Extension::kBase, true, false, 2},
+    {"IDIV", InstructionClass::kIntDiv, Category::kArith, Extension::kBase, true, false, 10},
+    {"DIV", InstructionClass::kIntDiv, Category::kArith, Extension::kBase, true, false, 10},
+    // --- BASE logical / shifts ---
+    {"AND", InstructionClass::kLogic, Category::kLogical, Extension::kBase, true, true, 1},
+    {"OR", InstructionClass::kLogic, Category::kLogical, Extension::kBase, true, true, 1},
+    {"XOR", InstructionClass::kLogic, Category::kLogical, Extension::kBase, true, true, 1},
+    {"NOT", InstructionClass::kLogic, Category::kLogical, Extension::kBase, true, true, 1},
+    {"SHL", InstructionClass::kLogic, Category::kLogical, Extension::kBase, true, true, 1},
+    {"SHR", InstructionClass::kLogic, Category::kLogical, Extension::kBase, true, true, 1},
+    {"SAR", InstructionClass::kLogic, Category::kLogical, Extension::kBase, true, true, 1},
+    {"ROL", InstructionClass::kLogic, Category::kLogical, Extension::kBase, true, true, 1},
+    {"ROR", InstructionClass::kLogic, Category::kLogical, Extension::kBase, true, true, 1},
+    {"SHLD", InstructionClass::kLogic, Category::kLogical, Extension::kBase, true, true, 2},
+    {"SHRD", InstructionClass::kLogic, Category::kLogical, Extension::kBase, true, true, 2},
+    // --- data transfer ---
+    {"MOV", InstructionClass::kMov, Category::kDataXfer, Extension::kBase, true, true, 1},
+    {"MOVZX", InstructionClass::kMov, Category::kDataXfer, Extension::kBase, true, false, 1},
+    {"MOVSX", InstructionClass::kMov, Category::kDataXfer, Extension::kBase, true, false, 1},
+    {"XCHG", InstructionClass::kMov, Category::kDataXfer, Extension::kBase, true, true, 2},
+    {"LEA", InstructionClass::kMov, Category::kDataXfer, Extension::kBase, false, false, 1},
+    {"CMOVA", InstructionClass::kMov, Category::kDataXfer, Extension::kBase, true, false, 1},
+    {"CMOVB", InstructionClass::kMov, Category::kDataXfer, Extension::kBase, true, false, 1},
+    {"CMOVE", InstructionClass::kMov, Category::kDataXfer, Extension::kBase, true, false, 1},
+    {"CMOVNE", InstructionClass::kMov, Category::kDataXfer, Extension::kBase, true, false, 1},
+    {"BSWAP", InstructionClass::kMov, Category::kDataXfer, Extension::kBase, false, false, 1},
+    {"PUSH", InstructionClass::kPush, Category::kDataXfer, Extension::kBase, true, true, 1},
+    {"POP", InstructionClass::kPush, Category::kDataXfer, Extension::kBase, true, true, 1},
+    // --- branch / control ---
+    {"JMP", InstructionClass::kBranch, Category::kBranch, Extension::kBase, true, false, 1},
+    {"JE", InstructionClass::kBranch, Category::kBranch, Extension::kBase, false, false, 1},
+    {"JNE", InstructionClass::kBranch, Category::kBranch, Extension::kBase, false, false, 1},
+    {"JA", InstructionClass::kBranch, Category::kBranch, Extension::kBase, false, false, 1},
+    {"JB", InstructionClass::kBranch, Category::kBranch, Extension::kBase, false, false, 1},
+    {"JG", InstructionClass::kBranch, Category::kBranch, Extension::kBase, false, false, 1},
+    {"JL", InstructionClass::kBranch, Category::kBranch, Extension::kBase, false, false, 1},
+    {"JGE", InstructionClass::kBranch, Category::kBranch, Extension::kBase, false, false, 1},
+    {"JLE", InstructionClass::kBranch, Category::kBranch, Extension::kBase, false, false, 1},
+    {"JS", InstructionClass::kBranch, Category::kBranch, Extension::kBase, false, false, 1},
+    {"JNS", InstructionClass::kBranch, Category::kBranch, Extension::kBase, false, false, 1},
+    {"JO", InstructionClass::kBranch, Category::kBranch, Extension::kBase, false, false, 1},
+    {"JP", InstructionClass::kBranch, Category::kBranch, Extension::kBase, false, false, 1},
+    {"LOOP", InstructionClass::kBranch, Category::kBranch, Extension::kBase, false, false, 2},
+    {"CALL", InstructionClass::kCall, Category::kBranch, Extension::kBase, true, false, 2},
+    {"RET", InstructionClass::kCall, Category::kBranch, Extension::kBase, false, false, 2},
+    // --- bit manipulation ---
+    {"POPCNT", InstructionClass::kBitManip, Category::kBitByte, Extension::kSse4, true, false, 1},
+    {"BSF", InstructionClass::kBitManip, Category::kBitByte, Extension::kBase, true, false, 1},
+    {"BSR", InstructionClass::kBitManip, Category::kBitByte, Extension::kBase, true, false, 1},
+    {"BT", InstructionClass::kBitManip, Category::kBitByte, Extension::kBase, true, false, 1},
+    {"BTS", InstructionClass::kBitManip, Category::kBitByte, Extension::kBase, true, true, 1},
+    {"BTR", InstructionClass::kBitManip, Category::kBitByte, Extension::kBase, true, true, 1},
+    {"BTC", InstructionClass::kBitManip, Category::kBitByte, Extension::kBase, true, true, 1},
+    {"LZCNT", InstructionClass::kBitManip, Category::kBitByte, Extension::kBmi, true, false, 1},
+    {"TZCNT", InstructionClass::kBitManip, Category::kBitByte, Extension::kBmi, true, false, 1},
+    {"ANDN", InstructionClass::kBitManip, Category::kBitByte, Extension::kBmi, true, false, 1},
+    {"BEXTR", InstructionClass::kBitManip, Category::kBitByte, Extension::kBmi, true, false, 1},
+    {"BLSI", InstructionClass::kBitManip, Category::kBitByte, Extension::kBmi, true, false, 1},
+    {"BLSR", InstructionClass::kBitManip, Category::kBitByte, Extension::kBmi, true, false, 1},
+    {"BZHI", InstructionClass::kBitManip, Category::kBitByte, Extension::kBmi, true, false, 1},
+    {"PDEP", InstructionClass::kBitManip, Category::kBitByte, Extension::kBmi, true, false, 1},
+    {"PEXT", InstructionClass::kBitManip, Category::kBitByte, Extension::kBmi, true, false, 1},
+    // --- string ops ---
+    {"MOVS", InstructionClass::kString, Category::kStringOp, Extension::kBase, true, true, 4},
+    {"STOS", InstructionClass::kString, Category::kStringOp, Extension::kBase, true, true, 3},
+    {"LODS", InstructionClass::kString, Category::kStringOp, Extension::kBase, true, false, 3},
+    {"CMPS", InstructionClass::kString, Category::kStringOp, Extension::kBase, true, false, 4},
+    {"SCAS", InstructionClass::kString, Category::kStringOp, Extension::kBase, true, false, 3},
+    // --- atomics ---
+    {"LOCK_ADD", InstructionClass::kAtomic, Category::kSemaphore, Extension::kBase, true, true, 4},
+    {"LOCK_OR", InstructionClass::kAtomic, Category::kSemaphore, Extension::kBase, true, true, 4},
+    {"LOCK_AND", InstructionClass::kAtomic, Category::kSemaphore, Extension::kBase, true, true, 4},
+    {"LOCK_XOR", InstructionClass::kAtomic, Category::kSemaphore, Extension::kBase, true, true, 4},
+    {"LOCK_XADD", InstructionClass::kAtomic, Category::kSemaphore, Extension::kBase, true, true, 5},
+    {"LOCK_CMPXCHG", InstructionClass::kAtomic, Category::kSemaphore, Extension::kBase, true, true, 5},
+    {"LOCK_DEC", InstructionClass::kAtomic, Category::kSemaphore, Extension::kBase, true, true, 4},
+    // --- flush / fence / serialize ---
+    {"CLFLUSH", InstructionClass::kCacheFlush, Category::kFlush, Extension::kBase, true, false, 2},
+    {"CLFLUSHOPT", InstructionClass::kCacheFlush, Category::kFlush, Extension::kClflushOpt, true, false, 2},
+    {"PREFETCHT0", InstructionClass::kLoad, Category::kDataXfer, Extension::kSse, true, false, 1},
+    {"PREFETCHNTA", InstructionClass::kLoad, Category::kDataXfer, Extension::kSse, true, false, 1},
+    {"MFENCE", InstructionClass::kFence, Category::kFence, Extension::kSse2, false, false, 3},
+    {"LFENCE", InstructionClass::kFence, Category::kFence, Extension::kSse2, false, false, 2},
+    {"SFENCE", InstructionClass::kFence, Category::kFence, Extension::kSse, false, false, 2},
+    {"PAUSE", InstructionClass::kNop, Category::kNopCat, Extension::kSse2, false, false, 1},
+    {"CPUID", InstructionClass::kSerialize, Category::kSystemOp, Extension::kBase, false, false, 20},
+    {"RDTSC", InstructionClass::kSerialize, Category::kSystemOp, Extension::kBase, false, false, 8},
+    {"RDTSCP", InstructionClass::kSerialize, Category::kSystemOp, Extension::kBase, false, false, 10},
+    {"NOP", InstructionClass::kNop, Category::kNopCat, Extension::kBase, false, false, 1},
+    // --- x87 ---
+    {"FADD", InstructionClass::kX87, Category::kFloat, Extension::kX87Fpu, true, false, 1},
+    {"FSUB", InstructionClass::kX87, Category::kFloat, Extension::kX87Fpu, true, false, 1},
+    {"FMUL", InstructionClass::kX87, Category::kFloat, Extension::kX87Fpu, true, false, 1},
+    {"FDIV", InstructionClass::kX87, Category::kFloat, Extension::kX87Fpu, true, false, 8},
+    {"FLD", InstructionClass::kX87, Category::kFloat, Extension::kX87Fpu, true, false, 1},
+    {"FST", InstructionClass::kX87, Category::kFloat, Extension::kX87Fpu, true, true, 1},
+    {"FSQRT", InstructionClass::kX87, Category::kFloat, Extension::kX87Fpu, false, false, 10},
+    {"FSIN", InstructionClass::kX87, Category::kFloat, Extension::kX87Fpu, false, false, 40},
+    {"FCOS", InstructionClass::kX87, Category::kFloat, Extension::kX87Fpu, false, false, 40},
+    {"FPTAN", InstructionClass::kX87, Category::kFloat, Extension::kX87Fpu, false, false, 50},
+    {"FXCH", InstructionClass::kX87, Category::kFloat, Extension::kX87Fpu, false, false, 1},
+    {"FABS", InstructionClass::kX87, Category::kFloat, Extension::kX87Fpu, false, false, 1},
+    {"FCHS", InstructionClass::kX87, Category::kFloat, Extension::kX87Fpu, false, false, 1},
+    // --- scalar SSE float ---
+    {"ADDSS", InstructionClass::kFpAdd, Category::kFloat, Extension::kSse, true, false, 1},
+    {"ADDSD", InstructionClass::kFpAdd, Category::kFloat, Extension::kSse2, true, false, 1},
+    {"SUBSS", InstructionClass::kFpAdd, Category::kFloat, Extension::kSse, true, false, 1},
+    {"SUBSD", InstructionClass::kFpAdd, Category::kFloat, Extension::kSse2, true, false, 1},
+    {"MULSS", InstructionClass::kFpMul, Category::kFloat, Extension::kSse, true, false, 1},
+    {"MULSD", InstructionClass::kFpMul, Category::kFloat, Extension::kSse2, true, false, 1},
+    {"DIVSS", InstructionClass::kFpDiv, Category::kFloat, Extension::kSse, true, false, 7},
+    {"DIVSD", InstructionClass::kFpDiv, Category::kFloat, Extension::kSse2, true, false, 9},
+    {"SQRTSS", InstructionClass::kFpDiv, Category::kFloat, Extension::kSse, true, false, 8},
+    {"SQRTSD", InstructionClass::kFpDiv, Category::kFloat, Extension::kSse2, true, false, 10},
+    {"COMISS", InstructionClass::kFpAdd, Category::kFloat, Extension::kSse, true, false, 1},
+    {"COMISD", InstructionClass::kFpAdd, Category::kFloat, Extension::kSse2, true, false, 1},
+    {"CVTSI2SS", InstructionClass::kFpAdd, Category::kFloat, Extension::kSse, true, false, 2},
+    {"CVTSD2SI", InstructionClass::kFpAdd, Category::kFloat, Extension::kSse2, true, false, 2},
+    // --- MMX ---
+    {"PADDB_mmx", InstructionClass::kSimdInt, Category::kSimd, Extension::kMmx, true, false, 1},
+    {"PADDW_mmx", InstructionClass::kSimdInt, Category::kSimd, Extension::kMmx, true, false, 1},
+    {"PSUBB_mmx", InstructionClass::kSimdInt, Category::kSimd, Extension::kMmx, true, false, 1},
+    {"PMULLW_mmx", InstructionClass::kSimdInt, Category::kSimd, Extension::kMmx, true, false, 2},
+    {"PAND_mmx", InstructionClass::kSimdInt, Category::kSimd, Extension::kMmx, true, false, 1},
+    {"POR_mmx", InstructionClass::kSimdInt, Category::kSimd, Extension::kMmx, true, false, 1},
+    {"PXOR_mmx", InstructionClass::kSimdInt, Category::kSimd, Extension::kMmx, true, false, 1},
+    {"PCMPEQB_mmx", InstructionClass::kSimdInt, Category::kSimd, Extension::kMmx, true, false, 1},
+    {"PACKSSWB_mmx", InstructionClass::kSimdInt, Category::kSimd, Extension::kMmx, true, false, 1},
+    {"PUNPCKLBW_mmx", InstructionClass::kSimdInt, Category::kSimd, Extension::kMmx, true, false, 1},
+    {"EMMS", InstructionClass::kSimdInt, Category::kSimd, Extension::kMmx, false, false, 6},
+    // --- packed SSE/SSE2 ---
+    {"ADDPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kSse, true, false, 1},
+    {"ADDPD", InstructionClass::kSimdFp, Category::kSimd, Extension::kSse2, true, false, 1},
+    {"MULPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kSse, true, false, 1},
+    {"MULPD", InstructionClass::kSimdFp, Category::kSimd, Extension::kSse2, true, false, 1},
+    {"DIVPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kSse, true, false, 10},
+    {"DIVPD", InstructionClass::kSimdFp, Category::kSimd, Extension::kSse2, true, false, 13},
+    {"MAXPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kSse, true, false, 1},
+    {"MINPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kSse, true, false, 1},
+    {"SHUFPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kSse, true, false, 1},
+    {"UNPCKLPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kSse, true, false, 1},
+    {"MOVAPS", InstructionClass::kSimdFp, Category::kDataXfer, Extension::kSse, true, true, 1},
+    {"MOVUPS", InstructionClass::kSimdFp, Category::kDataXfer, Extension::kSse, true, true, 1},
+    {"MOVDQA", InstructionClass::kSimdInt, Category::kDataXfer, Extension::kSse2, true, true, 1},
+    {"MOVDQU", InstructionClass::kSimdInt, Category::kDataXfer, Extension::kSse2, true, true, 1},
+    {"MOVNTDQ", InstructionClass::kStore, Category::kDataXfer, Extension::kSse2, true, true, 2},
+    {"PADDB", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse2, true, false, 1},
+    {"PADDW", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse2, true, false, 1},
+    {"PADDD", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse2, true, false, 1},
+    {"PADDQ", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse2, true, false, 1},
+    {"PSUBB", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse2, true, false, 1},
+    {"PMULLW", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse2, true, false, 2},
+    {"PMULUDQ", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse2, true, false, 2},
+    {"PAND", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse2, true, false, 1},
+    {"POR", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse2, true, false, 1},
+    {"PXOR", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse2, true, false, 1},
+    {"PSLLW", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse2, true, false, 1},
+    {"PSRLW", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse2, true, false, 1},
+    {"PCMPEQB", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse2, true, false, 1},
+    {"PSHUFD", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse2, true, false, 1},
+    {"PUNPCKLBW", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse2, true, false, 1},
+    // --- SSE4 ---
+    {"PMULLD", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse4, true, false, 2},
+    {"PMINSD", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse4, true, false, 1},
+    {"PMAXSD", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse4, true, false, 1},
+    {"PBLENDW", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse4, true, false, 1},
+    {"PEXTRD", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse4, true, true, 2},
+    {"PINSRD", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse4, true, false, 2},
+    {"PTEST", InstructionClass::kSimdInt, Category::kSimd, Extension::kSse4, true, false, 1},
+    {"ROUNDPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kSse4, true, false, 1},
+    {"DPPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kSse4, true, false, 3},
+    {"BLENDVPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kSse4, true, false, 1},
+    {"PCMPESTRI", InstructionClass::kSimdInt, Category::kStringOp, Extension::kSse4, true, false, 4},
+    {"PCMPISTRI", InstructionClass::kSimdInt, Category::kStringOp, Extension::kSse4, true, false, 3},
+    // --- AVX / AVX2 (VEX; widths 128/256) ---
+    {"VADDPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx, true, false, 1},
+    {"VADDPD", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx, true, false, 1},
+    {"VSUBPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx, true, false, 1},
+    {"VMULPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx, true, false, 1},
+    {"VMULPD", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx, true, false, 1},
+    {"VDIVPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx, true, false, 10},
+    {"VSQRTPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx, true, false, 12},
+    {"VMAXPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx, true, false, 1},
+    {"VSHUFPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx, true, false, 1},
+    {"VBLENDPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx, true, false, 1},
+    {"VMOVAPS", InstructionClass::kSimdFp, Category::kDataXfer, Extension::kAvx, true, true, 1},
+    {"VMOVUPS", InstructionClass::kSimdFp, Category::kDataXfer, Extension::kAvx, true, true, 1},
+    {"VPERMILPS", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx, true, false, 1},
+    {"VBROADCASTSS", InstructionClass::kSimdFp, Category::kDataXfer, Extension::kAvx, true, false, 1},
+    {"VPADDB", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx2, true, false, 1},
+    {"VPADDD", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx2, true, false, 1},
+    {"VPADDQ", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx2, true, false, 1},
+    {"VPSUBD", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx2, true, false, 1},
+    {"VPMULLD", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx2, true, false, 2},
+    {"VPAND", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx2, true, false, 1},
+    {"VPXOR", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx2, true, false, 1},
+    {"VPSLLD", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx2, true, false, 1},
+    {"VPCMPEQD", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx2, true, false, 1},
+    {"VPSHUFB", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx2, true, false, 1},
+    {"VPERMD", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx2, true, false, 1},
+    {"VPGATHERDD", InstructionClass::kLoad, Category::kDataXfer, Extension::kAvx2, true, false, 8},
+    {"VPMOVMSKB", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx2, false, false, 1},
+    // --- FMA ---
+    {"VFMADD132PS", InstructionClass::kSimdFp, Category::kSimd, Extension::kFma, true, false, 1},
+    {"VFMADD213PS", InstructionClass::kSimdFp, Category::kSimd, Extension::kFma, true, false, 1},
+    {"VFMADD231PS", InstructionClass::kSimdFp, Category::kSimd, Extension::kFma, true, false, 1},
+    {"VFMSUB132PD", InstructionClass::kSimdFp, Category::kSimd, Extension::kFma, true, false, 1},
+    {"VFNMADD213PD", InstructionClass::kSimdFp, Category::kSimd, Extension::kFma, true, false, 1},
+    // --- crypto ---
+    {"AESENC", InstructionClass::kCrypto, Category::kCrypto, Extension::kAes, true, false, 2},
+    {"AESENCLAST", InstructionClass::kCrypto, Category::kCrypto, Extension::kAes, true, false, 2},
+    {"AESDEC", InstructionClass::kCrypto, Category::kCrypto, Extension::kAes, true, false, 2},
+    {"AESKEYGENASSIST", InstructionClass::kCrypto, Category::kCrypto, Extension::kAes, true, false, 3},
+    {"PCLMULQDQ", InstructionClass::kCrypto, Category::kCrypto, Extension::kAes, true, false, 3},
+    {"SHA1RNDS4", InstructionClass::kCrypto, Category::kCrypto, Extension::kSha, true, false, 3},
+    {"SHA256RNDS2", InstructionClass::kCrypto, Category::kCrypto, Extension::kSha, true, false, 3},
+    {"SHA256MSG1", InstructionClass::kCrypto, Category::kCrypto, Extension::kSha, true, false, 2},
+    // --- TSX ---
+    {"XBEGIN", InstructionClass::kSystem, Category::kSystemOp, Extension::kTsx, false, false, 8},
+    {"XEND", InstructionClass::kSystem, Category::kSystemOp, Extension::kTsx, false, false, 8},
+    {"XABORT", InstructionClass::kSystem, Category::kSystemOp, Extension::kTsx, false, false, 4},
+    {"XTEST", InstructionClass::kSystem, Category::kSystemOp, Extension::kTsx, false, false, 2},
+    // --- privileged (legal encodings; #GP in user mode) ---
+    {"RDMSR", InstructionClass::kSystem, Category::kSystemOp, Extension::kSystem, false, false, 30},
+    {"WRMSR", InstructionClass::kSystem, Category::kSystemOp, Extension::kSystem, false, false, 30},
+    {"INVLPG", InstructionClass::kSystem, Category::kSystemOp, Extension::kSystem, true, false, 30},
+    {"INVD", InstructionClass::kSystem, Category::kSystemOp, Extension::kSystem, false, false, 100},
+    {"WBINVD", InstructionClass::kSystem, Category::kSystemOp, Extension::kSystem, false, false, 100},
+    {"HLT", InstructionClass::kSystem, Category::kSystemOp, Extension::kSystem, false, false, 10},
+    {"LGDT", InstructionClass::kSystem, Category::kSystemOp, Extension::kSystem, true, false, 20},
+    {"LIDT", InstructionClass::kSystem, Category::kSystemOp, Extension::kSystem, true, false, 20},
+    {"LTR", InstructionClass::kSystem, Category::kSystemOp, Extension::kSystem, false, false, 20},
+    {"CLTS", InstructionClass::kSystem, Category::kSystemOp, Extension::kSystem, false, false, 10},
+    {"MOV_CR", InstructionClass::kSystem, Category::kSystemOp, Extension::kSystem, false, false, 20},
+    {"MOV_DR", InstructionClass::kSystem, Category::kSystemOp, Extension::kSystem, false, false, 20},
+    {"IN", InstructionClass::kSystem, Category::kSystemOp, Extension::kSystem, false, false, 20},
+    {"OUT", InstructionClass::kSystem, Category::kSystemOp, Extension::kSystem, false, false, 20},
+    {"VMCALL", InstructionClass::kSystem, Category::kSystemOp, Extension::kSystem, false, false, 50},
+    {"RDPMC_priv", InstructionClass::kSystem, Category::kSystemOp, Extension::kSystem, false, false, 20},
+    // --- AVX512 (not supported by any Table-I CPU; big chunk of the spec) ---
+    {"VADDPS_z", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx512, true, false, 1},
+    {"VADDPD_z", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx512, true, false, 1},
+    {"VMULPS_z", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx512, true, false, 1},
+    {"VMULPD_z", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx512, true, false, 1},
+    {"VDIVPS_z", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx512, true, false, 10},
+    {"VFMADD132PS_z", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx512, true, false, 1},
+    {"VFMADD213PD_z", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx512, true, false, 1},
+    {"VPADDD_z", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx512, true, false, 1},
+    {"VPADDQ_z", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx512, true, false, 1},
+    {"VPMULLD_z", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx512, true, false, 2},
+    {"VPANDD_z", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx512, true, false, 1},
+    {"VPXORD_z", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx512, true, false, 1},
+    {"VPERMW_z", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx512, true, false, 2},
+    {"VPERMT2D_z", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx512, true, false, 2},
+    {"VPCOMPRESSD_z", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx512, true, true, 2},
+    {"VPEXPANDD_z", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx512, true, false, 2},
+    {"VSCATTERDPS_z", InstructionClass::kStore, Category::kDataXfer, Extension::kAvx512, true, true, 10},
+    {"VGATHERDPS_z", InstructionClass::kLoad, Category::kDataXfer, Extension::kAvx512, true, false, 10},
+    {"VPTERNLOGD_z", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx512, true, false, 1},
+    {"VRNDSCALEPS_z", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx512, true, false, 2},
+    {"VREDUCEPD_z", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx512, true, false, 2},
+    {"VSHUFF32X4_z", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx512, true, false, 2},
+    {"VPBROADCASTD_z", InstructionClass::kSimdInt, Category::kDataXfer, Extension::kAvx512, true, false, 1},
+    {"VMOVDQA32_z", InstructionClass::kSimdInt, Category::kDataXfer, Extension::kAvx512, true, true, 1},
+    {"VMOVDQU64_z", InstructionClass::kSimdInt, Category::kDataXfer, Extension::kAvx512, true, true, 1},
+    {"VCMPPS_z", InstructionClass::kSimdFp, Category::kSimd, Extension::kAvx512, true, false, 1},
+    {"VPCMPD_z", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx512, true, false, 1},
+    {"KANDW_z", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx512, false, false, 1},
+    {"KORW_z", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx512, false, false, 1},
+    {"KSHIFTLW_z", InstructionClass::kSimdInt, Category::kSimd, Extension::kAvx512, false, false, 1},
+};
+
+bool extension_supported(CpuModel m, Extension e) noexcept {
+  const bool intel = vendor_of(m) == Vendor::kIntel;
+  switch (e) {
+    case Extension::kBase:
+    case Extension::kMmx:
+    case Extension::kX87Fpu:
+    case Extension::kSse:
+    case Extension::kSse2:
+    case Extension::kSse4:
+    case Extension::kAvx:
+    case Extension::kBmi:
+    case Extension::kAes:
+    case Extension::kClflushOpt:
+      return true;
+    case Extension::kAvx2:
+    case Extension::kFma:
+    case Extension::kSha:
+      return !intel;  // Sandy-Bridge-era Xeons predate AVX2/FMA/SHA
+    case Extension::kTsx:
+      return intel;
+    case Extension::kAvx512:
+      return false;   // none of the Table-I CPUs support AVX512
+    case Extension::kSystem:
+      return true;    // encodings decode, but privilege-fault in user mode
+    case Extension::kCount:
+      break;
+  }
+  return false;
+}
+
+bool is_vector_extension(Extension e) noexcept {
+  switch (e) {
+    case Extension::kMmx:
+    case Extension::kSse:
+    case Extension::kSse2:
+    case Extension::kSse4:
+    case Extension::kAvx:
+    case Extension::kAvx2:
+    case Extension::kAvx512:
+    case Extension::kFma:
+    case Extension::kAes:
+    case Extension::kSha:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Paper scale: total variant count and cleaned (legal) count per CPU.
+struct SpecTargets {
+  std::size_t total;
+  std::size_t legal;
+};
+
+SpecTargets targets_for(CpuModel m) noexcept {
+  // Section VI-C: 24.16 % of 14014 = 3386 legal (Intel); 24.31 % of 14016 =
+  // 3407 (AMD). The generator pads to exactly these totals so Table III and
+  // the fuzzing-throughput numbers are computed over the same gadget space.
+  return vendor_of(m) == Vendor::kIntel ? SpecTargets{14014, 3386}
+                                        : SpecTargets{14016, 3407};
+}
+
+}  // namespace
+
+IsaSpecification IsaSpecification::generate(CpuModel model) {
+  IsaSpecification spec;
+  spec.model_ = model;
+  const SpecTargets targets = targets_for(model);
+  // Seed only controls cosmetic attribute jitter; structure is fixed.
+  util::Rng rng(0xA3515ULL + static_cast<std::uint64_t>(family_of(model)));
+
+  auto& out = spec.variants_;
+  out.reserve(targets.total);
+  std::uint32_t uid = 0;
+
+  auto emit = [&](const CatalogEntry& e, std::string suffix,
+                  std::uint16_t width, bool mem, bool store) {
+    InstructionVariant v;
+    v.uid = uid++;
+    v.mnemonic = std::string(e.mnemonic) + std::move(suffix);
+    v.extension = e.extension;
+    v.category = e.category;
+    v.iclass = e.iclass;
+    v.operand_width = width;
+    v.has_memory_operand = mem;
+    v.is_store = store;
+    v.mem_bytes = mem ? static_cast<std::uint16_t>(width / 8) : 0;
+    v.micro_ops = static_cast<std::uint8_t>(
+        e.uops + (mem ? 1 : 0) + (width >= 256 ? 1 : 0));
+    if (e.extension == Extension::kSystem) {
+      v.fault = FaultKind::kPrivilegeFault;
+    } else if (!extension_supported(model, e.extension)) {
+      v.fault = FaultKind::kIllegalOpcode;
+    }
+    out.push_back(std::move(v));
+  };
+
+  for (const auto& e : kCatalog) {
+    if (is_vector_extension(e.extension)) {
+      // Vector widths per extension; AVX covers 128/256, AVX512 adds masks.
+      std::vector<std::uint16_t> widths;
+      switch (e.extension) {
+        case Extension::kMmx: widths = {64}; break;
+        case Extension::kAvx:
+        case Extension::kAvx2:
+        case Extension::kFma: widths = {128, 256}; break;
+        case Extension::kAvx512: widths = {128, 256, 512}; break;
+        default: widths = {128}; break;
+      }
+      for (std::uint16_t w : widths) {
+        const char* wname = w == 64    ? "_64"
+                            : w == 128 ? "_xmm"
+                            : w == 256 ? "_ymm"
+                                       : "_zmm";
+        emit(e, std::string(wname) + "_rr", w, false, false);
+        if (e.allows_memory) emit(e, std::string(wname) + "_rm", w, true, false);
+        if (e.allows_store) emit(e, std::string(wname) + "_mr", w, true, true);
+        if (e.extension == Extension::kAvx512) {
+          // Masked and zero-masked encodings: the bulk of AVX512's footprint.
+          emit(e, std::string(wname) + "_rr_k", w, false, false);
+          emit(e, std::string(wname) + "_rr_kz", w, false, false);
+          if (e.allows_memory) {
+            emit(e, std::string(wname) + "_rm_k", w, true, false);
+            emit(e, std::string(wname) + "_rm_kz", w, true, false);
+          }
+        }
+      }
+    } else if (e.extension == Extension::kSystem ||
+               e.category == Category::kSystemOp ||
+               e.category == Category::kFence ||
+               e.category == Category::kFlush ||
+               e.category == Category::kNopCat) {
+      emit(e, "", 64, e.allows_memory, false);
+    } else if (e.category == Category::kStringOp &&
+               e.extension == Extension::kBase) {
+      for (std::uint16_t w : {8, 16, 32, 64}) {
+        emit(e, "_w" + std::to_string(int(w)), w, true, e.allows_store);
+        emit(e, "_rep_w" + std::to_string(int(w)), w, true, e.allows_store);
+      }
+    } else {
+      // Scalar: expand over widths and operand encodings like uops.info does
+      // (reg-reg, reg-mem, mem-reg, reg-imm8, reg-imm32, mem-imm).
+      for (std::uint16_t w : {8, 16, 32, 64}) {
+        const std::string ws = "_w" + std::to_string(int(w));
+        emit(e, ws + "_rr", w, false, false);
+        emit(e, ws + "_ri8", w, false, false);
+        if (w >= 32) emit(e, ws + "_ri32", w, false, false);
+        if (e.allows_memory) {
+          emit(e, ws + "_rm", w, true, false);
+          if (e.allows_store) {
+            emit(e, ws + "_mr", w, true, true);
+            emit(e, ws + "_mi", w, true, true);
+          }
+        }
+      }
+    }
+  }
+
+  // Pad the legal count up to the paper's cleaned-list size with multi-byte
+  // NOP encodings (x86 really does define a large family of these).
+  std::size_t legal = 0;
+  for (const auto& v : out) {
+    if (v.legal()) ++legal;
+  }
+  if (legal > targets.legal) {
+    // Deterministically demote surplus legal variants to microcode-disabled
+    // (#UD) status, scanning from the tail of the list.
+    std::size_t surplus = legal - targets.legal;
+    for (auto it = out.rbegin(); it != out.rend() && surplus > 0; ++it) {
+      if (it->legal() && it->extension != Extension::kBase) {
+        it->fault = FaultKind::kIllegalOpcode;
+        --surplus;
+      }
+    }
+  } else {
+    for (std::size_t i = legal; i < targets.legal; ++i) {
+      InstructionVariant v;
+      v.uid = uid++;
+      v.mnemonic = "NOP_ml" + std::to_string(i % 97) + "_" + std::to_string(i);
+      v.extension = Extension::kBase;
+      v.category = Category::kNopCat;
+      v.iclass = InstructionClass::kNop;
+      v.operand_width = static_cast<std::uint16_t>(8 << rng.uniform_index(4));
+      v.micro_ops = 1;
+      out.push_back(std::move(v));
+    }
+  }
+
+  // Pad the total with reserved/undefined encodings (#UD everywhere).
+  if (out.size() > targets.total) {
+    throw std::logic_error("IsaSpecification: catalog expansion exceeds target total");
+  }
+  const std::array<Category, 5> junk_cats = {
+      Category::kArith, Category::kSimd, Category::kDataXfer,
+      Category::kLogical, Category::kSystemOp};
+  std::size_t junk_idx = 0;
+  while (out.size() < targets.total) {
+    InstructionVariant v;
+    v.uid = uid++;
+    v.mnemonic = "RESERVED_ENC_" + std::to_string(junk_idx);
+    v.extension = Extension::kBase;
+    v.category = junk_cats[junk_idx % junk_cats.size()];
+    v.iclass = InstructionClass::kNop;
+    v.fault = FaultKind::kIllegalOpcode;
+    out.push_back(std::move(v));
+    ++junk_idx;
+  }
+  return spec;
+}
+
+std::vector<const InstructionVariant*> IsaSpecification::legal_variants() const {
+  std::vector<const InstructionVariant*> result;
+  result.reserve(variants_.size() / 4 + 1);
+  for (const auto& v : variants_) {
+    if (v.legal()) result.push_back(&v);
+  }
+  return result;
+}
+
+std::size_t IsaSpecification::legal_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(variants_.begin(), variants_.end(),
+                    [](const InstructionVariant& v) { return v.legal(); }));
+}
+
+double IsaSpecification::illegal_opcode_fault_fraction() const noexcept {
+  std::size_t faults = 0, ud = 0;
+  for (const auto& v : variants_) {
+    if (!v.legal()) {
+      ++faults;
+      if (v.fault == FaultKind::kIllegalOpcode) ++ud;
+    }
+  }
+  return faults == 0 ? 0.0 : static_cast<double>(ud) / static_cast<double>(faults);
+}
+
+const InstructionVariant& IsaSpecification::by_uid(std::uint32_t uid) const {
+  if (uid >= variants_.size() || variants_[uid].uid != uid) {
+    throw std::out_of_range("IsaSpecification::by_uid");
+  }
+  return variants_[uid];
+}
+
+}  // namespace aegis::isa

@@ -1,0 +1,137 @@
+// Synthetic machine-readable ISA specification.
+//
+// The paper obtains an attributed x86 instruction list from uops.info: each
+// *variant* (mnemonic + operand encoding) carries an extension (BASE, SSE,
+// AVX, ...) and a general category (ARITH, LOGICAL, ...), and only ~24 % of
+// variants execute legally on a given microarchitecture (Section VI-C).
+//
+// No uops.info dump ships with this repo, so IsaSpecification::generate()
+// synthesizes a list with the same structure and scale: ~14 k variants per
+// CPU built from a mnemonic catalog expanded over operand encodings, with
+// legality decided by the CPU's supported-extension set plus privilege
+// rules. The fuzzer performs the paper's cleanup step against this list by
+// actually test-executing every variant on the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/instruction_class.hpp"
+
+namespace aegis::isa {
+
+/// Processor models used across the paper's tables.
+enum class CpuModel : unsigned char {
+  kIntelXeonE5_1650,
+  kIntelXeonE5_4617,
+  kAmdEpyc7252,
+  kAmdEpyc7313P,
+};
+
+enum class Vendor : unsigned char { kIntel, kAmd };
+
+std::string_view to_string(CpuModel m) noexcept;
+Vendor vendor_of(CpuModel m) noexcept;
+/// CPUs in the same family expose near-identical HPC event lists (Table I).
+int family_of(CpuModel m) noexcept;
+
+/// ISA extension attribute, as in the uops.info "extension" field.
+enum class Extension : unsigned char {
+  kBase = 0,
+  kMmx,
+  kX87Fpu,
+  kSse,
+  kSse2,
+  kSse4,
+  kAvx,
+  kAvx2,
+  kAvx512,
+  kFma,
+  kBmi,
+  kAes,
+  kSha,
+  kTsx,       // Intel-only
+  kClflushOpt,
+  kSystem,    // privileged/system extension group
+  kCount
+};
+
+std::string_view to_string(Extension e) noexcept;
+
+/// General category attribute, as in the uops.info "category" field.
+enum class Category : unsigned char {
+  kArith = 0,
+  kLogical,
+  kDataXfer,
+  kBranch,
+  kFloat,
+  kSimd,
+  kStringOp,
+  kBitByte,
+  kCrypto,
+  kSemaphore,
+  kFlush,
+  kFence,
+  kSystemOp,
+  kNopCat,
+  kCount
+};
+
+std::string_view to_string(Category c) noexcept;
+
+/// Fault raised when an illegal variant is test-executed during cleanup.
+enum class FaultKind : unsigned char {
+  kNone = 0,           // executes normally
+  kIllegalOpcode,      // #UD — unsupported extension / bad encoding
+  kPrivilegeFault,     // #GP — ring-0 only instruction in user mode
+};
+
+/// One instruction variant: a mnemonic with a concrete operand encoding.
+struct InstructionVariant {
+  std::uint32_t uid = 0;
+  std::string mnemonic;           // e.g. "VADDPS_ymm_ymm_ymm"
+  Extension extension = Extension::kBase;
+  Category category = Category::kArith;
+  InstructionClass iclass = InstructionClass::kNop;
+  std::uint16_t operand_width = 64;  // bits
+  bool has_memory_operand = false;
+  std::uint8_t micro_ops = 1;        // dispatch cost in uops
+  std::uint16_t mem_bytes = 0;       // bytes touched if memory operand
+  bool is_store = false;             // memory operand is written
+  FaultKind fault = FaultKind::kNone;
+
+  bool legal() const noexcept { return fault == FaultKind::kNone; }
+};
+
+/// The full attributed variant list for one CPU model.
+class IsaSpecification {
+ public:
+  /// Deterministically builds the variant list for the given CPU.
+  static IsaSpecification generate(CpuModel model);
+
+  CpuModel model() const noexcept { return model_; }
+  const std::vector<InstructionVariant>& variants() const noexcept {
+    return variants_;
+  }
+
+  /// Variants that execute without fault on this CPU (the paper's cleaned
+  /// list; ~24 % of the total).
+  std::vector<const InstructionVariant*> legal_variants() const;
+
+  std::size_t total_count() const noexcept { return variants_.size(); }
+  std::size_t legal_count() const noexcept;
+
+  /// Of the faulting variants, the fraction that fault with #UD (paper:
+  /// ~98.8 % of all faults are illegal-opcode).
+  double illegal_opcode_fault_fraction() const noexcept;
+
+  const InstructionVariant& by_uid(std::uint32_t uid) const;
+
+ private:
+  CpuModel model_{};
+  std::vector<InstructionVariant> variants_;
+};
+
+}  // namespace aegis::isa

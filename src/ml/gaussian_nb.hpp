@@ -1,0 +1,24 @@
+// Gaussian naive Bayes classifier — a second, structurally different attack
+// model. The Fig. 9 defense claim is model-agnostic, so the evaluation
+// cross-checks the MLP results with this generative learner (and kNN).
+#pragma once
+
+#include <vector>
+
+#include "ml/mlp.hpp"  // FeatureMatrix / Labels aliases
+
+namespace aegis::ml {
+
+class GaussianNbClassifier {
+ public:
+  void fit(const FeatureMatrix& X, const Labels& y, int num_classes);
+  int predict(const std::vector<double>& x) const;
+  double accuracy(const FeatureMatrix& X, const Labels& y) const;
+
+ private:
+  std::vector<std::vector<double>> mu_;     // class x dim
+  std::vector<std::vector<double>> var_;    // class x dim
+  std::vector<double> log_prior_;
+};
+
+}  // namespace aegis::ml

@@ -1,0 +1,26 @@
+// k-nearest-neighbours classifier — the third attack-model family used to
+// cross-check that the defense degrades every learner, not just the MLP.
+#pragma once
+
+#include <vector>
+
+#include "ml/mlp.hpp"  // FeatureMatrix / Labels aliases
+
+namespace aegis::ml {
+
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(std::size_t k = 5) : k_(k) {}
+
+  void fit(FeatureMatrix X, Labels y, int num_classes);
+  int predict(const std::vector<double>& x) const;
+  double accuracy(const FeatureMatrix& X, const Labels& y) const;
+
+ private:
+  std::size_t k_;
+  int num_classes_ = 0;
+  FeatureMatrix X_;
+  Labels y_;
+};
+
+}  // namespace aegis::ml

@@ -1,0 +1,187 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace aegis::ml {
+
+void softmax(std::vector<double>& logits) noexcept {
+  const double peak = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (double& z : logits) {
+    z = std::exp(z - peak);
+    sum += z;
+  }
+  for (double& z : logits) z /= sum;
+}
+
+MlpClassifier::MlpClassifier(std::size_t input_dim, std::size_t num_classes,
+                             MlpConfig config)
+    : input_dim_(input_dim),
+      num_classes_(num_classes),
+      config_(std::move(config)),
+      rng_(config_.seed) {
+  std::size_t prev = input_dim_;
+  std::vector<std::size_t> sizes = config_.hidden;
+  sizes.push_back(num_classes_);
+  for (std::size_t out : sizes) {
+    Layer layer;
+    layer.in = prev;
+    layer.out = out;
+    layer.w.resize(out * prev);
+    layer.b.assign(out, 0.0);
+    layer.vw.assign(out * prev, 0.0);
+    layer.vb.assign(out, 0.0);
+    // He initialization for the ReLU stack.
+    const double scale = std::sqrt(2.0 / static_cast<double>(prev));
+    for (double& w : layer.w) w = rng_.normal(0.0, scale);
+    layers_.push_back(std::move(layer));
+    prev = out;
+  }
+}
+
+void MlpClassifier::forward(const std::vector<double>& x,
+                            std::vector<std::vector<double>>& activations) const {
+  activations.assign(layers_.size() + 1, {});
+  activations[0] = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const std::vector<double>& in = activations[l];
+    std::vector<double> out(layer.out);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      const double* row = &layer.w[o * layer.in];
+      double z = layer.b[o];
+      for (std::size_t i = 0; i < layer.in; ++i) z += row[i] * in[i];
+      // ReLU on hidden layers; logits on the last.
+      out[o] = (l + 1 < layers_.size() && z < 0.0) ? 0.0 : z;
+    }
+    activations[l + 1] = std::move(out);
+  }
+}
+
+std::vector<EpochStats> MlpClassifier::fit(const FeatureMatrix& X, const Labels& y,
+                                           const FeatureMatrix& X_val,
+                                           const Labels& y_val) {
+  if (X.size() != y.size()) throw std::invalid_argument("Mlp::fit: size mismatch");
+  std::vector<EpochStats> history;
+  if (X.empty()) return history;
+
+  std::vector<std::size_t> order(X.size());
+  std::iota(order.begin(), order.end(), 0);
+  double lr = config_.learning_rate;
+
+  // Gradient accumulators, reused across batches.
+  std::vector<std::vector<double>> grad_w(layers_.size()), grad_b(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    grad_w[l].assign(layers_[l].w.size(), 0.0);
+    grad_b[l].assign(layers_[l].b.size(), 0.0);
+  }
+
+  std::vector<std::vector<double>> acts;
+  std::vector<double> noisy;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+
+    for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
+      const std::size_t end = std::min(order.size(), start + config_.batch_size);
+      for (auto& g : grad_w) std::fill(g.begin(), g.end(), 0.0);
+      for (auto& g : grad_b) std::fill(g.begin(), g.end(), 0.0);
+
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const std::size_t idx = order[bi];
+        const std::vector<double>* input = &X[idx];
+        if (config_.input_noise > 0.0) {
+          noisy = X[idx];
+          for (double& v : noisy) v += rng_.normal(0.0, config_.input_noise);
+          input = &noisy;
+        }
+        forward(*input, acts);
+        std::vector<double> probs = acts.back();
+        softmax(probs);
+        const int label = y[idx];
+        loss_sum += -std::log(std::max(probs[static_cast<std::size_t>(label)], 1e-12));
+        const int pred = static_cast<int>(
+            std::max_element(probs.begin(), probs.end()) - probs.begin());
+        if (pred == label) ++correct;
+
+        // Backprop: delta at logits is probs - onehot.
+        std::vector<double> delta = std::move(probs);
+        delta[static_cast<std::size_t>(label)] -= 1.0;
+        for (std::size_t l = layers_.size(); l-- > 0;) {
+          const Layer& layer = layers_[l];
+          const std::vector<double>& in = acts[l];
+          for (std::size_t o = 0; o < layer.out; ++o) {
+            grad_b[l][o] += delta[o];
+            double* grow = &grad_w[l][o * layer.in];
+            for (std::size_t i = 0; i < layer.in; ++i) grow[i] += delta[o] * in[i];
+          }
+          if (l == 0) break;
+          std::vector<double> prev_delta(layer.in, 0.0);
+          for (std::size_t o = 0; o < layer.out; ++o) {
+            const double* row = &layer.w[o * layer.in];
+            const double d = delta[o];
+            for (std::size_t i = 0; i < layer.in; ++i) prev_delta[i] += row[i] * d;
+          }
+          // ReLU derivative via the stored (post-activation) values.
+          for (std::size_t i = 0; i < layer.in; ++i) {
+            if (acts[l][i] <= 0.0) prev_delta[i] = 0.0;
+          }
+          delta = std::move(prev_delta);
+        }
+      }
+
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        for (std::size_t k = 0; k < layer.w.size(); ++k) {
+          const double g = grad_w[l][k] * inv_batch + config_.weight_decay * layer.w[k];
+          layer.vw[k] = config_.momentum * layer.vw[k] - lr * g;
+          layer.w[k] += layer.vw[k];
+        }
+        for (std::size_t k = 0; k < layer.b.size(); ++k) {
+          const double g = grad_b[l][k] * inv_batch;
+          layer.vb[k] = config_.momentum * layer.vb[k] - lr * g;
+          layer.b[k] += layer.vb[k];
+        }
+      }
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = loss_sum / static_cast<double>(X.size());
+    stats.train_accuracy = static_cast<double>(correct) / static_cast<double>(X.size());
+    stats.val_accuracy = X_val.empty() ? 0.0 : accuracy(X_val, y_val);
+    history.push_back(stats);
+    lr *= config_.lr_decay;
+  }
+  return history;
+}
+
+std::vector<double> MlpClassifier::predict_proba(const std::vector<double>& x) const {
+  std::vector<std::vector<double>> acts;
+  forward(x, acts);
+  std::vector<double> probs = acts.back();
+  softmax(probs);
+  return probs;
+}
+
+int MlpClassifier::predict(const std::vector<double>& x) const {
+  const std::vector<double> probs = predict_proba(x);
+  return static_cast<int>(std::max_element(probs.begin(), probs.end()) -
+                          probs.begin());
+}
+
+double MlpClassifier::accuracy(const FeatureMatrix& X, const Labels& y) const {
+  if (X.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < X.size(); ++i) {
+    if (predict(X[i]) == y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(X.size());
+}
+
+}  // namespace aegis::ml

@@ -1,0 +1,96 @@
+#include "obf/injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aegis::obf {
+
+namespace {
+
+std::vector<WeightedGadget> unit_weights(const fuzzer::GadgetCover& cover) {
+  std::vector<WeightedGadget> gadgets;
+  gadgets.reserve(cover.gadgets.size());
+  for (const fuzzer::Gadget& g : cover.gadgets) {
+    gadgets.push_back(WeightedGadget{g, 1.0});
+  }
+  return gadgets;
+}
+
+}  // namespace
+
+NoiseInjector::NoiseInjector(const isa::IsaSpecification& spec,
+                             const fuzzer::GadgetCover& cover, double unit_reps,
+                             double clip_norm)
+    : NoiseInjector(spec, unit_weights(cover), unit_reps, clip_norm) {}
+
+NoiseInjector::NoiseInjector(const isa::IsaSpecification& spec,
+                             const std::vector<WeightedGadget>& gadgets,
+                             double unit_reps, double clip_norm)
+    : unit_reps_(unit_reps), clip_norm_(clip_norm) {
+  if (gadgets.empty()) {
+    throw std::invalid_argument("NoiseInjector: empty gadget cover");
+  }
+  for (const WeightedGadget& wg : gadgets) {
+    sim::InstructionBlock block =
+        sim::InstructionBlock::from_variant(spec.by_uid(wg.gadget.reset_uid),
+                                            1.0, sim::kInjectedNoiseRegion)
+            .scaled(wg.weight);
+    block += sim::InstructionBlock::from_variant(
+                 spec.by_uid(wg.gadget.trigger_uid), 1.0,
+                 sim::kInjectedNoiseRegion)
+                 .scaled(wg.weight);
+    segment_ += block;
+    per_gadget_.push_back(std::move(block));
+  }
+  gadget_count_ = gadgets.size();
+}
+
+double NoiseInjector::inject_mixture(sim::VirtualMachine& vm,
+                                     std::span<const double> noise_norms) {
+  if (noise_norms.size() != per_gadget_.size()) {
+    throw std::invalid_argument("inject_mixture: one draw per gadget required");
+  }
+  const double max_chunk_uops = 50e3;
+  double reps_total = 0.0;
+  for (std::size_t g = 0; g < per_gadget_.size(); ++g) {
+    const double clipped = std::clamp(noise_norms[g], 0.0, clip_norm_);
+    const double reps = clipped * unit_reps_;
+    if (reps <= 0.0) continue;
+    reps_total += reps;
+    const double uops_per_rep = std::max(per_gadget_[g].uops, 1.0);
+    const double max_reps = std::max(1.0, max_chunk_uops / uops_per_rep);
+    double remaining = reps;
+    while (remaining > 0.0) {
+      const double chunk = std::min(remaining, max_reps);
+      vm.submit(per_gadget_[g].scaled(chunk));
+      remaining -= chunk;
+    }
+  }
+  const double mean_reps =
+      reps_total / static_cast<double>(per_gadget_.size());
+  total_reps_ += mean_reps;
+  return mean_reps;
+}
+
+double NoiseInjector::inject(sim::VirtualMachine& vm, double noise_norm) {
+  // Paper: each noise element is truncated by the clip bound [0, B_u]
+  // (repetition counts cannot be negative).
+  const double clipped = std::clamp(noise_norm, 0.0, clip_norm_);
+  const double reps = clipped * unit_reps_;
+  if (reps <= 0.0) return 0.0;
+  // Submit in bounded chunks so one injection cannot monopolize a slice's
+  // cycle budget in a single unsplittable block.
+  const double max_chunk_uops = 50e3;
+  const double uops_per_rep = std::max(segment_.uops, 1.0);
+  const double max_reps_per_chunk = std::max(1.0, max_chunk_uops / uops_per_rep);
+  double remaining = reps;
+  while (remaining > 0.0) {
+    const double chunk = std::min(remaining, max_reps_per_chunk);
+    vm.submit(segment_.scaled(chunk));
+    remaining -= chunk;
+  }
+  total_reps_ += reps;
+  return reps;
+}
+
+}  // namespace aegis::obf

@@ -1,0 +1,26 @@
+#include "obf/kernel_controller.hpp"
+
+namespace aegis::obf {
+
+KernelController::KernelController(const pmu::EventDatabase& db,
+                                   std::uint32_t reference_event,
+                                   double noise_unit)
+    : event_(&db.by_id(reference_event)),
+      noise_unit_(noise_unit > 0.0 ? noise_unit : 1.0) {}
+
+void KernelController::sample(const sim::VirtualMachine& vm) {
+  const double raw = event_->response.expected_count(vm.last_slice_stats());
+  channel_.push_back(raw / noise_unit_);
+  // A netlink socket buffer is bounded; the daemon keeps up in practice,
+  // but drop oldest on overflow rather than block the kernel side.
+  if (channel_.size() > 1024) channel_.pop_front();
+}
+
+double KernelController::dequeue() noexcept {
+  if (channel_.empty()) return 0.0;
+  const double value = channel_.front();
+  channel_.pop_front();
+  return value;
+}
+
+}  // namespace aegis::obf

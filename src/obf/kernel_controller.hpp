@@ -1,0 +1,42 @@
+// Kernel-module controller (paper Section VII-C, Fig. 7).
+//
+// Inside the guest, a kernel module launches the protection service and —
+// when the d* mechanism is active — reads the protected HPC event's
+// real-time value with RDPMC, forwarding it to the userspace daemon over a
+// netlink socket. In the simulator, the in-guest RDPMC view of the last
+// slice is VirtualMachine::last_slice_stats(); the netlink channel is a
+// bounded queue between controller and daemon.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "pmu/event_database.hpp"
+#include "sim/virtual_machine.hpp"
+
+namespace aegis::obf {
+
+class KernelController {
+ public:
+  /// `reference_event` is the protected series the mechanism normalizes
+  /// over; `noise_unit` is the raw-count value of 1.0 normalized units.
+  KernelController(const pmu::EventDatabase& db, std::uint32_t reference_event,
+                   double noise_unit);
+
+  /// RDPMC sample of the reference event over the VM's last slice,
+  /// normalized. Enqueued on the netlink channel.
+  void sample(const sim::VirtualMachine& vm);
+
+  /// Daemon side: drains the oldest queued sample (0 if none yet — the
+  /// first slice of a run has no RDPMC history).
+  double dequeue() noexcept;
+
+  std::size_t queued() const noexcept { return channel_.size(); }
+
+ private:
+  const pmu::EventDescriptor* event_;
+  double noise_unit_;
+  std::deque<double> channel_;  // netlink socket stand-in
+};
+
+}  // namespace aegis::obf

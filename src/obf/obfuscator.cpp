@@ -1,0 +1,127 @@
+#include "obf/obfuscator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace aegis::obf {
+
+std::vector<EventCalibration> calibrate_events(
+    const pmu::EventDatabase& db, const std::vector<std::uint32_t>& event_ids,
+    const std::vector<std::unique_ptr<workload::Workload>>& secrets,
+    std::size_t runs_per_secret, std::uint64_t seed,
+    const sim::VmConfig& vm_config) {
+  util::Rng rng(seed);
+  std::vector<EventCalibration> calibrations;
+  calibrations.reserve(event_ids.size());
+  constexpr std::size_t kGroup = pmu::EventDatabase::kNumCounters;
+
+  for (std::size_t base = 0; base < event_ids.size(); base += kGroup) {
+    std::vector<std::uint32_t> group(
+        event_ids.begin() + static_cast<std::ptrdiff_t>(base),
+        event_ids.begin() +
+            static_cast<std::ptrdiff_t>(std::min(event_ids.size(), base + kGroup)));
+    std::vector<std::vector<double>> samples(group.size());
+    for (const auto& secret : secrets) {
+      for (std::size_t run = 0; run < runs_per_secret; ++run) {
+        sim::VirtualMachine vm(vm_config, rng.next_u64());
+        sim::HostMonitor monitor(db, rng.next_u64());
+        const sim::MonitorResult result =
+            monitor.monitor(vm, secret->visit(rng.next_u64()), group,
+                            secret->trace_slices());
+        for (const auto& row : result.samples) {
+          for (std::size_t e = 0; e < group.size(); ++e) {
+            samples[e].push_back(row[e]);
+          }
+        }
+      }
+    }
+    for (std::size_t e = 0; e < group.size(); ++e) {
+      EventCalibration cal;
+      cal.event_id = group[e];
+      cal.mean = util::mean(samples[e]);
+      cal.stddev = util::stddev(samples[e]);
+      cal.peak = util::max_value(samples[e]);
+      calibrations.push_back(cal);
+    }
+  }
+  return calibrations;
+}
+
+EventObfuscator::EventObfuscator(const pmu::EventDatabase& db,
+                                 const isa::IsaSpecification& spec,
+                                 fuzzer::GadgetCover cover,
+                                 ObfuscatorConfig config)
+    : db_(&db),
+      spec_(&spec),
+      cover_(std::move(cover)),
+      config_(config),
+      session_seeds_(config.seed ^ 0x0BF5ULL) {
+  for (const auto& [event, delta] : cover_.segment_effect) {
+    if (event == config_.reference_event) {
+      reference_delta_ = std::max(delta, 1e-9);
+      break;
+    }
+  }
+}
+
+sim::SliceAgent EventObfuscator::session() {
+  ++sessions_;
+  dp::MechanismConfig mech = config_.mechanism;
+  mech.seed = session_seeds_.next_u64();
+
+  auto controller = std::make_shared<KernelController>(
+      *db_, config_.reference_event, config_.reference_sigma);
+  auto injector =
+      config_.weighted_segment.empty()
+          ? std::make_shared<NoiseInjector>(*spec_, cover_, config_.unit_reps,
+                                            config_.clip_norm)
+          : std::make_shared<NoiseInjector>(*spec_, config_.weighted_segment,
+                                            config_.unit_reps,
+                                            config_.clip_norm);
+  // One independent noise stream per gadget: a single stream would put all
+  // injected counts on one fixed direction in event space, which a
+  // defense-aware attacker could project out (see NoiseInjector::
+  // inject_mixture).
+  const std::size_t streams =
+      config_.single_stream ? 1 : injector->gadget_count();
+  auto calculators = std::make_shared<std::vector<NoiseCalculator>>();
+  for (std::size_t g = 0; g < streams; ++g) {
+    dp::MechanismConfig per_gadget = mech;
+    per_gadget.seed = session_seeds_.next_u64();
+    calculators->emplace_back(per_gadget);
+  }
+  std::shared_ptr<double> total_reps = total_reps_;
+
+  return [calculators, controller, injector, total_reps](
+             sim::VirtualMachine& vm, std::size_t t) {
+    (void)t;
+    // Kernel module: RDPMC the protected series (previous slice) and send
+    // it to the daemon over the netlink channel.
+    controller->sample(vm);
+    const double x_t = controller->dequeue();
+    // Userspace daemon: compute per-gadget noise and inject.
+    const double before = injector->total_repetitions();
+    if (calculators->size() == 1) {
+      injector->inject(vm, (*calculators)[0].noise_for(x_t));
+    } else {
+      std::vector<double> noise(calculators->size());
+      for (std::size_t g = 0; g < noise.size(); ++g) {
+        noise[g] = (*calculators)[g].noise_for(x_t);
+      }
+      injector->inject_mixture(vm, noise);
+    }
+    *total_reps += injector->total_repetitions() - before;
+  };
+}
+
+double EventObfuscator::total_injected_repetitions() const noexcept {
+  return *total_reps_;
+}
+
+double EventObfuscator::total_injected_reference_counts() const noexcept {
+  return *total_reps_ * reference_delta_;
+}
+
+}  // namespace aegis::obf

@@ -1,0 +1,109 @@
+#include "pmu/counter_file.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aegis::pmu {
+
+CounterRegisterFile::CounterRegisterFile(const EventDatabase& db,
+                                         std::uint64_t noise_seed)
+    : db_(&db), rng_(noise_seed) {}
+
+void CounterRegisterFile::program(std::vector<std::uint32_t> event_ids) {
+  for (std::uint32_t id : event_ids) {
+    (void)db_->by_id(id);  // validate
+  }
+  ids_ = std::move(event_ids);
+  slots_.clear();
+  slots_.reserve(ids_.size());
+  for (std::uint32_t id : ids_) slots_.push_back(Slot{id, 0.0, 0});
+  active_group_ = 0;
+  total_slices_ = 0;
+}
+
+void CounterRegisterFile::reset() noexcept {
+  for (auto& s : slots_) {
+    s.count = 0.0;
+    s.active_slices = 0;
+  }
+  active_group_ = 0;
+  total_slices_ = 0;
+}
+
+std::size_t CounterRegisterFile::group_count() const noexcept {
+  const std::size_t c = EventDatabase::kNumCounters;
+  return slots_.empty() ? 1 : (slots_.size() + c - 1) / c;
+}
+
+bool CounterRegisterFile::slot_active(std::size_t slot_index) const noexcept {
+  return slot_index / EventDatabase::kNumCounters == active_group_;
+}
+
+std::size_t CounterRegisterFile::slot_of(std::uint32_t event_id) const {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].event_id == event_id) return i;
+  }
+  throw std::invalid_argument("CounterRegisterFile: event not programmed");
+}
+
+void CounterRegisterFile::accumulate(const ExecutionStats& stats) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slot_active(i)) continue;
+    const EventResponse& r = db_->by_id(slots_[i].event_id).response;
+    const double expected = r.expected_count(stats);
+    double noisy = expected;
+    if (r.noise_rel > 0.0f && expected > 0.0) {
+      noisy += rng_.normal(0.0, r.noise_rel * expected);
+    }
+    if (noisy < 0.0) noisy = 0.0;
+    slots_[i].count += noisy;
+  }
+}
+
+void CounterRegisterFile::end_slice() {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slot_active(i)) continue;
+    const EventResponse& r = db_->by_id(slots_[i].event_id).response;
+    double background = 0.0;
+    if (r.host_background > 0.0f) {
+      background += static_cast<double>(
+          rng_.poisson(static_cast<double>(r.host_background)));
+    }
+    if (r.noise_abs > 0.0f) {
+      background += std::abs(rng_.normal(0.0, r.noise_abs));
+    }
+    slots_[i].count += background;
+    ++slots_[i].active_slices;
+  }
+  ++total_slices_;
+  if (multiplexed()) {
+    active_group_ = (active_group_ + 1) % group_count();
+  }
+}
+
+void CounterRegisterFile::tick(const ExecutionStats& stats) {
+  accumulate(stats);
+  end_slice();
+}
+
+double CounterRegisterFile::read(std::uint32_t event_id) const {
+  const Slot& s = slots_[slot_of(event_id)];
+  if (!multiplexed()) return s.count;
+  if (s.active_slices == 0) return 0.0;
+  // perf's enabled/running scaling: extrapolate to the full window.
+  return s.count * static_cast<double>(total_slices_) /
+         static_cast<double>(s.active_slices);
+}
+
+double CounterRegisterFile::read_raw(std::uint32_t event_id) const {
+  return slots_[slot_of(event_id)].count;
+}
+
+std::vector<double> CounterRegisterFile::read_all() const {
+  std::vector<double> out;
+  out.reserve(slots_.size());
+  for (const auto& s : slots_) out.push_back(read(s.event_id));
+  return out;
+}
+
+}  // namespace aegis::pmu

@@ -1,0 +1,74 @@
+// Hardware counter register file with perf-style time multiplexing.
+//
+// Both testbed CPUs expose 4 programmable counter registers. Monitoring
+// more than 4 events forces the perf subsystem to time-multiplex groups and
+// scale counts by enabled/running time — an accuracy loss the paper's
+// profiler avoids by monitoring exactly 4 events per run (Section V-B).
+// This class reproduces both behaviours, plus the per-read measurement
+// noise that makes HPC values non-deterministic (C2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pmu/event_database.hpp"
+#include "util/rng.hpp"
+
+namespace aegis::pmu {
+
+class CounterRegisterFile {
+ public:
+  CounterRegisterFile(const EventDatabase& db, std::uint64_t noise_seed);
+
+  /// Programs the set of monitored events and zeroes all counts. More than
+  /// EventDatabase::kNumCounters ids enables multiplexing.
+  void program(std::vector<std::uint32_t> event_ids);
+
+  /// Zeroes counts and multiplexing bookkeeping, keeping the programming.
+  void reset() noexcept;
+
+  /// Accounts one batch of executed work into the currently-active group,
+  /// applying each event's response and measurement noise. Does not rotate.
+  void accumulate(const ExecutionStats& stats);
+
+  /// Per-slice host-side effects: background counting of host-only events
+  /// and multiplex rotation. Call once per monitoring slice.
+  void end_slice();
+
+  /// Convenience: accumulate + end_slice.
+  void tick(const ExecutionStats& stats);
+
+  /// Multiplex-scaled count (count * total_time / active_time), as perf
+  /// reports it. Throws if the event is not programmed.
+  double read(std::uint32_t event_id) const;
+
+  /// Raw accumulated count with no multiplex scaling (RDPMC view).
+  double read_raw(std::uint32_t event_id) const;
+
+  std::vector<double> read_all() const;
+
+  bool multiplexed() const noexcept {
+    return slots_.size() > EventDatabase::kNumCounters;
+  }
+  const std::vector<std::uint32_t>& programmed() const noexcept { return ids_; }
+
+ private:
+  struct Slot {
+    std::uint32_t event_id = 0;
+    double count = 0.0;
+    std::uint64_t active_slices = 0;
+  };
+
+  std::size_t group_count() const noexcept;
+  bool slot_active(std::size_t slot_index) const noexcept;
+  std::size_t slot_of(std::uint32_t event_id) const;
+
+  const EventDatabase* db_;
+  util::Rng rng_;
+  std::vector<std::uint32_t> ids_;
+  std::vector<Slot> slots_;
+  std::size_t active_group_ = 0;
+  std::uint64_t total_slices_ = 0;
+};
+
+}  // namespace aegis::pmu

@@ -1,0 +1,154 @@
+#include "profiler/profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "trace/pca.hpp"
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+#include "workload/idle.hpp"
+
+namespace aegis::profiler {
+
+ApplicationProfiler::ApplicationProfiler(const pmu::EventDatabase& db,
+                                         ProfilerConfig config)
+    : db_(&db), config_(config) {}
+
+WarmupReport ApplicationProfiler::warmup(const workload::Workload& application) {
+  const auto start = std::chrono::steady_clock::now();
+  WarmupReport report;
+  report.total_events = db_->size();
+  report.before_by_type = db_->count_by_type();
+
+  util::Rng rng(config_.seed);
+  const workload::IdleWorkload idle(config_.warmup_slices);
+  constexpr std::size_t kGroup = pmu::EventDatabase::kNumCounters;
+
+  for (std::uint32_t base = 0; base < db_->size(); base += kGroup) {
+    std::vector<std::uint32_t> group;
+    for (std::uint32_t id = base; id < db_->size() && id < base + kGroup; ++id) {
+      group.push_back(id);
+    }
+    // Repeat the idle/active comparison; the median change decides, which
+    // averages out interrupt noise and host background (C2).
+    std::vector<std::vector<double>> rel_changes(group.size());
+    std::vector<std::vector<double>> abs_changes(group.size());
+    for (std::size_t rep = 0; rep < config_.warmup_repeats; ++rep) {
+      sim::VirtualMachine idle_vm(config_.vm, rng.next_u64());
+      sim::HostMonitor idle_monitor(*db_, rng.next_u64());
+      const std::vector<double> idle_counts = idle_monitor.totals(
+          idle_vm, idle.visit(rng.next_u64()), group, config_.warmup_slices);
+
+      sim::VirtualMachine active_vm(config_.vm, rng.next_u64());
+      sim::HostMonitor active_monitor(*db_, rng.next_u64());
+      const std::vector<double> active_counts = active_monitor.totals(
+          active_vm, application.visit(rng.next_u64()), group,
+          config_.warmup_slices);
+
+      for (std::size_t e = 0; e < group.size(); ++e) {
+        const double diff = std::abs(active_counts[e] - idle_counts[e]);
+        const double base_count = std::max(idle_counts[e], 1.0);
+        rel_changes[e].push_back(diff / base_count);
+        abs_changes[e].push_back(diff);
+      }
+    }
+    for (std::size_t e = 0; e < group.size(); ++e) {
+      if (util::median(rel_changes[e]) > config_.warmup_rel_change &&
+          util::median(abs_changes[e]) > config_.warmup_abs_change) {
+        report.surviving.push_back(group[e]);
+      }
+    }
+  }
+
+  for (std::uint32_t id : report.surviving) {
+    ++report.after_by_type[static_cast<std::size_t>(db_->by_id(id).type)];
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+std::vector<EventRank> ApplicationProfiler::rank(
+    const std::vector<std::unique_ptr<workload::Workload>>& secrets,
+    const std::vector<std::uint32_t>& event_ids) {
+  util::Rng rng(config_.seed ^ 0x4A11ULL);
+  std::vector<EventRank> ranks;
+  ranks.reserve(event_ids.size());
+  constexpr std::size_t kGroup = pmu::EventDatabase::kNumCounters;
+
+  for (std::size_t base = 0; base < event_ids.size(); base += kGroup) {
+    std::vector<std::uint32_t> group(
+        event_ids.begin() + static_cast<std::ptrdiff_t>(base),
+        event_ids.begin() +
+            static_cast<std::ptrdiff_t>(std::min(event_ids.size(), base + kGroup)));
+
+    // One run yields a trace for all 4 events of the group at once.
+    // features[e][s] = per-run pooled series for event e under secret s.
+    std::vector<std::vector<std::vector<std::vector<double>>>> pooled(
+        group.size(),
+        std::vector<std::vector<std::vector<double>>>(secrets.size()));
+    for (std::size_t s = 0; s < secrets.size(); ++s) {
+      for (std::size_t run = 0; run < config_.ranking_runs_per_secret; ++run) {
+        sim::VirtualMachine vm(config_.vm, rng.next_u64());
+        sim::HostMonitor monitor(*db_, rng.next_u64());
+        const sim::MonitorResult r =
+            monitor.monitor(vm, secrets[s]->visit(rng.next_u64()), group,
+                            secrets[s]->trace_slices());
+        trace::Trace t;
+        t.samples = r.samples;
+        const std::vector<double> all =
+            t.window_features(config_.feature_windows);
+        const std::size_t w = all.size() / group.size();
+        for (std::size_t e = 0; e < group.size(); ++e) {
+          pooled[e][s].emplace_back(all.begin() + static_cast<std::ptrdiff_t>(e * w),
+                                    all.begin() + static_cast<std::ptrdiff_t>((e + 1) * w));
+        }
+      }
+    }
+
+    for (std::size_t e = 0; e < group.size(); ++e) {
+      // PCA over every run of this event, then per-secret Gaussian fits.
+      std::vector<std::vector<double>> flat;
+      for (const auto& per_secret : pooled[e]) {
+        flat.insert(flat.end(), per_secret.begin(), per_secret.end());
+      }
+      trace::Pca pca;
+      pca.fit(flat, 1);
+      std::vector<std::vector<double>> values_by_secret(secrets.size());
+      for (std::size_t s = 0; s < secrets.size(); ++s) {
+        for (const auto& feat : pooled[e][s]) {
+          values_by_secret[s].push_back(pca.first_component(feat));
+        }
+      }
+      const trace::SecretGaussianModel model =
+          trace::SecretGaussianModel::fit(values_by_secret);
+      ranks.push_back(EventRank{group[e], trace::mutual_information_eq1(model)});
+    }
+  }
+
+  std::sort(ranks.begin(), ranks.end(), [](const EventRank& a, const EventRank& b) {
+    return a.mutual_information > b.mutual_information;
+  });
+  return ranks;
+}
+
+double ApplicationProfiler::warmup_time_hours(std::size_t total_events,
+                                              double t_w_seconds,
+                                              std::size_t counters) {
+  return static_cast<double>(total_events) * t_w_seconds * 2.0 /
+         static_cast<double>(counters) / 3600.0;
+}
+
+double ApplicationProfiler::ranking_time_hours(std::size_t surviving_events,
+                                               std::size_t secrets,
+                                               std::size_t runs,
+                                               double t_p_seconds,
+                                               std::size_t counters) {
+  return static_cast<double>(surviving_events) * static_cast<double>(secrets) *
+         static_cast<double>(runs) * t_p_seconds /
+         static_cast<double>(counters) / 3600.0;
+}
+
+}  // namespace aegis::profiler

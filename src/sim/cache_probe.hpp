@@ -1,0 +1,38 @@
+// Cache-occupancy probe (paper Section X future work: generalizing the
+// framework to cache side channels).
+//
+// A co-resident attacker repeatedly sweeps a probe buffer and counts its
+// own misses: the victim's memory activity evicts probe lines, so the
+// per-slice probe-miss series tracks the victim's cache pressure — the
+// cache-occupancy website-fingerprinting channel of Shusterman et al.
+// (the paper's [63]). The probe itself also evicts victim data, exactly as
+// on real hardware. The Event Obfuscator's injected gadget segments touch
+// memory too, so the same defense obfuscates this channel.
+#pragma once
+
+#include "sim/uarch_state.hpp"
+
+namespace aegis::sim {
+
+class CacheProbe {
+ public:
+  /// `region` must be disjoint from the victim's regions; `probe_bytes`
+  /// is the sweep size (a large fraction of the LLC for occupancy probes).
+  CacheProbe(RegionId region, double probe_bytes)
+      : region_(region), probe_bytes_(probe_bytes) {}
+
+  /// One probe sweep: returns the probe's own LLC miss count (what the
+  /// attacker's timing loop measures) and re-installs the probe buffer.
+  double probe(MicroArchState& uarch) {
+    return uarch.access(region_, probe_bytes_, 1.0).llc_misses;
+  }
+
+  RegionId region() const noexcept { return region_; }
+  double probe_bytes() const noexcept { return probe_bytes_; }
+
+ private:
+  RegionId region_;
+  double probe_bytes_;
+};
+
+}  // namespace aegis::sim

@@ -1,0 +1,50 @@
+#include "sim/executor.hpp"
+
+namespace aegis::sim {
+
+pmu::ExecutionStats execute_block(const InstructionBlock& block,
+                                  MicroArchState& uarch, const CostModel& cost) {
+  using isa::InstructionClass;
+  pmu::ExecutionStats s;
+  s.class_counts = block.class_counts;
+  s.uops = block.uops;
+
+  // Memory behaviour.
+  const double lines_read = block.read_bytes / MicroArchState::kLineBytes;
+  const double lines_written = block.write_bytes / MicroArchState::kLineBytes;
+  s.mem_reads = lines_read;
+  s.mem_writes = lines_written;
+  s.l1_writes = lines_written;
+  const double touched = block.read_bytes + block.write_bytes;
+  if (touched > 0.0) {
+    const MemoryAccessResult misses =
+        uarch.access(block.region, touched, block.locality);
+    s.l1_misses = misses.l1_misses;
+    s.llc_misses = misses.llc_misses;
+  }
+  if (block.flush_all) {
+    uarch.flush_all();
+  } else if (block.flush_bytes > 0.0) {
+    uarch.flush(block.region, block.flush_bytes);
+  }
+
+  // Branch behaviour.
+  const double branches = block.class_counts[InstructionClass::kBranch] +
+                          block.class_counts[InstructionClass::kCall];
+  s.branch_mispredicts =
+      uarch.run_branches(block.region, branches, block.branch_entropy);
+
+  // Cycle accounting.
+  double cycles = s.uops / cost.issue_width;
+  cycles += s.l1_misses * cost.l1_miss_cycles;
+  cycles += s.llc_misses * cost.llc_miss_cycles;
+  cycles += s.branch_mispredicts * cost.branch_miss_cycles;
+  cycles += block.serialize_count * cost.serialize_cycles;
+  cycles += block.class_counts[InstructionClass::kIntDiv] * cost.int_div_extra;
+  cycles += block.class_counts[InstructionClass::kFpDiv] * cost.fp_div_extra;
+  cycles += block.class_counts[InstructionClass::kX87] * 2.0;
+  s.cycles = cycles;
+  return s;
+}
+
+}  // namespace aegis::sim

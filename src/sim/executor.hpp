@@ -1,0 +1,30 @@
+// Block executor: turns an InstructionBlock plus the current MicroArchState
+// into the ExecutionStats record that PMU event responses consume, and
+// charges cycle costs (the basis of the Fig. 10 latency / CPU-usage
+// overhead measurements).
+#pragma once
+
+#include "pmu/event_model.hpp"
+#include "sim/instruction_block.hpp"
+#include "sim/uarch_state.hpp"
+
+namespace aegis::sim {
+
+/// Pipeline cost constants for a generic 4-wide out-of-order core.
+struct CostModel {
+  double issue_width = 4.0;
+  double l1_miss_cycles = 12.0;
+  double llc_miss_cycles = 90.0;
+  double branch_miss_cycles = 16.0;
+  double serialize_cycles = 120.0;
+  double int_div_extra = 18.0;
+  double fp_div_extra = 10.0;
+};
+
+/// Executes one block against the micro-architectural state; returns the
+/// observable activity record.
+pmu::ExecutionStats execute_block(const InstructionBlock& block,
+                                  MicroArchState& uarch,
+                                  const CostModel& cost = CostModel{});
+
+}  // namespace aegis::sim

@@ -1,0 +1,99 @@
+#include "sim/gadget_runner.hpp"
+
+#include <stdexcept>
+
+#include "sim/executor.hpp"
+
+namespace aegis::sim {
+
+namespace {
+
+/// Prolog: saves callee-saved registers, carves one page of stack scratch,
+/// initializes memory-operand registers to the writable data page. Mostly
+/// stores plus a serializing fence; runs OUTSIDE the measured window but
+/// still perturbs cache state (one source of C5 side effects).
+InstructionBlock make_prolog() {
+  InstructionBlock b;
+  b.region = kScratchRegion;
+  b.class_counts[isa::InstructionClass::kStore] = 20;
+  b.class_counts[isa::InstructionClass::kMov] = 16;
+  b.class_counts[isa::InstructionClass::kSerialize] = 1;
+  b.uops = 60;
+  b.write_bytes = 4096;  // the scratch page
+  b.serialize_count = 1;
+  b.locality = 1.0;
+  return b;
+}
+
+InstructionBlock make_epilog() {
+  InstructionBlock b;
+  b.region = kScratchRegion;
+  b.class_counts[isa::InstructionClass::kLoad] = 20;
+  b.class_counts[isa::InstructionClass::kMov] = 16;
+  b.class_counts[isa::InstructionClass::kSerialize] = 1;
+  b.uops = 60;
+  b.read_bytes = 256;  // register restore area
+  b.serialize_count = 1;
+  b.locality = 1.0;
+  return b;
+}
+
+}  // namespace
+
+GadgetRunner::GadgetRunner(const pmu::EventDatabase& db,
+                           const isa::IsaSpecification& spec, std::uint64_t seed)
+    : spec_(&spec), rng_(seed), counters_(db, rng_.next_u64()) {
+  // isolcpus + core pinning: almost no external interference.
+  config_.interrupt_rate = 0.002;
+}
+
+void GadgetRunner::program(std::vector<std::uint32_t> event_ids) {
+  if (event_ids.size() > pmu::EventDatabase::kNumCounters) {
+    throw std::invalid_argument(
+        "GadgetRunner: at most 4 events can be measured concurrently");
+  }
+  counters_.program(std::move(event_ids));
+}
+
+std::vector<double> GadgetRunner::execute_once(
+    std::span<const std::uint32_t> variant_uids, double unroll) {
+  // Prolog runs before the first RDPMC.
+  (void)execute_block(make_prolog(), uarch_);
+
+  std::vector<double> before;
+  before.reserve(counters_.programmed().size());
+  for (std::uint32_t id : counters_.programmed()) {
+    before.push_back(counters_.read_raw(id));
+  }
+
+  // Measured window: the generated instruction sequence. A rare interrupt
+  // can still land inside (the residual C2 noise the fuzzer's repetition
+  // machinery has to average out).
+  for (std::uint32_t uid : variant_uids) {
+    const isa::InstructionVariant& v = spec_->by_uid(uid);
+    if (!v.legal()) {
+      throw std::invalid_argument("GadgetRunner: illegal variant " + v.mnemonic);
+    }
+    pmu::ExecutionStats stats = execute_block(
+        InstructionBlock::from_variant(v, unroll, kGadgetDataRegion), uarch_);
+    if (rng_.bernoulli(config_.interrupt_rate)) {
+      stats.interrupts += 1.0;
+      stats.cycles += config_.interrupt_cycles;
+      stats.uops += config_.interrupt_uops;
+    }
+    counters_.accumulate(stats);
+  }
+
+  std::vector<double> delta(before.size());
+  const auto& ids = counters_.programmed();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    delta[i] = counters_.read_raw(ids[i]) - before[i];
+  }
+
+  (void)execute_block(make_epilog(), uarch_);
+  return delta;
+}
+
+void GadgetRunner::reset_machine_state() { uarch_ = MicroArchState{}; }
+
+}  // namespace aegis::sim

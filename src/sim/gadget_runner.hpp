@@ -1,0 +1,58 @@
+// Fuzzing execution environment (paper Section VI-D).
+//
+// Reproduces the paper's measurement discipline for gadget fuzzing:
+//   * the process is pinned to an isolated core (isolcpus) -> near-zero
+//     interrupt rate, but not exactly zero;
+//   * generated code runs between a prolog and epilog that save state and
+//     point all memory operands at one pre-allocated writable page
+//     (kScratchRegion);
+//   * serializing instructions (CPUID) fence the measured window;
+//   * HPC values are read with RDPMC before and after the gadget.
+// Micro-architectural state deliberately persists across measurements —
+// gadgets fuzzed back-to-back inherit each other's cache dirt (C6), which
+// Event Fuzzer's confirmation stage has to detect and reject.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "isa/spec.hpp"
+#include "pmu/counter_file.hpp"
+#include "sim/virtual_machine.hpp"
+
+namespace aegis::sim {
+
+class GadgetRunner {
+ public:
+  GadgetRunner(const pmu::EventDatabase& db, const isa::IsaSpecification& spec,
+               std::uint64_t seed);
+
+  /// Programs the events measured by subsequent executions (<= 4, the
+  /// hardware register limit).
+  void program(std::vector<std::uint32_t> event_ids);
+
+  /// Executes the instruction sequence (each uid repeated `unroll` times,
+  /// uids in order: reset sequence then trigger sequence) once inside the
+  /// prolog/epilog + serialization harness, and returns the per-event HPC
+  /// count deltas across the measured window.
+  std::vector<double> execute_once(std::span<const std::uint32_t> variant_uids,
+                                   double unroll = 8.0);
+
+  /// Clears cache/predictor state (a fresh process image). Tests use this;
+  /// the fuzzer intentionally does NOT between gadgets.
+  void reset_machine_state();
+
+  const std::vector<std::uint32_t>& programmed() const noexcept {
+    return counters_.programmed();
+  }
+
+ private:
+  const isa::IsaSpecification* spec_;
+  VmConfig config_;
+  util::Rng rng_;
+  MicroArchState uarch_;
+  pmu::CounterRegisterFile counters_;
+};
+
+}  // namespace aegis::sim

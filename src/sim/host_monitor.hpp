@@ -1,0 +1,66 @@
+// Host-side HPC sampling (the attacker's and the profiler's viewpoint).
+//
+// The malicious hypervisor reads the HPC registers mapped to a victim vCPU
+// every sampling interval (1 ms in the paper), producing a per-event
+// time series of count deltas. HostMonitor drives a VirtualMachine for T
+// slices, feeding it workload blocks and letting an optional in-guest agent
+// (the Event Obfuscator) inject blocks first, then records the per-slice
+// counter deltas — exactly the 4 x T tensors the paper's attacks train on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pmu/counter_file.hpp"
+#include "sim/cache_probe.hpp"
+#include "sim/virtual_machine.hpp"
+
+namespace aegis::sim {
+
+/// Supplies the guest workload's blocks for slice t (empty = idle).
+using BlockSource = std::function<std::vector<InstructionBlock>(std::size_t)>;
+
+/// In-guest agent hook, invoked before each slice runs. The Event
+/// Obfuscator implements this to inject noise gadgets into the execution
+/// flow; the hypervisor cannot tell agent blocks from workload blocks.
+using SliceAgent = std::function<void(VirtualMachine&, std::size_t)>;
+
+struct MonitorResult {
+  /// samples[t][e] = count delta of programmed event e during slice t.
+  std::vector<std::vector<double>> samples;
+  std::uint64_t slices = 0;
+  double busy_cycles = 0.0;
+};
+
+class HostMonitor {
+ public:
+  explicit HostMonitor(const pmu::EventDatabase& db, std::uint64_t seed);
+
+  /// Monitors `vm` for `slices` sampling intervals while it executes blocks
+  /// from `source`. Returns per-slice deltas for `event_ids` (any number;
+  /// more than 4 triggers counter multiplexing like real perf).
+  MonitorResult monitor(VirtualMachine& vm, const BlockSource& source,
+                        const std::vector<std::uint32_t>& event_ids,
+                        std::size_t slices, const SliceAgent& agent = nullptr);
+
+  /// Total (cumulative) counts over a run, for warm-up profiling where only
+  /// aggregate activity matters.
+  std::vector<double> totals(VirtualMachine& vm, const BlockSource& source,
+                             const std::vector<std::uint32_t>& event_ids,
+                             std::size_t slices);
+
+  /// Cache-occupancy channel: instead of HPC registers, a co-resident probe
+  /// sweeps its buffer once per slice and records its own miss count
+  /// (samples[t] = {probe misses at t}). Used by the future-work extension
+  /// bench; the probe shares the victim's micro-architectural state.
+  MonitorResult monitor_occupancy(VirtualMachine& vm, const BlockSource& source,
+                                  CacheProbe& probe, std::size_t slices,
+                                  const SliceAgent& agent = nullptr);
+
+ private:
+  const pmu::EventDatabase* db_;
+  util::Rng rng_;
+};
+
+}  // namespace aegis::sim

@@ -1,0 +1,63 @@
+#include "sim/instruction_block.hpp"
+
+#include "sim/uarch_state.hpp"
+
+namespace aegis::sim {
+
+InstructionBlock InstructionBlock::scaled(double f) const {
+  InstructionBlock b = *this;
+  for (std::size_t i = 0; i < b.class_counts.size(); ++i) {
+    b.class_counts.at_index(i) *= f;
+  }
+  b.uops *= f;
+  b.read_bytes *= f;
+  b.write_bytes *= f;
+  b.flush_bytes *= f;
+  b.serialize_count *= f;
+  return b;
+}
+
+InstructionBlock InstructionBlock::from_variant(const isa::InstructionVariant& v,
+                                                double reps, RegionId region) {
+  InstructionBlock b;
+  b.region = region;
+  b.class_counts[v.iclass] = reps;
+  b.uops = reps * v.micro_ops;
+  if (v.has_memory_operand) {
+    const double bytes = reps * v.mem_bytes;
+    if (v.iclass == isa::InstructionClass::kCacheFlush) {
+      // clflush touches no data; it evicts one line per execution.
+      b.flush_bytes = reps * MicroArchState::kLineBytes;
+    } else if (v.is_store) {
+      b.write_bytes = bytes;
+    } else {
+      b.read_bytes = bytes;
+    }
+  }
+  if (v.iclass == isa::InstructionClass::kSerialize) b.serialize_count = reps;
+  if (v.iclass == isa::InstructionClass::kBranch ||
+      v.iclass == isa::InstructionClass::kCall) {
+    // Gadget branches test uninitialized scratch data, so their outcomes
+    // are data-random: this is what lets the fuzzer find gadgets for
+    // branch-mispredict events.
+    b.branch_entropy = 0.5;
+  }
+  // The fuzzer's code page is tiny and sequentially accessed.
+  b.locality = 1.0;
+  return b;
+}
+
+InstructionBlock& InstructionBlock::operator+=(const InstructionBlock& o) {
+  for (std::size_t i = 0; i < class_counts.size(); ++i) {
+    class_counts.at_index(i) += o.class_counts.at_index(i);
+  }
+  uops += o.uops;
+  read_bytes += o.read_bytes;
+  write_bytes += o.write_bytes;
+  flush_bytes += o.flush_bytes;
+  serialize_count += o.serialize_count;
+  flush_all = flush_all || o.flush_all;
+  return *this;
+}
+
+}  // namespace aegis::sim

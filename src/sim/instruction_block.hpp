@@ -1,0 +1,50 @@
+// InstructionBlock: the unit of simulated execution.
+//
+// The simulator executes at block granularity rather than instruction
+// granularity: a block aggregates a run of instructions (a workload phase,
+// one fuzzing gadget, or an injected noise segment) into per-class retired
+// counts plus its memory/branch behaviour. This keeps trace generation fast
+// while preserving everything the PMU response model (src/pmu) can observe.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction_class.hpp"
+#include "isa/spec.hpp"
+
+namespace aegis::sim {
+
+/// Memory region ids name disjoint working sets in the cache model.
+using RegionId = std::uint32_t;
+
+inline constexpr RegionId kScratchRegion = 0;     // prolog/epilog stack scratch
+inline constexpr RegionId kGadgetDataRegion = 1;  // the pre-allocated writable
+                                                  // data page memory operands
+                                                  // are pointed at (Sec. VI-D)
+inline constexpr RegionId kInjectedNoiseRegion = 2;  // obfuscator segment data
+
+struct InstructionBlock {
+  isa::ClassVector<double> class_counts;  // retired instructions per class
+  double uops = 0.0;
+  RegionId region = kScratchRegion;
+  double read_bytes = 0.0;
+  double write_bytes = 0.0;
+  double locality = 0.9;        // 0 = random stride, 1 = fully sequential
+  double branch_entropy = 0.1;  // 0 = predictable, 1 = random outcomes
+  double flush_bytes = 0.0;     // bytes clflushed from `region`
+  bool flush_all = false;       // wbinvd-style full flush
+  double serialize_count = 0.0; // cpuid-like serializations
+
+  /// Scales every linear field by f (used to repeat or split work).
+  InstructionBlock scaled(double f) const;
+
+  /// Builds the block for `reps` back-to-back executions of one ISA
+  /// variant against the given region (the fuzzer's generated code and the
+  /// obfuscator's noise segments are assembled this way).
+  static InstructionBlock from_variant(const isa::InstructionVariant& v,
+                                       double reps, RegionId region);
+
+  InstructionBlock& operator+=(const InstructionBlock& o);
+};
+
+}  // namespace aegis::sim

@@ -1,0 +1,91 @@
+#include "sim/uarch_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aegis::sim {
+
+MicroArchState::RegionState& MicroArchState::state_of(RegionId region) {
+  return regions_[region];
+}
+
+void MicroArchState::evict_pressure(RegionId keep, double bytes) {
+  // Bringing `bytes` into a level displaces other regions' lines roughly in
+  // proportion to the capacity fraction consumed.
+  const double l1_pressure = std::min(1.0, bytes / kL1Bytes);
+  const double llc_pressure = std::min(1.0, bytes / kLlcBytes);
+  for (auto& [id, st] : regions_) {
+    if (id == keep) continue;
+    st.l1_frac *= (1.0 - l1_pressure);
+    st.llc_frac *= (1.0 - llc_pressure);
+  }
+}
+
+MemoryAccessResult MicroArchState::access(RegionId region, double bytes,
+                                          double locality) {
+  MemoryAccessResult result;
+  if (bytes <= 0.0) return result;
+  RegionState& st = state_of(region);
+  const double lines = std::max(1.0, bytes / kLineBytes);
+
+  // Hit probability: residency attenuated by access locality (random
+  // strides defeat partially-resident working sets more often).
+  const double l1_hit = st.l1_frac * (0.35 + 0.65 * locality);
+  result.l1_misses = lines * (1.0 - l1_hit);
+  const double llc_hit = st.llc_frac * (0.5 + 0.5 * locality);
+  result.llc_misses = result.l1_misses * (1.0 - llc_hit);
+
+  // Update residency: the touched set is now cached as far as it fits.
+  st.footprint = bytes;
+  st.l1_frac = std::min(1.0, kL1Bytes / bytes);
+  st.llc_frac = std::min(1.0, kLlcBytes / bytes);
+  evict_pressure(region, bytes);
+  return result;
+}
+
+void MicroArchState::flush(RegionId region, double bytes) {
+  RegionState& st = state_of(region);
+  if (st.footprint <= 0.0) {
+    st.l1_frac = 0.0;
+    st.llc_frac = 0.0;
+    return;
+  }
+  const double flushed_frac = std::min(1.0, bytes / st.footprint);
+  st.l1_frac *= (1.0 - flushed_frac);
+  st.llc_frac *= (1.0 - flushed_frac);
+}
+
+void MicroArchState::flush_all() noexcept {
+  for (auto& [id, st] : regions_) {
+    st.l1_frac = 0.0;
+    st.llc_frac = 0.0;
+  }
+}
+
+double MicroArchState::predictor_warmth(RegionId region) const noexcept {
+  auto it = regions_.find(region);
+  return it == regions_.end() ? 0.0 : it->second.warmth;
+}
+
+double MicroArchState::run_branches(RegionId region, double branches,
+                                    double entropy) {
+  if (branches <= 0.0) return 0.0;
+  RegionState& st = state_of(region);
+  // Random-outcome branches mispredict regardless of training; structured
+  // ones stop mispredicting once the predictor has seen the region.
+  const double rate = entropy * (0.45 * (1.0 - st.warmth) + 0.05);
+  st.warmth = std::min(1.0, st.warmth + branches / 4096.0);
+  return branches * rate;
+}
+
+double MicroArchState::l1_residency(RegionId region) const noexcept {
+  auto it = regions_.find(region);
+  return it == regions_.end() ? 0.0 : it->second.l1_frac;
+}
+
+double MicroArchState::llc_residency(RegionId region) const noexcept {
+  auto it = regions_.find(region);
+  return it == regions_.end() ? 0.0 : it->second.llc_frac;
+}
+
+}  // namespace aegis::sim

@@ -1,0 +1,65 @@
+// Hidden micro-architectural state shared by all code running on a vCPU.
+//
+// Two behaviours matter for the reproduction:
+//   * cache residency decides L1/LLC miss counts, which several vulnerable
+//     events (MAB_ALLOCATION_BY_PIPE, DATA_CACHE_REFILLS_FROM_SYSTEM, ...)
+//     respond to;
+//   * state persists across instruction gadgets, producing the paper's C6
+//     "inherited dirty state" confounder that Event Fuzzer's reordering
+//     confirmation must reject.
+// The model is deliberately coarse (fractional residency per region, not
+// per-line LRU): precise geometry is irrelevant, persistence is not.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/instruction_block.hpp"
+
+namespace aegis::sim {
+
+struct MemoryAccessResult {
+  double l1_misses = 0.0;
+  double llc_misses = 0.0;
+};
+
+class MicroArchState {
+ public:
+  static constexpr double kL1Bytes = 32.0 * 1024;
+  static constexpr double kLlcBytes = 4.0 * 1024 * 1024;
+  static constexpr double kLineBytes = 64.0;
+
+  /// Simulates touching `bytes` of `region` and returns the miss counts.
+  /// Updates residency (the touched region is cached afterwards, evicting
+  /// other regions proportionally to the pressure it exerts).
+  MemoryAccessResult access(RegionId region, double bytes, double locality);
+
+  /// clflush of `bytes` from the region's working set.
+  void flush(RegionId region, double bytes);
+  void flush_all() noexcept;
+
+  /// Branch predictor warmth for a region's code, in [0, 1].
+  double predictor_warmth(RegionId region) const noexcept;
+  /// Executes `branches` branches with the given outcome entropy; returns
+  /// the mispredict count and trains the predictor.
+  double run_branches(RegionId region, double branches, double entropy);
+
+  /// Fraction of the region's last-seen working set resident in each level.
+  double l1_residency(RegionId region) const noexcept;
+  double llc_residency(RegionId region) const noexcept;
+
+ private:
+  struct RegionState {
+    double l1_frac = 0.0;
+    double llc_frac = 0.0;
+    double footprint = 0.0;   // bytes last touched
+    double warmth = 0.0;      // branch predictor training level
+  };
+
+  RegionState& state_of(RegionId region);
+  void evict_pressure(RegionId keep, double bytes);
+
+  std::unordered_map<RegionId, RegionState> regions_;
+};
+
+}  // namespace aegis::sim

@@ -1,0 +1,53 @@
+#include "sim/virtual_machine.hpp"
+
+namespace aegis::sim {
+
+VirtualMachine::VirtualMachine(VmConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+void VirtualMachine::submit(InstructionBlock block) {
+  queue_.push_back(std::move(block));
+}
+
+pmu::ExecutionStats VirtualMachine::run_slice() {
+  pmu::ExecutionStats slice;
+  double budget = config_.slice_budget_cycles;
+
+  // External interrupts: delivered regardless of guest activity; they
+  // consume cycles and couple into interrupt-sensitive events.
+  const std::uint64_t irqs = rng_.poisson(config_.interrupt_rate);
+  slice.interrupts = static_cast<double>(irqs);
+  const double irq_cycles = static_cast<double>(irqs) * config_.interrupt_cycles;
+  slice.cycles += irq_cycles;
+  slice.uops += static_cast<double>(irqs) * config_.interrupt_uops;
+  budget -= irq_cycles;
+
+  // Forward-progress guarantee: at least one queued block executes per
+  // slice even if interrupts (or a pathological configuration) consumed
+  // the whole budget — a scheduled task is never starved forever.
+  bool first = true;
+  while (!queue_.empty() && (first || budget > 0.0)) {
+    first = false;
+    const InstructionBlock block = queue_.front();
+    queue_.pop_front();
+    const pmu::ExecutionStats stats =
+        execute_block(block, uarch_, config_.cost);
+    slice += stats;
+    budget -= stats.cycles;
+  }
+
+  ++slices_run_;
+  total_busy_cycles_ += slice.cycles;
+  last_slice_stats_ = slice;
+  return slice;
+}
+
+double VirtualMachine::cpu_usage() const noexcept {
+  if (slices_run_ == 0) return 0.0;
+  const double capacity =
+      static_cast<double>(slices_run_) * config_.slice_budget_cycles;
+  const double usage = total_busy_cycles_ / capacity;
+  return usage > 1.0 ? 1.0 : usage;
+}
+
+}  // namespace aegis::sim

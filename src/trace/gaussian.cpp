@@ -1,0 +1,73 @@
+#include "trace/gaussian.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace aegis::trace {
+
+SecretGaussianModel SecretGaussianModel::fit(
+    const std::vector<std::vector<double>>& values_by_secret) {
+  SecretGaussianModel model;
+  model.per_secret.reserve(values_by_secret.size());
+  for (const auto& values : values_by_secret) {
+    model.per_secret.push_back(util::fit_gaussian(values));
+  }
+  return model;
+}
+
+double entropy_bits(std::span<const double> p) noexcept {
+  double h = 0.0;
+  for (double pi : p) {
+    if (pi > 0.0) h -= pi * std::log2(pi);
+  }
+  return h;
+}
+
+double mutual_information_eq1(const SecretGaussianModel& model,
+                              std::size_t grid_points) {
+  const std::size_t n = model.per_secret.size();
+  if (n == 0) return 0.0;
+  std::vector<double> priors = model.priors;
+  if (priors.empty()) {
+    priors.assign(n, 1.0 / static_cast<double>(n));
+  }
+  if (priors.size() != n) {
+    throw std::invalid_argument("mutual_information_eq1: prior size mismatch");
+  }
+  const double h_y = entropy_bits(priors);
+
+  // Integration support: union of +-4 sigma intervals.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& g : model.per_secret) {
+    lo = std::min(lo, g.mu - 4.0 * g.sigma);
+    hi = std::max(hi, g.mu + 4.0 * g.sigma);
+  }
+  if (!(hi > lo)) return 0.0;
+  if (grid_points < 3) grid_points = 3;
+  const double dx = (hi - lo) / static_cast<double>(grid_points - 1);
+
+  double conditional_term = 0.0;  // Int P(x) H(Y|X=x) dx (trapezoid rule)
+  std::vector<double> posterior(n);
+  for (std::size_t g = 0; g < grid_points; ++g) {
+    const double x = lo + static_cast<double>(g) * dx;
+    double px = 0.0;
+    for (std::size_t y = 0; y < n; ++y) {
+      posterior[y] =
+          priors[y] *
+          util::gaussian_pdf(x, model.per_secret[y].mu, model.per_secret[y].sigma);
+      px += posterior[y];
+    }
+    if (px <= 0.0) continue;
+    for (double& p : posterior) p /= px;
+    const double h_y_given_x = entropy_bits(posterior);
+    const double weight = (g == 0 || g + 1 == grid_points) ? 0.5 : 1.0;
+    conditional_term += weight * px * h_y_given_x * dx;
+  }
+  const double mi = h_y - conditional_term;
+  return std::clamp(mi, 0.0, h_y);
+}
+
+}  // namespace aegis::trace

@@ -1,0 +1,37 @@
+// Gaussian modelling of per-secret event values and the paper's Eq. 1
+// mutual-information vulnerability metric.
+//
+// Section V-B: per secret y, the PCA feature of an event's leakage trace is
+// modelled as N(mu_y, sigma_y^2). The event's vulnerability is the mutual
+// information I(Y; X) = H(Y) - Int P(x) H(Y | X=x) dx, computed here by
+// numerical integration over the Gaussian mixture.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace aegis::trace {
+
+/// Per-secret Gaussian model of one event's feature value.
+struct SecretGaussianModel {
+  std::vector<util::GaussianFit> per_secret;  // N(mu_y, sigma_y) for each y
+  std::vector<double> priors;                 // P(y); uniform if empty
+
+  /// Fits one Gaussian per secret from grouped feature values:
+  /// values_by_secret[y] = feature values observed for secret y.
+  static SecretGaussianModel fit(
+      const std::vector<std::vector<double>>& values_by_secret);
+};
+
+/// Entropy of a discrete distribution, in bits.
+double entropy_bits(std::span<const double> p) noexcept;
+
+/// Eq. 1: mutual information (bits) between the secret Y and the event
+/// feature X under the fitted Gaussian mixture, by numerical integration
+/// with `grid_points` samples across +-4 sigma of the mixture support.
+double mutual_information_eq1(const SecretGaussianModel& model,
+                              std::size_t grid_points = 2001);
+
+}  // namespace aegis::trace

@@ -1,0 +1,52 @@
+#include "trace/mutual_information.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace aegis::trace {
+
+double gaussian_mi_bits(std::span<const double> x,
+                        std::span<const double> y) noexcept {
+  const double rho = util::pearson(x, y);
+  const double r2 = std::min(rho * rho, 1.0 - 1e-12);
+  return -0.5 * std::log2(1.0 - r2);
+}
+
+double histogram_mi_bits(std::span<const double> x, std::span<const double> y,
+                         std::size_t bins) {
+  if (x.size() != y.size() || x.size() < 2 || bins < 2) return 0.0;
+  const double x_lo = util::min_value(x), x_hi = util::max_value(x);
+  const double y_lo = util::min_value(y), y_hi = util::max_value(y);
+  if (!(x_hi > x_lo) || !(y_hi > y_lo)) return 0.0;
+
+  auto bin_of = [bins](double v, double lo, double hi) {
+    std::size_t b = static_cast<std::size_t>((v - lo) / (hi - lo) *
+                                             static_cast<double>(bins));
+    return b >= bins ? bins - 1 : b;
+  };
+
+  std::vector<double> joint(bins * bins, 0.0), px(bins, 0.0), py(bins, 0.0);
+  const double w = 1.0 / static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::size_t bx = bin_of(x[i], x_lo, x_hi);
+    const std::size_t by = bin_of(y[i], y_lo, y_hi);
+    joint[bx * bins + by] += w;
+    px[bx] += w;
+    py[by] += w;
+  }
+  double mi = 0.0;
+  for (std::size_t bx = 0; bx < bins; ++bx) {
+    for (std::size_t by = 0; by < bins; ++by) {
+      const double j = joint[bx * bins + by];
+      if (j > 0.0 && px[bx] > 0.0 && py[by] > 0.0) {
+        mi += j * std::log2(j / (px[bx] * py[by]));
+      }
+    }
+  }
+  return mi < 0.0 ? 0.0 : mi;
+}
+
+}  // namespace aegis::trace

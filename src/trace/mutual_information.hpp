@@ -1,0 +1,22 @@
+// Mutual-information estimators between paired continuous series, used by
+// the Fig. 9c evaluation: I(X; X') between clean and noised leakage traces
+// shrinks as the DP noise grows, which bounds I(X'; Y) for ANY downstream
+// attack model (data-processing inequality).
+#pragma once
+
+#include <span>
+
+namespace aegis::trace {
+
+/// Gaussian (correlation-based) MI in bits: -0.5 log2(1 - rho^2).
+/// Exact when (X, X') are jointly Gaussian — which holds here because the
+/// noised series is clean + independent additive noise on near-Gaussian
+/// counts (Section V's Fig. 3 observation).
+double gaussian_mi_bits(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// Histogram (binned plug-in) MI in bits, with equal-width bins. A
+/// distribution-free cross-check for the Gaussian estimator.
+double histogram_mi_bits(std::span<const double> x, std::span<const double> y,
+                         std::size_t bins = 16);
+
+}  // namespace aegis::trace

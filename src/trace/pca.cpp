@@ -1,0 +1,97 @@
+#include "trace/pca.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace aegis::trace {
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace
+
+void Pca::fit(const std::vector<std::vector<double>>& X, std::size_t components) {
+  if (X.empty()) throw std::invalid_argument("Pca::fit: empty sample set");
+  const std::size_t n = X.size();
+  const std::size_t d = X.front().size();
+  components = std::min(components, d);
+
+  mean_.assign(d, 0.0);
+  for (const auto& x : X) {
+    for (std::size_t i = 0; i < d; ++i) mean_[i] += x[i];
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+
+  std::vector<std::vector<double>> centered(n, std::vector<double>(d));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < d; ++i) centered[r][i] = X[r][i] - mean_[i];
+  }
+
+  components_.clear();
+  eigenvalues_.clear();
+  util::Rng rng(0xACA5ULL);
+  // Power iteration on the (implicit) covariance: v <- X^T (X v) / n,
+  // deflating previously-found directions from the data.
+  for (std::size_t k = 0; k < components; ++k) {
+    std::vector<double> v(d);
+    for (double& vi : v) vi = rng.normal();
+    double lambda = 0.0;
+    for (int iter = 0; iter < 120; ++iter) {
+      std::vector<double> w(d, 0.0);
+      for (std::size_t r = 0; r < n; ++r) {
+        const double proj = dot(centered[r], v);
+        for (std::size_t i = 0; i < d; ++i) w[i] += proj * centered[r][i];
+      }
+      for (double& wi : w) wi /= static_cast<double>(n);
+      const double w_norm = norm(w);
+      if (w_norm < 1e-15) break;
+      double delta = 0.0;
+      for (std::size_t i = 0; i < d; ++i) {
+        const double next = w[i] / w_norm;
+        delta += std::abs(next - v[i]);
+        v[i] = next;
+      }
+      lambda = w_norm;
+      if (delta < 1e-10) break;
+    }
+    components_.push_back(v);
+    eigenvalues_.push_back(lambda);
+    // Deflate: remove the found direction from every sample.
+    for (auto& row : centered) {
+      const double proj = dot(row, v);
+      for (std::size_t i = 0; i < d; ++i) row[i] -= proj * v[i];
+    }
+  }
+}
+
+std::vector<double> Pca::transform(const std::vector<double>& x) const {
+  std::vector<double> out(components_.size(), 0.0);
+  for (std::size_t k = 0; k < components_.size(); ++k) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size() && i < mean_.size(); ++i) {
+      s += (x[i] - mean_[i]) * components_[k][i];
+    }
+    out[k] = s;
+  }
+  return out;
+}
+
+double Pca::first_component(const std::vector<double>& x) const {
+  if (components_.empty()) throw std::logic_error("Pca: not fitted");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size() && i < mean_.size(); ++i) {
+    s += (x[i] - mean_[i]) * components_[0][i];
+  }
+  return s;
+}
+
+}  // namespace aegis::trace

@@ -1,0 +1,106 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace aegis::trace {
+
+std::vector<double> Trace::event_series(std::size_t e) const {
+  std::vector<double> series;
+  series.reserve(samples.size());
+  for (const auto& row : samples) series.push_back(row.at(e));
+  return series;
+}
+
+double Trace::event_total(std::size_t e) const noexcept {
+  double total = 0.0;
+  for (const auto& row : samples) total += row[e];
+  return total;
+}
+
+std::vector<double> Trace::window_features(std::size_t windows) const {
+  const std::size_t T = slices();
+  const std::size_t E = events();
+  if (windows == 0 || T == 0) return {};
+  if (windows > T) windows = T;
+  std::vector<double> features(E * windows, 0.0);
+  std::vector<double> counts(windows, 0.0);
+  for (std::size_t t = 0; t < T; ++t) {
+    std::size_t w = t * windows / T;
+    if (w >= windows) w = windows - 1;
+    counts[w] += 1.0;
+    for (std::size_t e = 0; e < E; ++e) {
+      features[e * windows + w] += samples[t][e];
+    }
+  }
+  for (std::size_t e = 0; e < E; ++e) {
+    for (std::size_t w = 0; w < windows; ++w) {
+      if (counts[w] > 0.0) features[e * windows + w] /= counts[w];
+    }
+  }
+  return features;
+}
+
+std::vector<double> Trace::sorted_window_features(std::size_t windows) const {
+  std::vector<double> features = window_features(windows);
+  const std::size_t E = events();
+  if (E == 0) return features;
+  const std::size_t w = features.size() / E;
+  for (std::size_t e = 0; e < E; ++e) {
+    auto first = features.begin() + static_cast<std::ptrdiff_t>(e * w);
+    std::sort(first, first + static_cast<std::ptrdiff_t>(w),
+              [](double a, double b) { return a > b; });
+  }
+  return features;
+}
+
+void TraceSet::split(double train_fraction, util::Rng& rng, TraceSet& train,
+                     TraceSet& validation) const {
+  std::vector<std::size_t> order(traces.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  const std::size_t n_train =
+      static_cast<std::size_t>(train_fraction * static_cast<double>(order.size()));
+  train = TraceSet{};
+  validation = TraceSet{};
+  train.num_classes = num_classes;
+  validation.num_classes = num_classes;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    TraceSet& dst = i < n_train ? train : validation;
+    dst.traces.push_back(traces[order[i]]);
+    dst.labels.push_back(labels[order[i]]);
+  }
+}
+
+void Standardizer::fit(const std::vector<std::vector<double>>& features) {
+  if (features.empty()) throw std::invalid_argument("Standardizer: empty fit set");
+  const std::size_t d = features.front().size();
+  mu_.assign(d, 0.0);
+  sigma_.assign(d, 0.0);
+  for (const auto& f : features) {
+    for (std::size_t i = 0; i < d; ++i) mu_[i] += f[i];
+  }
+  const double n = static_cast<double>(features.size());
+  for (double& m : mu_) m /= n;
+  for (const auto& f : features) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double diff = f[i] - mu_[i];
+      sigma_[i] += diff * diff;
+    }
+  }
+  for (double& s : sigma_) s = std::sqrt(s / n);
+}
+
+void Standardizer::apply(std::vector<double>& feature) const {
+  for (std::size_t i = 0; i < feature.size() && i < mu_.size(); ++i) {
+    feature[i] = sigma_[i] > 1e-12 ? (feature[i] - mu_[i]) / sigma_[i] : 0.0;
+  }
+}
+
+void Standardizer::apply_all(std::vector<std::vector<double>>& features) const {
+  for (auto& f : features) apply(f);
+}
+
+}  // namespace aegis::trace

@@ -1,0 +1,69 @@
+// Trace containers and feature extraction.
+//
+// A Trace is one monitored execution: T sampling slices x E events of HPC
+// count deltas (the paper's 4 x 3000 tensors). TraceSet pairs traces with
+// secret labels for attack training and profiler analysis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace aegis::trace {
+
+struct Trace {
+  /// samples[t][e] — count delta of event e in slice t.
+  std::vector<std::vector<double>> samples;
+
+  std::size_t slices() const noexcept { return samples.size(); }
+  std::size_t events() const noexcept {
+    return samples.empty() ? 0 : samples.front().size();
+  }
+
+  /// Column e as a flat series.
+  std::vector<double> event_series(std::size_t e) const;
+
+  /// Total count of event e over the window.
+  double event_total(std::size_t e) const noexcept;
+
+  /// Per-event, per-window mean features: splits the T slices into
+  /// `windows` equal chunks and averages each event within a chunk,
+  /// yielding an events() * windows feature vector. This is the temporal
+  /// pooling the paper's CNN front-end effectively performs.
+  std::vector<double> window_features(std::size_t windows) const;
+
+  /// Like window_features, but each event's windows are sorted descending —
+  /// an order-statistic view that is invariant to *when* activity bursts
+  /// occur. This supplies the translation invariance the paper's CNN gets
+  /// from convolution; transient workloads (keystrokes) need it.
+  std::vector<double> sorted_window_features(std::size_t windows) const;
+};
+
+struct TraceSet {
+  std::vector<Trace> traces;
+  std::vector<int> labels;
+  int num_classes = 0;
+
+  std::size_t size() const noexcept { return traces.size(); }
+
+  /// Random split preserving nothing fancy (the paper splits 70/30).
+  void split(double train_fraction, util::Rng& rng, TraceSet& train,
+             TraceSet& validation) const;
+};
+
+/// Per-dimension z-score normalizer fitted on training features and applied
+/// to both splits (never fit on validation).
+class Standardizer {
+ public:
+  void fit(const std::vector<std::vector<double>>& features);
+  void apply(std::vector<double>& feature) const;
+  void apply_all(std::vector<std::vector<double>>& features) const;
+  bool fitted() const noexcept { return !mu_.empty(); }
+
+ private:
+  std::vector<double> mu_;
+  std::vector<double> sigma_;
+};
+
+}  // namespace aegis::trace

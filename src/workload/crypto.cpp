@@ -1,0 +1,131 @@
+#include "workload/crypto.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace aegis::workload {
+
+namespace {
+using isa::InstructionClass;
+using sim::InstructionBlock;
+
+constexpr std::uint32_t kBigNumRegion = 3000;
+
+/// One slice of big-integer SQUARE work (schoolbook limbs: mul-adds over a
+/// small hot working set).
+InstructionBlock square_block(double scale) {
+  InstructionBlock b;
+  b.region = kBigNumRegion;
+  b.class_counts[InstructionClass::kIntMul] = 5200 * scale;
+  b.class_counts[InstructionClass::kIntAlu] = 3800 * scale;
+  b.class_counts[InstructionClass::kLoad] = 1400 * scale;
+  b.class_counts[InstructionClass::kStore] = 900 * scale;
+  b.class_counts[InstructionClass::kBranch] = 300 * scale;
+  b.read_bytes = 16e3 * scale;
+  b.write_bytes = 8e3 * scale;
+  b.locality = 1.0;
+  b.branch_entropy = 0.05;
+  b.uops = 12500 * scale;
+  return b;
+}
+
+/// One slice of MULTIPLY (by the base) work: same kernel plus the extra
+/// operand stream and the Montgomery reduction tail.
+InstructionBlock multiply_block(double scale) {
+  InstructionBlock b;
+  b.region = kBigNumRegion + 1;
+  b.class_counts[InstructionClass::kIntMul] = 6000 * scale;
+  b.class_counts[InstructionClass::kIntAlu] = 4600 * scale;
+  b.class_counts[InstructionClass::kIntDiv] = 90 * scale;  // reduction
+  b.class_counts[InstructionClass::kLoad] = 2100 * scale;
+  b.class_counts[InstructionClass::kStore] = 1100 * scale;
+  b.class_counts[InstructionClass::kBranch] = 380 * scale;
+  b.read_bytes = 28e3 * scale;
+  b.write_bytes = 11e3 * scale;
+  b.locality = 0.95;
+  b.branch_entropy = 0.08;
+  b.uops = 15500 * scale;
+  return b;
+}
+
+}  // namespace
+
+CryptoWorkload::CryptoWorkload(std::vector<bool> key_bits, std::size_t slices)
+    : key_bits_(std::move(key_bits)), slices_(slices) {}
+
+std::vector<bool> CryptoWorkload::derive_key(std::size_t bits,
+                                             std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x4B45ULL);
+  std::vector<bool> key(bits);
+  for (std::size_t i = 0; i < bits; ++i) key[i] = rng.bernoulli(0.5);
+  return key;
+}
+
+std::string CryptoWorkload::name() const {
+  std::string bits;
+  for (bool b : key_bits_) bits += b ? '1' : '0';
+  return "rsa-exp key=" + bits;
+}
+
+CryptoWorkload::VisitPlan CryptoWorkload::plan(std::uint64_t visit_seed) const {
+  auto rng = std::make_shared<util::Rng>(visit_seed ^ 0xC4'9970ULL);
+
+  // Schedule: per bit, SQUARE for 2 slices, then MULTIPLY for 2 slices when
+  // the bit is 1, then a 1-slice loop-bookkeeping gap. Scaled to fit.
+  struct Segment {
+    CryptoOp op;
+    std::size_t start, end;
+  };
+  auto segments = std::make_shared<std::vector<Segment>>();
+  auto labels = std::make_shared<std::vector<int>>(slices_, kCryptoBlankLabel);
+  std::size_t cursor = 1 + rng->uniform_index(3);
+  for (bool bit : key_bits_) {
+    const std::size_t square_len = 2;
+    if (cursor + square_len + 3 >= slices_) break;
+    segments->push_back(Segment{CryptoOp::kSquare, cursor, cursor + square_len});
+    for (std::size_t t = cursor; t < cursor + square_len; ++t) {
+      (*labels)[t] = static_cast<int>(CryptoOp::kSquare);
+    }
+    cursor += square_len;
+    if (bit) {
+      const std::size_t mult_len = 2;
+      segments->push_back(Segment{CryptoOp::kMultiply, cursor, cursor + mult_len});
+      for (std::size_t t = cursor; t < cursor + mult_len; ++t) {
+        (*labels)[t] = static_cast<int>(CryptoOp::kMultiply);
+      }
+      cursor += mult_len;
+    }
+    cursor += 1;  // loop bookkeeping gap
+  }
+
+  sim::BlockSource source = [rng, segments](std::size_t t) {
+    std::vector<InstructionBlock> blocks;
+    for (const auto& seg : *segments) {
+      if (t < seg.start || t >= seg.end) continue;
+      const double scale = std::exp(rng->normal(0.0, 0.07));
+      blocks.push_back(seg.op == CryptoOp::kSquare ? square_block(scale)
+                                                   : multiply_block(scale));
+      return blocks;
+    }
+    // Loop bookkeeping between operations.
+    InstructionBlock gap;
+    gap.region = kBigNumRegion + 2;
+    gap.class_counts[InstructionClass::kIntAlu] = 250;
+    gap.class_counts[InstructionClass::kBranch] = 90;
+    gap.class_counts[InstructionClass::kLoad] = 80;
+    gap.read_bytes = 2e3;
+    gap.uops = 500;
+    gap.locality = 0.9;
+    blocks.push_back(gap);
+    return blocks;
+  };
+  return VisitPlan{std::move(source), std::move(*labels)};
+}
+
+sim::BlockSource CryptoWorkload::visit(std::uint64_t visit_seed) const {
+  return plan(visit_seed).source;
+}
+
+}  // namespace aegis::workload

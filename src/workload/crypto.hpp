@@ -1,0 +1,54 @@
+// Cryptographic workload: RSA-style square-and-multiply modular
+// exponentiation (the paper's future-work target: "stealing cryptographic
+// keys" via fine-grained HPC attacks).
+//
+// For each secret key bit the loop executes a SQUARE (big-integer
+// multiplication); when the bit is 1 it additionally executes a MULTIPLY.
+// The two operations have distinguishable instruction mixes and durations,
+// so the per-slice HPC traces segment into a bit-string — the classic
+// square-and-multiply leak, lifted from the cache/timing domain into the
+// HPC-count domain.
+#pragma once
+
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace aegis::workload {
+
+/// Per-slice ground-truth labels of the exponentiation trace.
+enum class CryptoOp : unsigned char {
+  kSquare = 0,   // executed for every bit
+  kMultiply,     // executed only for 1-bits
+  kCount
+};
+inline constexpr int kCryptoBlankLabel = static_cast<int>(CryptoOp::kCount);
+
+class CryptoWorkload final : public Workload {
+ public:
+  /// `key_bits` is the secret exponent, MSB first.
+  CryptoWorkload(std::vector<bool> key_bits, std::size_t slices = 300);
+
+  /// Convenience: derive an n-bit key deterministically from a seed.
+  static std::vector<bool> derive_key(std::size_t bits, std::uint64_t seed);
+
+  sim::BlockSource visit(std::uint64_t visit_seed) const override;
+  std::size_t trace_slices() const override { return slices_; }
+  std::string name() const override;
+
+  const std::vector<bool>& key() const noexcept { return key_bits_; }
+
+  /// One execution plus frame-aligned CryptoOp labels (for the offline
+  /// attacker, who trains on his own keys).
+  struct VisitPlan {
+    sim::BlockSource source;
+    std::vector<int> frame_labels;  // CryptoOp or kCryptoBlankLabel
+  };
+  VisitPlan plan(std::uint64_t visit_seed) const;
+
+ private:
+  std::vector<bool> key_bits_;
+  std::size_t slices_;
+};
+
+}  // namespace aegis::workload

@@ -1,0 +1,346 @@
+#include "workload/dnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace aegis::workload {
+
+namespace {
+using isa::InstructionClass;
+using sim::InstructionBlock;
+
+constexpr std::uint32_t kDnnRegionBase = 2000;
+
+const char* kModelNames[DnnWorkload::kNumModels] = {
+    "alexnet",        "vgg11",          "vgg13",        "vgg16",
+    "vgg19",          "resnet18",       "resnet34",     "resnet50",
+    "resnet101",      "resnet152",      "squeezenet1_0", "squeezenet1_1",
+    "densenet121",    "densenet161",    "densenet169",  "densenet201",
+    "googlenet",      "inception_v3",   "mobilenet_v2", "mobilenet_v3_small",
+    "mobilenet_v3_large", "mnasnet0_5", "mnasnet1_0",   "shufflenet_v2_x0_5",
+    "shufflenet_v2_x1_0", "efficientnet_b0", "efficientnet_b1",
+    "wide_resnet50_2", "resnext50_32x4d", "regnet_y_400mf"};
+
+void push(std::vector<Layer>& layers, LayerKind kind, double work,
+          double footprint) {
+  layers.push_back(Layer{kind, work, footprint});
+}
+
+/// Builds the layer list for one model id; family decided by id range.
+std::vector<Layer> build_architecture(std::size_t id, util::Rng& rng) {
+  std::vector<Layer> layers;
+  auto conv = [&](double w) { push(layers, LayerKind::kConv, w, rng.uniform(0.5e6, 6e6)); };
+  auto fc = [&](double w) { push(layers, LayerKind::kFc, w, rng.uniform(4e6, 40e6)); };
+  auto pool = [&] { push(layers, LayerKind::kPool, 0.25, rng.uniform(0.2e6, 1e6)); };
+  auto bn = [&] { push(layers, LayerKind::kBatchNorm, 0.3, rng.uniform(0.1e6, 0.6e6)); };
+  auto relu = [&] { push(layers, LayerKind::kReLU, 0.15, rng.uniform(0.1e6, 0.5e6)); };
+  auto add = [&] { push(layers, LayerKind::kAdd, 0.2, rng.uniform(0.2e6, 1e6)); };
+
+  if (id == 0) {  // alexnet
+    for (int i = 0; i < 5; ++i) {
+      conv(rng.uniform(0.8, 2.0));
+      relu();
+      if (i == 0 || i == 1 || i == 4) pool();
+    }
+    for (int i = 0; i < 3; ++i) {
+      fc(rng.uniform(0.8, 1.6));
+      if (i < 2) relu();
+    }
+  } else if (id <= 4) {  // vgg11/13/16/19
+    const int convs_per_block[5][5] = {{0},
+                                       {1, 1, 2, 2, 2},
+                                       {2, 2, 2, 2, 2},
+                                       {2, 2, 3, 3, 3},
+                                       {2, 2, 4, 4, 4}};
+    for (int blockIdx = 0; blockIdx < 5; ++blockIdx) {
+      for (int c = 0; c < convs_per_block[id][blockIdx]; ++c) {
+        conv(rng.uniform(1.0, 2.5));
+        relu();
+      }
+      pool();
+    }
+    fc(1.8);
+    relu();
+    fc(1.2);
+    relu();
+    fc(0.5);
+  } else if (id <= 9) {  // resnet18/34/50/101/152
+    const int blocks[] = {4, 8, 8, 17, 25};
+    conv(1.5);
+    bn();
+    relu();
+    pool();
+    for (int blockIdx = 0; blockIdx < blocks[id - 5]; ++blockIdx) {
+      conv(rng.uniform(0.7, 1.8));
+      bn();
+      relu();
+      conv(rng.uniform(0.7, 1.8));
+      bn();
+      add();
+      relu();
+    }
+    pool();
+    fc(0.4);
+  } else if (id <= 11) {  // squeezenet
+    conv(1.0);
+    relu();
+    pool();
+    for (int f = 0; f < 8; ++f) {
+      conv(rng.uniform(0.3, 0.8));  // squeeze
+      relu();
+      conv(rng.uniform(0.5, 1.2));  // expand
+      relu();
+      if (f == 2 || f == 6) pool();
+    }
+    conv(0.6);
+    pool();
+  } else if (id <= 15) {  // densenet121/161/169/201
+    const int dense_layers[] = {10, 13, 14, 16};
+    conv(1.4);
+    bn();
+    relu();
+    pool();
+    for (int l = 0; l < dense_layers[id - 12]; ++l) {
+      bn();
+      relu();
+      conv(rng.uniform(0.4, 1.0));
+      add();  // feature concatenation
+      if (l % 5 == 4) pool();
+    }
+    bn();
+    pool();
+    fc(0.3);
+  } else if (id <= 17) {  // googlenet / inception
+    conv(1.2);
+    pool();
+    for (int i = 0; i < (id == 16 ? 9 : 11); ++i) {
+      conv(rng.uniform(0.4, 1.2));
+      bn();
+      relu();
+      conv(rng.uniform(0.4, 1.2));
+      relu();
+      if (i % 3 == 2) pool();
+    }
+    pool();
+    fc(0.4);
+  } else if (id <= 24) {  // mobilenet / mnasnet / shufflenet
+    conv(0.8);
+    bn();
+    relu();
+    const int inverted_blocks = 7 + static_cast<int>(id) % 5;
+    for (int i = 0; i < inverted_blocks; ++i) {
+      conv(rng.uniform(0.2, 0.6));  // pointwise
+      bn();
+      relu();
+      conv(rng.uniform(0.15, 0.4)); // depthwise
+      bn();
+      if (i % 2 == 1) add();
+    }
+    conv(0.5);
+    pool();
+    fc(0.3);
+  } else {  // efficientnet / wide-resnet / resnext / regnet
+    conv(1.0);
+    bn();
+    relu();
+    const int stages = 5 + static_cast<int>(id) % 4;
+    for (int s = 0; s < stages; ++s) {
+      conv(rng.uniform(0.6, 2.2));
+      bn();
+      relu();
+      conv(rng.uniform(0.6, 2.2));
+      bn();
+      add();
+      relu();
+      if (s % 2 == 0) pool();
+    }
+    pool();
+    fc(0.5);
+  }
+  return layers;
+}
+
+InstructionBlock layer_block(LayerKind kind, double intensity, double footprint,
+                             std::uint32_t region) {
+  InstructionBlock b;
+  b.region = region;
+  const double i = intensity;
+  switch (kind) {
+    case LayerKind::kConv:
+      b.class_counts[InstructionClass::kSimdFp] = 7800 * i;
+      b.class_counts[InstructionClass::kFpMul] = 1900 * i;
+      b.class_counts[InstructionClass::kFpAdd] = 1500 * i;
+      b.class_counts[InstructionClass::kLoad] = 2400 * i;
+      b.class_counts[InstructionClass::kStore] = 700 * i;
+      b.class_counts[InstructionClass::kBranch] = 300 * i;
+      b.read_bytes = 150e3 * i;
+      b.write_bytes = 40e3 * i;
+      b.locality = 0.9;
+      b.branch_entropy = 0.05;
+      break;
+    case LayerKind::kFc:
+      b.class_counts[InstructionClass::kSimdFp] = 4200 * i;
+      b.class_counts[InstructionClass::kFpAdd] = 900 * i;
+      b.class_counts[InstructionClass::kLoad] = 3800 * i;
+      b.class_counts[InstructionClass::kStore] = 250 * i;
+      b.read_bytes = 400e3 * i;  // streaming weight matrix
+      b.write_bytes = 8e3 * i;
+      b.locality = 1.0;
+      b.branch_entropy = 0.02;
+      break;
+    case LayerKind::kPool:
+      b.class_counts[InstructionClass::kSimdInt] = 1400 * i;
+      b.class_counts[InstructionClass::kSimdFp] = 600 * i;
+      b.class_counts[InstructionClass::kLoad] = 900 * i;
+      b.class_counts[InstructionClass::kStore] = 300 * i;
+      b.class_counts[InstructionClass::kBranch] = 180 * i;
+      b.read_bytes = 60e3 * i;
+      b.write_bytes = 15e3 * i;
+      b.locality = 0.95;
+      b.branch_entropy = 0.08;
+      break;
+    case LayerKind::kBatchNorm:
+      b.class_counts[InstructionClass::kFpAdd] = 1300 * i;
+      b.class_counts[InstructionClass::kFpMul] = 1300 * i;
+      b.class_counts[InstructionClass::kFpDiv] = 120 * i;
+      b.class_counts[InstructionClass::kLoad] = 700 * i;
+      b.class_counts[InstructionClass::kStore] = 700 * i;
+      b.read_bytes = 40e3 * i;
+      b.write_bytes = 40e3 * i;
+      b.locality = 1.0;
+      break;
+    case LayerKind::kReLU:
+      b.class_counts[InstructionClass::kSimdInt] = 900 * i;
+      b.class_counts[InstructionClass::kLoad] = 450 * i;
+      b.class_counts[InstructionClass::kStore] = 450 * i;
+      b.read_bytes = 30e3 * i;
+      b.write_bytes = 30e3 * i;
+      b.locality = 1.0;
+      break;
+    case LayerKind::kAdd:
+      b.class_counts[InstructionClass::kSimdFp] = 700 * i;
+      b.class_counts[InstructionClass::kLoad] = 1100 * i;
+      b.class_counts[InstructionClass::kStore] = 550 * i;
+      b.read_bytes = 70e3 * i;
+      b.write_bytes = 35e3 * i;
+      b.locality = 1.0;
+      break;
+    case LayerKind::kCount:
+      break;
+  }
+  const double fp_scale = std::min(1.5, 0.5 + footprint / 4e6);
+  b.read_bytes *= fp_scale;
+  double uops = 0.0;
+  for (std::size_t c = 0; c < b.class_counts.size(); ++c) {
+    uops += b.class_counts.at_index(c);
+  }
+  b.uops = uops * 1.15;
+  return b;
+}
+
+/// Framework gap between layers: allocator + dispatcher work.
+InstructionBlock gap_block(double scale) {
+  InstructionBlock b;
+  b.region = kDnnRegionBase + 63;
+  b.class_counts[InstructionClass::kIntAlu] = 350 * scale;
+  b.class_counts[InstructionClass::kBranch] = 140 * scale;
+  b.class_counts[InstructionClass::kCall] = 60 * scale;
+  b.class_counts[InstructionClass::kStore] = 120 * scale;
+  b.read_bytes = 6e3 * scale;
+  b.write_bytes = 3e3 * scale;
+  b.uops = 750 * scale;
+  b.locality = 0.6;
+  b.branch_entropy = 0.4;
+  return b;
+}
+
+}  // namespace
+
+std::string_view to_string(LayerKind k) noexcept {
+  switch (k) {
+    case LayerKind::kConv: return "Conv";
+    case LayerKind::kFc: return "FC";
+    case LayerKind::kPool: return "Pool";
+    case LayerKind::kBatchNorm: return "BN";
+    case LayerKind::kReLU: return "ReLU";
+    case LayerKind::kAdd: return "Add";
+    case LayerKind::kCount: break;
+  }
+  return "?";
+}
+
+DnnWorkload::DnnWorkload(std::size_t model_id, std::size_t slices)
+    : model_id_(model_id % kNumModels), slices_(slices) {
+  util::Rng rng(0xD44ULL * 0x9E3779B97F4A7C15ULL + model_id_);
+  layers_ = build_architecture(model_id_, rng);
+}
+
+std::string DnnWorkload::name() const { return kModelNames[model_id_]; }
+
+std::vector<LayerKind> DnnWorkload::layer_sequence() const {
+  std::vector<LayerKind> seq;
+  seq.reserve(layers_.size());
+  for (const Layer& l : layers_) seq.push_back(l.kind);
+  return seq;
+}
+
+DnnWorkload::VisitPlan DnnWorkload::plan(std::uint64_t visit_seed) const {
+  auto rng = std::make_shared<util::Rng>(visit_seed ^ (model_id_ * 0x9E3779B9ULL));
+
+  // Schedule: per-layer durations proportional to work, scaled to fit the
+  // window with a leading warm-up margin and a 1-slice gap between layers.
+  double total_work = 0.0;
+  for (const Layer& l : layers_) total_work += std::max(0.1, l.work);
+  const double usable =
+      static_cast<double>(slices_) * 0.82 - static_cast<double>(layers_.size());
+  const double slices_per_work = std::max(0.5, usable / total_work);
+
+  struct Segment {
+    int layer_index;  // -1 = gap
+    std::size_t start, end;
+  };
+  auto segments = std::make_shared<std::vector<Segment>>();
+  auto labels = std::make_shared<std::vector<int>>(slices_, kBlankLabel);
+  std::size_t cursor = 2 + rng->uniform_index(4);  // process start latency
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const double jitter = std::exp(rng->normal(0.0, 0.08));
+    std::size_t dur = static_cast<std::size_t>(std::max(
+        1.0, std::round(std::max(0.1, layers_[li].work) * slices_per_work * jitter)));
+    dur = std::min<std::size_t>(dur, 14);
+    if (cursor + dur + 1 >= slices_) break;
+    segments->push_back(Segment{static_cast<int>(li), cursor, cursor + dur});
+    for (std::size_t t = cursor; t < cursor + dur; ++t) {
+      (*labels)[t] = static_cast<int>(layers_[li].kind);
+    }
+    cursor += dur + 1;  // +1: framework gap (blank frame)
+  }
+
+  const auto layers_copy = layers_;
+  sim::BlockSource source = [rng, segments, layers_copy](std::size_t t) {
+    std::vector<InstructionBlock> blocks;
+    for (const auto& seg : *segments) {
+      if (t < seg.start || t >= seg.end) continue;
+      const Layer& l = layers_copy[static_cast<std::size_t>(seg.layer_index)];
+      const double dur = static_cast<double>(seg.end - seg.start);
+      const double intensity = std::max(0.1, l.work) / dur * 4.0 *
+                               std::exp(rng->normal(0.0, 0.08));
+      blocks.push_back(layer_block(
+          l.kind, intensity, l.footprint,
+          kDnnRegionBase + static_cast<std::uint32_t>(seg.layer_index % 12)));
+      return blocks;
+    }
+    // Between layers: framework gap activity.
+    blocks.push_back(gap_block(std::exp(rng->normal(0.0, 0.15))));
+    return blocks;
+  };
+  return VisitPlan{std::move(source), std::move(*labels)};
+}
+
+sim::BlockSource DnnWorkload::visit(std::uint64_t visit_seed) const {
+  return plan(visit_seed).source;
+}
+
+}  // namespace aegis::workload

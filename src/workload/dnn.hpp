@@ -1,0 +1,74 @@
+// DNN inference workload (MEA case study, paper Section III-E).
+//
+// The paper runs inference of 30 torchvision models in the guest and the
+// attacker recovers the layer sequence from HPC traces (seq-to-seq with a
+// GRU+CTC model). We model each architecture as a sequence of layers; each
+// layer kind has a characteristic instruction mix and memory behaviour, and
+// executes for a number of slices proportional to its work. Short framework
+// gaps (tensor allocation / op dispatch) separate consecutive layers —
+// these act as the CTC blank frames that let the sequence decoder separate
+// repeated layer kinds.
+#pragma once
+
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace aegis::workload {
+
+enum class LayerKind : unsigned char {
+  kConv = 0,
+  kFc,
+  kPool,
+  kBatchNorm,
+  kReLU,
+  kAdd,       // residual connection
+  kCount
+};
+
+inline constexpr std::size_t kNumLayerKinds =
+    static_cast<std::size_t>(LayerKind::kCount);
+/// Frame label for inter-layer gaps (the CTC blank).
+inline constexpr int kBlankLabel = static_cast<int>(LayerKind::kCount);
+
+std::string_view to_string(LayerKind k) noexcept;
+
+struct Layer {
+  LayerKind kind;
+  double work;       // GFLOP-ish scale, decides duration and intensity
+  double footprint;  // bytes of weights+activations touched
+};
+
+class DnnWorkload final : public Workload {
+ public:
+  /// Number of model architectures in the paper's MEA.
+  static constexpr std::size_t kNumModels = 30;
+
+  explicit DnnWorkload(std::size_t model_id, std::size_t slices = 300);
+
+  sim::BlockSource visit(std::uint64_t visit_seed) const override;
+  std::size_t trace_slices() const override { return slices_; }
+  std::string name() const override;
+
+  /// Ground-truth architecture (the MEA label sequence).
+  const std::vector<Layer>& layers() const noexcept { return layers_; }
+  std::vector<LayerKind> layer_sequence() const;
+
+  /// One execution plus its frame-aligned labels. The offline attacker
+  /// builds training alignments this way: the template models are his, so
+  /// he can segment traces by known per-layer work.
+  struct VisitPlan {
+    sim::BlockSource source;
+    std::vector<int> frame_labels;  // per-slice LayerKind or kBlankLabel
+  };
+  VisitPlan plan(std::uint64_t visit_seed) const;
+
+  std::size_t model_id() const noexcept { return model_id_; }
+
+ private:
+  std::size_t model_id_;
+  std::size_t slices_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace aegis::workload

@@ -1,0 +1,29 @@
+#include "workload/idle.hpp"
+
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace aegis::workload {
+
+sim::BlockSource IdleWorkload::visit(std::uint64_t visit_seed) const {
+  auto rng = std::make_shared<util::Rng>(visit_seed ^ 0x1D1EULL);
+  return [rng](std::size_t t) {
+    std::vector<sim::InstructionBlock> blocks;
+    // Kernel housekeeping tick: tiny, sparse, and secret-independent.
+    if (t % 25 == 0) {
+      sim::InstructionBlock b;
+      b.region = 900;
+      b.class_counts[isa::InstructionClass::kIntAlu] = 40;
+      b.class_counts[isa::InstructionClass::kBranch] = 15;
+      b.class_counts[isa::InstructionClass::kLoad] = 20;
+      b.read_bytes = 1024;
+      b.uops = 90;
+      b.locality = 0.9;
+      blocks.push_back(b);
+    }
+    return blocks;
+  };
+}
+
+}  // namespace aegis::workload

@@ -1,0 +1,23 @@
+// Idle-guest workload: what the VM does when the protected application is
+// not running. Warm-up profiling (Section V-B) compares event counts under
+// this workload against the active application to discard events that
+// cannot reflect guest activity.
+#pragma once
+
+#include "workload/workload.hpp"
+
+namespace aegis::workload {
+
+class IdleWorkload final : public Workload {
+ public:
+  explicit IdleWorkload(std::size_t slices = 300) : slices_(slices) {}
+
+  sim::BlockSource visit(std::uint64_t visit_seed) const override;
+  std::size_t trace_slices() const override { return slices_; }
+  std::string name() const override { return "idle"; }
+
+ private:
+  std::size_t slices_;
+};
+
+}  // namespace aegis::workload

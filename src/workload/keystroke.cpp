@@ -1,0 +1,102 @@
+#include "workload/keystroke.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace aegis::workload {
+
+namespace {
+using isa::InstructionClass;
+using sim::InstructionBlock;
+
+constexpr std::uint32_t kInputRegion = 600;
+constexpr std::uint32_t kUiRegion = 601;
+constexpr std::uint32_t kBackgroundRegion = 602;
+
+/// Burst profile: slice 0 = interrupt + input stack, slice 1-2 = UI redraw.
+InstructionBlock burst_block(std::size_t phase, double scale) {
+  InstructionBlock b;
+  if (phase == 0) {
+    b.region = kInputRegion;
+    b.class_counts[InstructionClass::kIntAlu] = 9000 * scale;
+    b.class_counts[InstructionClass::kLogic] = 3600 * scale;
+    b.class_counts[InstructionClass::kBranch] = 2500 * scale;
+    b.class_counts[InstructionClass::kLoad] = 3000 * scale;
+    b.class_counts[InstructionClass::kStore] = 1500 * scale;
+    b.read_bytes = 70e3 * scale;
+    b.write_bytes = 25e3 * scale;
+    b.locality = 0.7;
+    b.branch_entropy = 0.3;
+  } else {
+    b.region = kUiRegion;
+    b.class_counts[InstructionClass::kSimdFp] = 7200 * scale;
+    b.class_counts[InstructionClass::kStore] = 5400 * scale;
+    b.class_counts[InstructionClass::kLoad] = 2400 * scale;
+    b.class_counts[InstructionClass::kBranch] = 1200 * scale;
+    b.read_bytes = 120e3 * scale;
+    b.write_bytes = 240e3 * scale;
+    b.locality = 0.95;
+    b.branch_entropy = 0.1;
+  }
+  double uops = 0.0;
+  for (std::size_t i = 0; i < b.class_counts.size(); ++i) {
+    uops += b.class_counts.at_index(i);
+  }
+  b.uops = uops * 1.1;
+  return b;
+}
+
+}  // namespace
+
+KeystrokeWorkload::KeystrokeWorkload(std::size_t num_keys, std::size_t slices)
+    : num_keys_(std::min(num_keys, kMaxKeys)), slices_(slices) {}
+
+std::string KeystrokeWorkload::name() const {
+  return std::to_string(num_keys_) + " keystrokes";
+}
+
+sim::BlockSource KeystrokeWorkload::visit(std::uint64_t visit_seed) const {
+  auto rng = std::make_shared<util::Rng>(visit_seed ^ 0x4B335935ULL);
+  // Place K bursts with human-like spacing: a random start, then gaps drawn
+  // from a lognormal around ~120 ms (12 slices at our default scale).
+  auto bursts = std::make_shared<std::vector<std::size_t>>();
+  if (num_keys_ > 0) {
+    double pos = rng->uniform(2.0, static_cast<double>(slices_) * 0.3);
+    for (std::size_t k = 0; k < num_keys_; ++k) {
+      bursts->push_back(static_cast<std::size_t>(pos));
+      pos += std::exp(rng->normal(std::log(12.0), 0.4));
+      if (pos >= static_cast<double>(slices_ - 3)) {
+        pos = rng->uniform(2.0, static_cast<double>(slices_ - 4));
+      }
+    }
+    std::sort(bursts->begin(), bursts->end());
+  }
+
+  return [rng, bursts](std::size_t t) {
+    std::vector<InstructionBlock> blocks;
+    // Quiet desktop background: a timer tick every 10 slices.
+    if (t % 10 == 0) {
+      InstructionBlock bg;
+      bg.region = kBackgroundRegion;
+      bg.class_counts[InstructionClass::kIntAlu] = 120;
+      bg.class_counts[InstructionClass::kBranch] = 40;
+      bg.class_counts[InstructionClass::kLoad] = 60;
+      bg.read_bytes = 2048;
+      bg.uops = 250;
+      bg.locality = 0.9;
+      blocks.push_back(bg);
+    }
+    for (std::size_t burst_start : *bursts) {
+      if (t >= burst_start && t < burst_start + 3) {
+        const double scale = std::exp(rng->normal(0.0, 0.12));
+        blocks.push_back(burst_block(t - burst_start, scale));
+      }
+    }
+    return blocks;
+  };
+}
+
+}  // namespace aegis::workload

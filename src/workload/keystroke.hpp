@@ -1,0 +1,31 @@
+// Keystroke workload (KSA case study, paper Section III-D).
+//
+// The paper drives xdotool to emit K keystrokes (K uniform in [0, 9]) over
+// a 3-second window; the attacker infers K (whose timing pattern in turn
+// identifies keys). We model a keystroke as a short burst of interrupt-
+// handler + input-stack + UI-redraw work over an otherwise quiet desktop
+// background, at K random burst positions with human inter-key spacing.
+#pragma once
+
+#include "workload/workload.hpp"
+
+namespace aegis::workload {
+
+class KeystrokeWorkload final : public Workload {
+ public:
+  static constexpr std::size_t kMaxKeys = 9;  // K in [0, 9]
+
+  explicit KeystrokeWorkload(std::size_t num_keys, std::size_t slices = 300);
+
+  sim::BlockSource visit(std::uint64_t visit_seed) const override;
+  std::size_t trace_slices() const override { return slices_; }
+  std::string name() const override;
+
+  std::size_t num_keys() const noexcept { return num_keys_; }
+
+ private:
+  std::size_t num_keys_;
+  std::size_t slices_;
+};
+
+}  // namespace aegis::workload

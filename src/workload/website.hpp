@@ -1,0 +1,50 @@
+// Website-loading workload (WFA case study, paper Section III-C).
+//
+// The paper loads 45 Alexa-top websites in Chrome inside the SEV guest; we
+// model a browser page load as a per-site randomized resource pipeline:
+// network-wait gaps, HTML parsing, JavaScript execution, image decoding and
+// layout/paint phases, with per-site phase structure (resource count,
+// JS intensity, media fraction, working-set sizes) derived deterministically
+// from the site id and per-visit timing/scale jitter on top. Different
+// sites produce distinct 4 x T event signatures; repeat visits of one site
+// produce Gaussian-like count distributions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace aegis::workload {
+
+class WebsiteWorkload final : public Workload {
+ public:
+  /// Number of target sites in the paper's WFA (Alexa top-50 minus 5).
+  static constexpr std::size_t kNumSites = 45;
+
+  /// `slices`: monitoring window (paper: 3000; default scaled to 300).
+  explicit WebsiteWorkload(std::size_t site_id, std::size_t slices = 300);
+
+  sim::BlockSource visit(std::uint64_t visit_seed) const override;
+  std::size_t trace_slices() const override { return slices_; }
+  std::string name() const override;
+
+  std::size_t site_id() const noexcept { return site_id_; }
+
+ private:
+  enum class PhaseKind { kNetworkWait, kParse, kScript, kImageDecode, kPaint };
+  struct Phase {
+    PhaseKind kind;
+    double start_frac;    // position within the load, [0, 1)
+    double duration_frac; // fraction of the window
+    double intensity;     // work multiplier
+    std::uint32_t region; // working-set id
+    double footprint;     // bytes
+  };
+
+  std::size_t site_id_;
+  std::size_t slices_;
+  std::vector<Phase> phases_;
+};
+
+}  // namespace aegis::workload

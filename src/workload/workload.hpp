@@ -1,0 +1,35 @@
+// Workload interface: the guest applications whose secrets the HPC side
+// channels leak.
+//
+// A Workload instance embodies one *secret* (one website, one keystroke
+// count, one DNN architecture). Each call to visit() materializes one
+// execution/run of that secret with fresh run-to-run jitter, returning a
+// BlockSource the simulator can drive. Distinct visits of the same secret
+// produce similar-but-not-identical traces — the Gaussian-per-secret event
+// value distributions of paper Fig. 3.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/host_monitor.hpp"
+
+namespace aegis::workload {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// One execution of the secret. The returned source yields the blocks the
+  /// application executes in monitoring slice t (empty vector = idle).
+  virtual sim::BlockSource visit(std::uint64_t visit_seed) const = 0;
+
+  /// Monitoring window length the paper uses for this application
+  /// (3 s at 1 ms sampling = 3000 slices; scaled down by default).
+  virtual std::size_t trace_slices() const = 0;
+
+  /// Human-readable secret label ("facebook.com", "7 keystrokes", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace aegis::workload

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "fuzzer/confirmation.hpp"
+#include "fuzzer/filtering.hpp"
+#include "fuzzer/fuzzer.hpp"
+#include "fuzzer/set_cover.hpp"
+
+namespace aegis::fuzzer {
+namespace {
+
+using isa::CpuModel;
+using isa::InstructionClass;
+
+struct Fixture {
+  pmu::EventDatabase db = pmu::EventDatabase::generate(CpuModel::kAmdEpyc7252);
+  isa::IsaSpecification spec =
+      isa::IsaSpecification::generate(CpuModel::kAmdEpyc7252);
+
+  std::uint32_t find_variant(InstructionClass iclass, bool mem = false,
+                             bool store = false) const {
+    for (const auto& v : spec.variants()) {
+      if (v.legal() && v.iclass == iclass && v.has_memory_operand == mem &&
+          v.is_store == store) {
+        return v.uid;
+      }
+    }
+    throw std::runtime_error("variant not found");
+  }
+};
+
+TEST(Cleanup, KeepsExactlyTheLegalVariants) {
+  Fixture f;
+  EventFuzzer fuzzer(f.db, f.spec, FuzzerConfig{});
+  const auto& cleaned = fuzzer.cleanup();
+  EXPECT_EQ(cleaned.size(), f.spec.legal_count());
+  for (std::uint32_t uid : cleaned) {
+    EXPECT_TRUE(f.spec.by_uid(uid).legal());
+  }
+}
+
+TEST(Cleanup, IsIdempotent) {
+  Fixture f;
+  EventFuzzer fuzzer(f.db, f.spec, FuzzerConfig{});
+  const auto first = fuzzer.cleanup();
+  const auto second = fuzzer.cleanup();
+  EXPECT_EQ(first, second);
+}
+
+TEST(Confirmation, ConfirmsFlushLoadGadgetForCacheEvent) {
+  // The paper's canonical example: clflush reset + load trigger disturbs
+  // cache-refill events.
+  Fixture f;
+  sim::GadgetRunner runner(f.db, f.spec, 1);
+  runner.program({*f.db.find("DATA_CACHE_REFILLS_FROM_SYSTEM")});
+  const Gadget gadget{f.find_variant(InstructionClass::kCacheFlush, true),
+                      f.find_variant(InstructionClass::kLoad, true)};
+  const ConfirmationOutcome outcome =
+      confirm_gadget(runner, gadget, 0, ConfirmationParams{});
+  EXPECT_TRUE(outcome.confirmed);
+  EXPECT_GT(outcome.trigger_delta(), 0.3);
+}
+
+TEST(Confirmation, RejectsGadgetWhoseResetDoesNotReset) {
+  // NOP reset + load trigger: without a flush, the loads hit cache after
+  // the first execution, so the cumulative misses fall far short of
+  // R * median -> the lambda1 linearity constraint rejects it (C6).
+  Fixture f;
+  sim::GadgetRunner runner(f.db, f.spec, 2);
+  runner.program({*f.db.find("DATA_CACHE_REFILLS_FROM_SYSTEM")});
+  const Gadget gadget{f.find_variant(InstructionClass::kNop),
+                      f.find_variant(InstructionClass::kLoad, true)};
+  const ConfirmationOutcome outcome =
+      confirm_gadget(runner, gadget, 0, ConfirmationParams{});
+  EXPECT_FALSE(outcome.confirmed);
+}
+
+TEST(Confirmation, RejectsResetSideEffectGadget) {
+  // Store reset + NOP trigger on a store-counting event: the whole change
+  // comes from the reset (C5); the hot path is not lambda2 times the cold.
+  Fixture f;
+  sim::GadgetRunner runner(f.db, f.spec, 3);
+  runner.program({*f.db.find("HW_CACHE_L1D:WRITE:ACCESS")});
+  const Gadget gadget{f.find_variant(InstructionClass::kStore, true, true),
+                      f.find_variant(InstructionClass::kNop)};
+  const ConfirmationOutcome outcome =
+      confirm_gadget(runner, gadget, 0, ConfirmationParams{});
+  EXPECT_FALSE(outcome.confirmed);
+}
+
+TEST(Confirmation, ConfirmsUopGadgetWithCheapReset) {
+  Fixture f;
+  sim::GadgetRunner runner(f.db, f.spec, 4);
+  runner.program({*f.db.find("RETIRED_UOPS")});
+  const Gadget gadget{f.find_variant(InstructionClass::kNop),
+                      f.find_variant(InstructionClass::kIntDiv)};
+  const ConfirmationOutcome outcome =
+      confirm_gadget(runner, gadget, 0, ConfirmationParams{});
+  EXPECT_TRUE(outcome.confirmed);
+}
+
+TEST(Confirmation, MeasurePathSeparatesColdAndHot) {
+  Fixture f;
+  sim::GadgetRunner runner(f.db, f.spec, 5);
+  runner.program({*f.db.find("RETIRED_UOPS")});
+  const Gadget gadget{f.find_variant(InstructionClass::kNop),
+                      f.find_variant(InstructionClass::kIntMul)};
+  const ConfirmationParams params;
+  const PathMeasurement cold = measure_path(runner, gadget, false, 0, params);
+  const PathMeasurement hot = measure_path(runner, gadget, true, 0, params);
+  EXPECT_GT(hot.median, cold.median + 1.0);
+  EXPECT_NEAR(hot.cumulative, hot.median * params.repeats,
+              hot.cumulative * 0.3 + 1.0);
+}
+
+TEST(Filtering, ClustersByExtensionAndCategory) {
+  Fixture f;
+  // Two gadgets with identical attribute tuples and one different.
+  std::vector<std::uint32_t> alus, simds;
+  for (const auto& v : f.spec.variants()) {
+    if (!v.legal()) continue;
+    if (v.iclass == InstructionClass::kIntAlu && !v.has_memory_operand &&
+        alus.size() < 2) {
+      alus.push_back(v.uid);
+    }
+    if (v.iclass == InstructionClass::kSimdFp && v.extension == isa::Extension::kSse &&
+        simds.size() < 1) {
+      simds.push_back(v.uid);
+    }
+  }
+  ASSERT_EQ(alus.size(), 2u);
+  ASSERT_EQ(simds.size(), 1u);
+  const std::uint32_t nop = f.find_variant(InstructionClass::kNop);
+  std::vector<ConfirmedGadget> confirmed = {
+      {{nop, alus[0]}, 0, 10.0},
+      {{nop, alus[1]}, 0, 20.0},  // same cluster, higher delta
+      {{nop, simds[0]}, 0, 5.0},
+  };
+  const FilterOutcome outcome = filter_gadgets(confirmed, f.spec);
+  EXPECT_EQ(outcome.clusters, 2u);
+  EXPECT_EQ(outcome.representatives.size(), 2u);
+  EXPECT_DOUBLE_EQ(outcome.best.median_delta, 20.0);
+  // The ALU cluster representative is the max-delta member.
+  bool found = false;
+  for (const auto& g : outcome.representatives) {
+    if (g.gadget.trigger_uid == alus[1]) found = true;
+    EXPECT_NE(g.gadget.trigger_uid, alus[0]);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Filtering, EmptyInputYieldsEmptyOutcome) {
+  Fixture f;
+  const FilterOutcome outcome = filter_gadgets({}, f.spec);
+  EXPECT_EQ(outcome.clusters, 0u);
+  EXPECT_TRUE(outcome.representatives.empty());
+}
+
+TEST(Fuzzer, RunFindsGadgetsForAttackEvents) {
+  Fixture f;
+  FuzzerConfig config;
+  config.reset_sample = 40;
+  config.trigger_sample = 40;
+  config.repeats = 6;
+  EventFuzzer fuzzer(f.db, f.spec, config);
+  std::vector<std::uint32_t> events;
+  for (auto name : pmu::kAmdAttackEvents) events.push_back(*f.db.find(name));
+  const FuzzResult result = fuzzer.run(events);
+  ASSERT_EQ(result.reports.size(), 4u);
+  for (const auto& report : result.reports) {
+    EXPECT_FALSE(report.confirmed.empty())
+        << f.db.by_id(report.event_id).name;
+    EXPECT_LE(report.representatives.size(), report.confirmed.size());
+    EXPECT_GT(report.best.median_delta, 0.0);
+  }
+  EXPECT_EQ(result.cleaned_instructions, f.spec.legal_count());
+  EXPECT_EQ(result.total_gadget_space,
+            f.spec.legal_count() * f.spec.legal_count());
+  EXPECT_GT(result.executed_gadgets, 0u);
+  EXPECT_GT(result.timing.generation_execution_seconds, 0.0);
+}
+
+TEST(Fuzzer, ConfirmedGadgetsAreSubsetOfCandidates) {
+  Fixture f;
+  FuzzerConfig config;
+  config.reset_sample = 24;
+  config.trigger_sample = 24;
+  config.repeats = 5;
+  EventFuzzer fuzzer(f.db, f.spec, config);
+  const FuzzResult result = fuzzer.run({*f.db.find("RETIRED_UOPS")});
+  ASSERT_EQ(result.reports.size(), 1u);
+  EXPECT_LE(result.reports[0].confirmed.size(), result.reports[0].candidates);
+}
+
+TEST(SetCover, CoversEveryEventWithGadgets) {
+  Fixture f;
+  FuzzerConfig config;
+  config.reset_sample = 32;
+  config.trigger_sample = 32;
+  config.repeats = 5;
+  EventFuzzer fuzzer(f.db, f.spec, config);
+  std::vector<std::uint32_t> events;
+  for (auto name : pmu::kAmdAttackEvents) events.push_back(*f.db.find(name));
+  events.push_back(*f.db.find("RETIRED_BRANCH_INSTRUCTIONS"));
+  events.push_back(*f.db.find("RETIRED_MMX_FP_INSTRUCTIONS:SSE_INSTR"));
+  const FuzzResult result = fuzzer.run(events);
+  const GadgetCover cover = minimal_gadget_cover(result);
+  EXPECT_TRUE(cover.uncovered_events.empty());
+  EXPECT_EQ(cover.covered_events.size(), events.size());
+  // The cover exploits intersections: far fewer gadgets than events.
+  EXPECT_LE(cover.gadgets.size(), events.size());
+  EXPECT_GE(cover.gadgets.size(), 1u);
+  // Every covered event has a positive segment effect.
+  for (const auto& [event, delta] : cover.segment_effect) {
+    EXPECT_GT(delta, 0.0) << f.db.by_id(event).name;
+  }
+}
+
+TEST(SetCover, ReportsUncoverableEvents) {
+  FuzzResult result;
+  EventFuzzReport empty_report;
+  empty_report.event_id = 42;
+  result.reports.push_back(empty_report);  // no confirmed gadgets
+  const GadgetCover cover = minimal_gadget_cover(result);
+  ASSERT_EQ(cover.uncovered_events.size(), 1u);
+  EXPECT_EQ(cover.uncovered_events[0], 42u);
+  EXPECT_TRUE(cover.gadgets.empty());
+}
+
+TEST(SetCover, GreedyPrefersSharedGadgets) {
+  // Build a synthetic result where one gadget covers both events and two
+  // others cover one each; greedy must pick the shared gadget alone.
+  FuzzResult result;
+  const Gadget shared{1, 2}, only_a{3, 4}, only_b{5, 6};
+  EventFuzzReport ra, rb;
+  ra.event_id = 100;
+  ra.confirmed = {{shared, 100, 5.0}, {only_a, 100, 50.0}};
+  rb.event_id = 200;
+  rb.confirmed = {{shared, 200, 5.0}, {only_b, 200, 50.0}};
+  result.reports = {ra, rb};
+  const GadgetCover cover = minimal_gadget_cover(result);
+  ASSERT_EQ(cover.gadgets.size(), 1u);
+  EXPECT_EQ(cover.gadgets[0], shared);
+}
+
+TEST(GadgetHash, DistinguishesGadgets) {
+  GadgetHash h;
+  EXPECT_NE(h(Gadget{1, 2}), h(Gadget{2, 1}));
+  EXPECT_EQ(h(Gadget{7, 9}), h(Gadget{7, 9}));
+}
+
+}  // namespace
+}  // namespace aegis::fuzzer

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "profiler/profiler.hpp"
+#include "workload/keystroke.hpp"
+#include "workload/website.hpp"
+
+namespace aegis::profiler {
+namespace {
+
+using isa::CpuModel;
+
+ProfilerConfig quick_config() {
+  ProfilerConfig config;
+  config.warmup_slices = 60;
+  config.warmup_repeats = 3;
+  config.ranking_runs_per_secret = 5;
+  return config;
+}
+
+TEST(Warmup, KeepsRoughlyTheGuestVisibleEvents) {
+  const auto db = pmu::EventDatabase::generate(CpuModel::kAmdEpyc7252);
+  ApplicationProfiler profiler(db, quick_config());
+  const workload::WebsiteWorkload app(0, 60);
+  const WarmupReport report = profiler.warmup(app);
+  EXPECT_EQ(report.total_events, 1903u);
+  // Section V-B: 137 AMD events reflect guest activity; the statistical
+  // filter recovers nearly all of them and admits almost nothing else.
+  EXPECT_NEAR(static_cast<double>(report.surviving.size()), 136.0, 10.0);
+
+  std::size_t visible_kept = 0;
+  for (std::uint32_t id : report.surviving) {
+    if (db.by_id(id).response.guest_visible()) ++visible_kept;
+  }
+  // No host-only event sneaks through.
+  EXPECT_EQ(visible_kept, report.surviving.size());
+}
+
+TEST(Warmup, TypeBreakdownDropsSoftwareAndOther) {
+  const auto db = pmu::EventDatabase::generate(CpuModel::kAmdEpyc7252);
+  ApplicationProfiler profiler(db, quick_config());
+  const workload::WebsiteWorkload app(0, 60);
+  const WarmupReport report = profiler.warmup(app);
+  using pmu::EventType;
+  EXPECT_EQ(report.after_by_type[static_cast<std::size_t>(EventType::kSoftware)], 0u);
+  EXPECT_EQ(report.after_by_type[static_cast<std::size_t>(EventType::kOther)], 0u);
+  EXPECT_GT(report.after_by_type[static_cast<std::size_t>(EventType::kHardware)], 15u);
+  EXPECT_GT(report.after_by_type[static_cast<std::size_t>(EventType::kHwCache)], 40u);
+  EXPECT_GT(report.wall_seconds, 0.0);
+}
+
+TEST(Warmup, IdleApplicationKeepsAlmostNothing) {
+  const auto db = pmu::EventDatabase::generate(CpuModel::kAmdEpyc7252);
+  ApplicationProfiler profiler(db, quick_config());
+  const workload::KeystrokeWorkload app(0, 60);  // zero keystrokes: near idle
+  const WarmupReport report = profiler.warmup(app);
+  EXPECT_LT(report.surviving.size(), 60u);
+}
+
+TEST(Ranking, HighMiEventsRankAboveWeaklyCoupledOnes) {
+  const auto db = pmu::EventDatabase::generate(CpuModel::kAmdEpyc7252);
+  ApplicationProfiler profiler(db, quick_config());
+  std::vector<std::unique_ptr<workload::Workload>> secrets;
+  for (std::size_t s = 0; s < 6; ++s) {
+    secrets.push_back(std::make_unique<workload::WebsiteWorkload>(s, 120));
+  }
+  // Rank a strongly-coupled event against a host-only software event.
+  const std::uint32_t uops = *db.find("RETIRED_UOPS");
+  const std::uint32_t weak = *db.find("context-switches");
+  const auto ranks = profiler.rank(secrets, {uops, weak});
+  ASSERT_EQ(ranks.size(), 2u);
+  EXPECT_EQ(ranks[0].event_id, uops);
+  EXPECT_GT(ranks[0].mutual_information, ranks[1].mutual_information);
+  // MI is bounded by H(Y) = log2(6) bits.
+  for (const auto& r : ranks) {
+    EXPECT_GE(r.mutual_information, 0.0);
+    EXPECT_LE(r.mutual_information, std::log2(6.0) + 1e-9);
+  }
+}
+
+TEST(Ranking, SortedDescending) {
+  const auto db = pmu::EventDatabase::generate(CpuModel::kAmdEpyc7252);
+  ApplicationProfiler profiler(db, quick_config());
+  std::vector<std::unique_ptr<workload::Workload>> secrets;
+  for (std::size_t s = 0; s < 4; ++s) {
+    secrets.push_back(std::make_unique<workload::WebsiteWorkload>(s, 100));
+  }
+  std::vector<std::uint32_t> events;
+  for (auto name : pmu::kAmdAttackEvents) events.push_back(*db.find(name));
+  events.push_back(*db.find("CPU-CYCLES"));
+  events.push_back(*db.find("BRANCH-MISSES"));
+  const auto ranks = profiler.rank(secrets, events);
+  ASSERT_EQ(ranks.size(), events.size());
+  EXPECT_TRUE(std::is_sorted(ranks.begin(), ranks.end(),
+                             [](const EventRank& a, const EventRank& b) {
+                               return a.mutual_information > b.mutual_information;
+                             }));
+  // Every input event appears exactly once.
+  std::unordered_set<std::uint32_t> seen;
+  for (const auto& r : ranks) seen.insert(r.event_id);
+  EXPECT_EQ(seen.size(), events.size());
+}
+
+TEST(CostModel, WarmupTimeMatchesPaperNumbers) {
+  // Section VIII-A: T_W = (M * t_w * 2) / C; 0.85 h on Intel (M = 6166),
+  // 0.26 h on AMD (M = 1903), with t_w = 1 s and C = 4.
+  EXPECT_NEAR(ApplicationProfiler::warmup_time_hours(6166, 1.0, 4), 0.85, 0.01);
+  EXPECT_NEAR(ApplicationProfiler::warmup_time_hours(1903, 1.0, 4), 0.26, 0.01);
+}
+
+TEST(CostModel, RankingTimeMatchesPaperNumbers) {
+  // T_P = (N * S * 100 * t_p) / C with N = 137 survivors and C = 4:
+  // WFA (S = 45): 42.81 h; KSA (S = 10): 9.51 h; MEA (S = 30): 28.54 h.
+  EXPECT_NEAR(ApplicationProfiler::ranking_time_hours(137, 45, 100, 1.0, 4),
+              42.81, 0.05);
+  EXPECT_NEAR(ApplicationProfiler::ranking_time_hours(137, 10, 100, 1.0, 4),
+              9.51, 0.05);
+  EXPECT_NEAR(ApplicationProfiler::ranking_time_hours(137, 30, 100, 1.0, 4),
+              28.54, 0.05);
+}
+
+}  // namespace
+}  // namespace aegis::profiler

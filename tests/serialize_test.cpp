@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "attack/wfa.hpp"
+#include "core/serialize.hpp"
+
+namespace aegis::core {
+namespace {
+
+struct Fixture {
+  Aegis aegis{isa::CpuModel::kAmdEpyc7252};
+  std::vector<std::unique_ptr<workload::Workload>> secrets;
+  OfflineResult result;
+
+  Fixture() {
+    attack::WfaScale scale;
+    scale.sites = 4;
+    scale.slices = 100;
+    secrets = attack::make_wfa_secrets(scale);
+    OfflineConfig config = make_quick_offline_config();
+    config.profiler.ranking_runs_per_secret = 3;
+    config.fuzz_top_events = 12;
+    result = aegis.analyze(*secrets[0], secrets, config);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(Serialize, RoundTripsEveryComponent) {
+  auto& f = fixture();
+  std::stringstream stream;
+  save_offline_result(stream, f.result, f.aegis.database());
+  const OfflineResult loaded =
+      load_offline_result(stream, f.aegis.database());
+
+  EXPECT_EQ(loaded.warmup.surviving, f.result.warmup.surviving);
+  ASSERT_EQ(loaded.ranking.size(), f.result.ranking.size());
+  for (std::size_t i = 0; i < loaded.ranking.size(); ++i) {
+    EXPECT_EQ(loaded.ranking[i].event_id, f.result.ranking[i].event_id);
+    EXPECT_NEAR(loaded.ranking[i].mutual_information,
+                f.result.ranking[i].mutual_information, 1e-4);
+  }
+  ASSERT_EQ(loaded.fuzz.reports.size(), f.result.fuzz.reports.size());
+  for (std::size_t i = 0; i < loaded.fuzz.reports.size(); ++i) {
+    const auto& a = loaded.fuzz.reports[i];
+    const auto& b = f.result.fuzz.reports[i];
+    EXPECT_EQ(a.event_id, b.event_id);
+    ASSERT_EQ(a.confirmed.size(), b.confirmed.size());
+    for (std::size_t g = 0; g < a.confirmed.size(); ++g) {
+      EXPECT_EQ(a.confirmed[g].gadget, b.confirmed[g].gadget);
+      EXPECT_NEAR(a.confirmed[g].median_delta, b.confirmed[g].median_delta, 1e-4);
+    }
+    EXPECT_EQ(a.best.gadget, b.best.gadget);
+  }
+  EXPECT_EQ(loaded.cover.gadgets, f.result.cover.gadgets);
+  EXPECT_EQ(loaded.cover.covered_events.size(),
+            f.result.cover.covered_events.size());
+  EXPECT_EQ(loaded.cover.uncovered_events, f.result.cover.uncovered_events);
+}
+
+TEST(Serialize, LoadedResultBuildsAWorkingObfuscator) {
+  auto& f = fixture();
+  std::stringstream stream;
+  save_offline_result(stream, f.result, f.aegis.database());
+  const OfflineResult loaded = load_offline_result(stream, f.aegis.database());
+
+  dp::MechanismConfig mech;
+  mech.kind = dp::MechanismKind::kLaplace;
+  mech.epsilon = 0.5;
+  auto obf = f.aegis.make_obfuscator(loaded, f.secrets, mech);
+  sim::VirtualMachine vm(sim::VmConfig{}, 1);
+  auto agent = obf->session();
+  for (std::size_t t = 0; t < 50; ++t) {
+    agent(vm, t);
+    (void)vm.run_slice();
+  }
+  EXPECT_GT(obf->total_injected_repetitions(), 0.0);
+}
+
+TEST(Serialize, LoadsAcrossFamilyMembers) {
+  auto& f = fixture();
+  std::stringstream stream;
+  save_offline_result(stream, f.result, f.aegis.database());
+  // The 7313P shares the 7252's event list (Table I): the analysis ports.
+  const auto sibling = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7313P);
+  const OfflineResult loaded = load_offline_result(stream, sibling);
+  EXPECT_EQ(loaded.warmup.surviving.size(), f.result.warmup.surviving.size());
+}
+
+TEST(Serialize, RejectsCrossVendorLoads) {
+  auto& f = fixture();
+  std::stringstream stream;
+  save_offline_result(stream, f.result, f.aegis.database());
+  const auto intel = pmu::EventDatabase::generate(isa::CpuModel::kIntelXeonE5_1650);
+  EXPECT_THROW((void)load_offline_result(stream, intel), std::runtime_error);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  auto& f = fixture();
+  std::stringstream bad("not an aegis file\n");
+  EXPECT_THROW((void)load_offline_result(bad, f.aegis.database()),
+               std::runtime_error);
+  std::stringstream truncated("aegis-offline-result v1\ncpu AMD EPYC 7252\n");
+  EXPECT_THROW((void)load_offline_result(truncated, f.aegis.database()),
+               std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  auto& f = fixture();
+  const std::string path = "/tmp/aegis_serialize_test.txt";
+  save_offline_result(path, f.result, f.aegis.database());
+  const OfflineResult loaded = load_offline_result(path, f.aegis.database());
+  EXPECT_EQ(loaded.cover.gadgets, f.result.cover.gadgets);
+  EXPECT_THROW((void)load_offline_result("/nonexistent/path", f.aegis.database()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aegis::core

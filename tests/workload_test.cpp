@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/dnn.hpp"
+#include "workload/idle.hpp"
+#include "workload/keystroke.hpp"
+#include "workload/website.hpp"
+
+namespace aegis::workload {
+namespace {
+
+double total_uops(const sim::BlockSource& source, std::size_t slices) {
+  double total = 0.0;
+  for (std::size_t t = 0; t < slices; ++t) {
+    for (const auto& b : source(t)) total += b.uops;
+  }
+  return total;
+}
+
+TEST(Website, SameSeedSameVisit) {
+  WebsiteWorkload site(3, 200);
+  auto a = site.visit(42);
+  auto b = site.visit(42);
+  for (std::size_t t = 0; t < 200; t += 17) {
+    const auto blocks_a = a(t);
+    const auto blocks_b = b(t);
+    ASSERT_EQ(blocks_a.size(), blocks_b.size());
+    for (std::size_t i = 0; i < blocks_a.size(); ++i) {
+      EXPECT_DOUBLE_EQ(blocks_a[i].uops, blocks_b[i].uops);
+    }
+  }
+}
+
+TEST(Website, DifferentVisitsJitter) {
+  WebsiteWorkload site(3, 200);
+  const double u1 = total_uops(site.visit(1), 200);
+  const double u2 = total_uops(site.visit(2), 200);
+  EXPECT_NE(u1, u2);
+  // Same site: visits stay within a modest band.
+  EXPECT_NEAR(u1 / u2, 1.0, 0.5);
+}
+
+TEST(Website, SitesHaveDistinctActivity) {
+  std::set<long long> signatures;
+  for (std::size_t s = 0; s < WebsiteWorkload::kNumSites; ++s) {
+    WebsiteWorkload site(s, 200);
+    signatures.insert(static_cast<long long>(total_uops(site.visit(7), 200)));
+  }
+  // All 45 sites produce distinct total work signatures.
+  EXPECT_EQ(signatures.size(), WebsiteWorkload::kNumSites);
+}
+
+TEST(Website, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (std::size_t s = 0; s < WebsiteWorkload::kNumSites; ++s) {
+    const std::string n = WebsiteWorkload(s, 100).name();
+    EXPECT_FALSE(n.empty());
+    names.insert(n);
+  }
+  EXPECT_EQ(names.size(), WebsiteWorkload::kNumSites);
+}
+
+TEST(Website, SiteIdWrapsModulo) {
+  EXPECT_EQ(WebsiteWorkload(0, 100).name(),
+            WebsiteWorkload(WebsiteWorkload::kNumSites, 100).name());
+}
+
+TEST(Website, InitialSlicesAreQuietNetworkWait) {
+  WebsiteWorkload site(5, 300);
+  auto source = site.visit(9);
+  double early = 0.0, late = 0.0;
+  for (std::size_t t = 0; t < 10; ++t) {
+    for (const auto& b : source(t)) early += b.uops;
+  }
+  for (std::size_t t = 120; t < 130; ++t) {
+    for (const auto& b : source(t)) late += b.uops;
+  }
+  EXPECT_LT(early, late);
+}
+
+class KeystrokeCountTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KeystrokeCountTest, WorkGrowsWithKeyCount) {
+  const std::size_t k = GetParam();
+  KeystrokeWorkload wl(k, 300);
+  // Average across visits to smooth jitter.
+  double total = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    total += total_uops(wl.visit(seed), 300);
+  }
+  KeystrokeWorkload zero(0, 300);
+  double base = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    base += total_uops(zero.visit(seed), 300);
+  }
+  if (k == 0) {
+    EXPECT_NEAR(total, base, 1e-6);
+  } else {
+    // Each keystroke adds a burst of roughly constant work.
+    const double per_key = (total - base) / 8.0 / static_cast<double>(k);
+    EXPECT_GT(per_key, 10e3);
+    EXPECT_LT(per_key, 80e3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, KeystrokeCountTest,
+                         ::testing::Values(0u, 1u, 3u, 5u, 9u));
+
+TEST(Keystroke, ClampsToMaxKeys) {
+  KeystrokeWorkload wl(50, 100);
+  EXPECT_EQ(wl.num_keys(), KeystrokeWorkload::kMaxKeys);
+}
+
+TEST(Keystroke, NameEncodesCount) {
+  EXPECT_EQ(KeystrokeWorkload(4, 100).name(), "4 keystrokes");
+}
+
+TEST(Dnn, ThirtyDistinctArchitectures) {
+  std::set<std::string> names;
+  std::set<std::size_t> lengths;
+  for (std::size_t m = 0; m < DnnWorkload::kNumModels; ++m) {
+    DnnWorkload wl(m, 240);
+    names.insert(wl.name());
+    lengths.insert(wl.layers().size());
+    EXPECT_GE(wl.layers().size(), 8u) << wl.name();
+  }
+  EXPECT_EQ(names.size(), DnnWorkload::kNumModels);
+  EXPECT_GT(lengths.size(), 8u);  // depths genuinely vary
+}
+
+TEST(Dnn, LayerSequenceMatchesLayers) {
+  DnnWorkload wl(3, 240);
+  const auto seq = wl.layer_sequence();
+  ASSERT_EQ(seq.size(), wl.layers().size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i], wl.layers()[i].kind);
+  }
+}
+
+TEST(Dnn, PlanLabelsAreAlignedAndCoverLayers) {
+  DnnWorkload wl(5, 240);
+  const auto plan = wl.plan(11);
+  ASSERT_EQ(plan.frame_labels.size(), 240u);
+  // Labels are layer kinds or blank.
+  std::size_t labelled = 0;
+  for (int label : plan.frame_labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LE(label, kBlankLabel);
+    if (label != kBlankLabel) ++labelled;
+  }
+  EXPECT_GT(labelled, 60u);  // a solid fraction of frames carry a layer
+}
+
+TEST(Dnn, LabelledFramesHaveLayerActivity) {
+  DnnWorkload wl(7, 240);
+  const auto plan = wl.plan(13);
+  double labelled_uops = 0.0, blank_uops = 0.0;
+  std::size_t labelled = 0, blank = 0;
+  for (std::size_t t = 0; t < 240; ++t) {
+    double u = 0.0;
+    for (const auto& b : plan.source(t)) u += b.uops;
+    if (plan.frame_labels[t] != kBlankLabel) {
+      labelled_uops += u;
+      ++labelled;
+    } else {
+      blank_uops += u;
+      ++blank;
+    }
+  }
+  ASSERT_GT(labelled, 0u);
+  ASSERT_GT(blank, 0u);
+  EXPECT_GT(labelled_uops / static_cast<double>(labelled),
+            3.0 * blank_uops / static_cast<double>(blank));
+}
+
+TEST(Dnn, ConvLayersAreSimdHeavy) {
+  DnnWorkload wl(3, 240);  // vgg16: conv-dominated
+  const auto plan = wl.plan(17);
+  double simd = 0.0, total = 0.0;
+  for (std::size_t t = 0; t < 240; ++t) {
+    if (plan.frame_labels[t] != static_cast<int>(LayerKind::kConv)) continue;
+    for (const auto& b : plan.source(t)) {
+      simd += b.class_counts[isa::InstructionClass::kSimdFp];
+      total += b.uops;
+    }
+  }
+  ASSERT_GT(total, 0.0);
+  EXPECT_GT(simd / total, 0.3);
+}
+
+TEST(Dnn, LayerKindNames) {
+  EXPECT_EQ(to_string(LayerKind::kConv), "Conv");
+  EXPECT_EQ(to_string(LayerKind::kFc), "FC");
+  EXPECT_EQ(to_string(LayerKind::kAdd), "Add");
+}
+
+TEST(Idle, NearlyNoActivity) {
+  IdleWorkload idle(300);
+  EXPECT_LT(total_uops(idle.visit(3), 300), 2000.0);
+  EXPECT_EQ(idle.name(), "idle");
+}
+
+TEST(Workloads, TraceSlicesRespected) {
+  EXPECT_EQ(WebsiteWorkload(1, 123).trace_slices(), 123u);
+  EXPECT_EQ(KeystrokeWorkload(1, 77).trace_slices(), 77u);
+  EXPECT_EQ(DnnWorkload(1, 88).trace_slices(), 88u);
+  EXPECT_EQ(IdleWorkload(99).trace_slices(), 99u);
+}
+
+}  // namespace
+}  // namespace aegis::workload

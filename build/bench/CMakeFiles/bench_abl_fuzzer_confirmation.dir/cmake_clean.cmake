@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_fuzzer_confirmation.dir/bench_abl_fuzzer_confirmation.cpp.o"
+  "CMakeFiles/bench_abl_fuzzer_confirmation.dir/bench_abl_fuzzer_confirmation.cpp.o.d"
+  "bench_abl_fuzzer_confirmation"
+  "bench_abl_fuzzer_confirmation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_fuzzer_confirmation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

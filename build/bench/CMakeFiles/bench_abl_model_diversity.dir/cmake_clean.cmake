@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_model_diversity.dir/bench_abl_model_diversity.cpp.o"
+  "CMakeFiles/bench_abl_model_diversity.dir/bench_abl_model_diversity.cpp.o.d"
+  "bench_abl_model_diversity"
+  "bench_abl_model_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_model_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

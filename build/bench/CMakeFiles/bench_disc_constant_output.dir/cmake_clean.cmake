@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disc_constant_output.dir/bench_disc_constant_output.cpp.o"
+  "CMakeFiles/bench_disc_constant_output.dir/bench_disc_constant_output.cpp.o.d"
+  "bench_disc_constant_output"
+  "bench_disc_constant_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disc_constant_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

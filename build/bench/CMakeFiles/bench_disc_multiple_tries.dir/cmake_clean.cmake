@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disc_multiple_tries.dir/bench_disc_multiple_tries.cpp.o"
+  "CMakeFiles/bench_disc_multiple_tries.dir/bench_disc_multiple_tries.cpp.o.d"
+  "bench_disc_multiple_tries"
+  "bench_disc_multiple_tries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disc_multiple_tries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

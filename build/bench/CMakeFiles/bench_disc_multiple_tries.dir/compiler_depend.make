@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_disc_multiple_tries.
+# This may be replaced when dependencies are built.

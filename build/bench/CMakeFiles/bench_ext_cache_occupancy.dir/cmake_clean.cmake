@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cache_occupancy.dir/bench_ext_cache_occupancy.cpp.o"
+  "CMakeFiles/bench_ext_cache_occupancy.dir/bench_ext_cache_occupancy.cpp.o.d"
+  "bench_ext_cache_occupancy"
+  "bench_ext_cache_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cache_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_intel_generality.dir/bench_ext_intel_generality.cpp.o"
+  "CMakeFiles/bench_ext_intel_generality.dir/bench_ext_intel_generality.cpp.o.d"
+  "bench_ext_intel_generality"
+  "bench_ext_intel_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_intel_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

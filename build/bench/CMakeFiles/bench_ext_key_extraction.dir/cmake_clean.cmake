@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_key_extraction.dir/bench_ext_key_extraction.cpp.o"
+  "CMakeFiles/bench_ext_key_extraction.dir/bench_ext_key_extraction.cpp.o.d"
+  "bench_ext_key_extraction"
+  "bench_ext_key_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_key_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

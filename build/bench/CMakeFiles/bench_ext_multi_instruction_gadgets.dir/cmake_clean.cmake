@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multi_instruction_gadgets.dir/bench_ext_multi_instruction_gadgets.cpp.o"
+  "CMakeFiles/bench_ext_multi_instruction_gadgets.dir/bench_ext_multi_instruction_gadgets.cpp.o.d"
+  "bench_ext_multi_instruction_gadgets"
+  "bench_ext_multi_instruction_gadgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multi_instruction_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

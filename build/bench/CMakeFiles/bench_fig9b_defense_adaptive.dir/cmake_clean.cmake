@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9b_defense_adaptive.dir/bench_fig9b_defense_adaptive.cpp.o"
+  "CMakeFiles/bench_fig9b_defense_adaptive.dir/bench_fig9b_defense_adaptive.cpp.o.d"
+  "bench_fig9b_defense_adaptive"
+  "bench_fig9b_defense_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9b_defense_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_hpc_statistics.dir/bench_table1_hpc_statistics.cpp.o"
+  "CMakeFiles/bench_table1_hpc_statistics.dir/bench_table1_hpc_statistics.cpp.o.d"
+  "bench_table1_hpc_statistics"
+  "bench_table1_hpc_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_hpc_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_event_distribution.dir/bench_table2_event_distribution.cpp.o"
+  "CMakeFiles/bench_table2_event_distribution.dir/bench_table2_event_distribution.cpp.o.d"
+  "bench_table2_event_distribution"
+  "bench_table2_event_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_event_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_fuzzing.dir/bench_table3_fuzzing.cpp.o"
+  "CMakeFiles/bench_table3_fuzzing.dir/bench_table3_fuzzing.cpp.o.d"
+  "bench_table3_fuzzing"
+  "bench_table3_fuzzing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_fuzzing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_analysis.dir/deploy_analysis.cpp.o"
+  "CMakeFiles/deploy_analysis.dir/deploy_analysis.cpp.o.d"
+  "deploy_analysis"
+  "deploy_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keystroke_sniffing.dir/keystroke_sniffing.cpp.o"
+  "CMakeFiles/keystroke_sniffing.dir/keystroke_sniffing.cpp.o.d"
+  "keystroke_sniffing"
+  "keystroke_sniffing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keystroke_sniffing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

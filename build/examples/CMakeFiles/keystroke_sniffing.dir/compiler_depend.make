@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for keystroke_sniffing.
+# This may be replaced when dependencies are built.

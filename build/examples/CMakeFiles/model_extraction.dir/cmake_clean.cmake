@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_extraction.dir/model_extraction.cpp.o"
+  "CMakeFiles/model_extraction.dir/model_extraction.cpp.o.d"
+  "model_extraction"
+  "model_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

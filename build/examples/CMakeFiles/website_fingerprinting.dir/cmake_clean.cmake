@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/website_fingerprinting.dir/website_fingerprinting.cpp.o"
+  "CMakeFiles/website_fingerprinting.dir/website_fingerprinting.cpp.o.d"
+  "website_fingerprinting"
+  "website_fingerprinting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/website_fingerprinting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/classification_attack.cpp" "src/CMakeFiles/aegis.dir/attack/classification_attack.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/attack/classification_attack.cpp.o.d"
+  "/root/repo/src/attack/dataset.cpp" "src/CMakeFiles/aegis.dir/attack/dataset.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/attack/dataset.cpp.o.d"
+  "/root/repo/src/attack/kea.cpp" "src/CMakeFiles/aegis.dir/attack/kea.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/attack/kea.cpp.o.d"
+  "/root/repo/src/attack/ksa.cpp" "src/CMakeFiles/aegis.dir/attack/ksa.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/attack/ksa.cpp.o.d"
+  "/root/repo/src/attack/mea.cpp" "src/CMakeFiles/aegis.dir/attack/mea.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/attack/mea.cpp.o.d"
+  "/root/repo/src/attack/wfa.cpp" "src/CMakeFiles/aegis.dir/attack/wfa.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/attack/wfa.cpp.o.d"
+  "/root/repo/src/core/aegis.cpp" "src/CMakeFiles/aegis.dir/core/aegis.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/core/aegis.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/aegis.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/CMakeFiles/aegis.dir/core/serialize.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/core/serialize.cpp.o.d"
+  "/root/repo/src/dp/accountant.cpp" "src/CMakeFiles/aegis.dir/dp/accountant.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/dp/accountant.cpp.o.d"
+  "/root/repo/src/dp/baselines.cpp" "src/CMakeFiles/aegis.dir/dp/baselines.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/dp/baselines.cpp.o.d"
+  "/root/repo/src/dp/dstar.cpp" "src/CMakeFiles/aegis.dir/dp/dstar.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/dp/dstar.cpp.o.d"
+  "/root/repo/src/dp/laplace.cpp" "src/CMakeFiles/aegis.dir/dp/laplace.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/dp/laplace.cpp.o.d"
+  "/root/repo/src/fuzzer/confirmation.cpp" "src/CMakeFiles/aegis.dir/fuzzer/confirmation.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/fuzzer/confirmation.cpp.o.d"
+  "/root/repo/src/fuzzer/filtering.cpp" "src/CMakeFiles/aegis.dir/fuzzer/filtering.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/fuzzer/filtering.cpp.o.d"
+  "/root/repo/src/fuzzer/fuzzer.cpp" "src/CMakeFiles/aegis.dir/fuzzer/fuzzer.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/fuzzer/fuzzer.cpp.o.d"
+  "/root/repo/src/fuzzer/set_cover.cpp" "src/CMakeFiles/aegis.dir/fuzzer/set_cover.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/fuzzer/set_cover.cpp.o.d"
+  "/root/repo/src/isa/instruction_class.cpp" "src/CMakeFiles/aegis.dir/isa/instruction_class.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/isa/instruction_class.cpp.o.d"
+  "/root/repo/src/isa/spec.cpp" "src/CMakeFiles/aegis.dir/isa/spec.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/isa/spec.cpp.o.d"
+  "/root/repo/src/ml/gaussian_nb.cpp" "src/CMakeFiles/aegis.dir/ml/gaussian_nb.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/ml/gaussian_nb.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/CMakeFiles/aegis.dir/ml/knn.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/ml/knn.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/CMakeFiles/aegis.dir/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/CMakeFiles/aegis.dir/ml/mlp.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/ml/mlp.cpp.o.d"
+  "/root/repo/src/ml/sequence_model.cpp" "src/CMakeFiles/aegis.dir/ml/sequence_model.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/ml/sequence_model.cpp.o.d"
+  "/root/repo/src/obf/injector.cpp" "src/CMakeFiles/aegis.dir/obf/injector.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/obf/injector.cpp.o.d"
+  "/root/repo/src/obf/kernel_controller.cpp" "src/CMakeFiles/aegis.dir/obf/kernel_controller.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/obf/kernel_controller.cpp.o.d"
+  "/root/repo/src/obf/noise_calculator.cpp" "src/CMakeFiles/aegis.dir/obf/noise_calculator.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/obf/noise_calculator.cpp.o.d"
+  "/root/repo/src/obf/obfuscator.cpp" "src/CMakeFiles/aegis.dir/obf/obfuscator.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/obf/obfuscator.cpp.o.d"
+  "/root/repo/src/pmu/counter_file.cpp" "src/CMakeFiles/aegis.dir/pmu/counter_file.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/pmu/counter_file.cpp.o.d"
+  "/root/repo/src/pmu/event_database.cpp" "src/CMakeFiles/aegis.dir/pmu/event_database.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/pmu/event_database.cpp.o.d"
+  "/root/repo/src/pmu/event_model.cpp" "src/CMakeFiles/aegis.dir/pmu/event_model.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/pmu/event_model.cpp.o.d"
+  "/root/repo/src/profiler/profiler.cpp" "src/CMakeFiles/aegis.dir/profiler/profiler.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/profiler/profiler.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "src/CMakeFiles/aegis.dir/sim/executor.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/sim/executor.cpp.o.d"
+  "/root/repo/src/sim/gadget_runner.cpp" "src/CMakeFiles/aegis.dir/sim/gadget_runner.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/sim/gadget_runner.cpp.o.d"
+  "/root/repo/src/sim/host_monitor.cpp" "src/CMakeFiles/aegis.dir/sim/host_monitor.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/sim/host_monitor.cpp.o.d"
+  "/root/repo/src/sim/instruction_block.cpp" "src/CMakeFiles/aegis.dir/sim/instruction_block.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/sim/instruction_block.cpp.o.d"
+  "/root/repo/src/sim/uarch_state.cpp" "src/CMakeFiles/aegis.dir/sim/uarch_state.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/sim/uarch_state.cpp.o.d"
+  "/root/repo/src/sim/virtual_machine.cpp" "src/CMakeFiles/aegis.dir/sim/virtual_machine.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/sim/virtual_machine.cpp.o.d"
+  "/root/repo/src/trace/gaussian.cpp" "src/CMakeFiles/aegis.dir/trace/gaussian.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/trace/gaussian.cpp.o.d"
+  "/root/repo/src/trace/mutual_information.cpp" "src/CMakeFiles/aegis.dir/trace/mutual_information.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/trace/mutual_information.cpp.o.d"
+  "/root/repo/src/trace/pca.cpp" "src/CMakeFiles/aegis.dir/trace/pca.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/trace/pca.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/aegis.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/aegis.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/aegis.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/aegis.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/util/table.cpp.o.d"
+  "/root/repo/src/workload/crypto.cpp" "src/CMakeFiles/aegis.dir/workload/crypto.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/workload/crypto.cpp.o.d"
+  "/root/repo/src/workload/dnn.cpp" "src/CMakeFiles/aegis.dir/workload/dnn.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/workload/dnn.cpp.o.d"
+  "/root/repo/src/workload/idle.cpp" "src/CMakeFiles/aegis.dir/workload/idle.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/workload/idle.cpp.o.d"
+  "/root/repo/src/workload/keystroke.cpp" "src/CMakeFiles/aegis.dir/workload/keystroke.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/workload/keystroke.cpp.o.d"
+  "/root/repo/src/workload/website.cpp" "src/CMakeFiles/aegis.dir/workload/website.cpp.o" "gcc" "src/CMakeFiles/aegis.dir/workload/website.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obf_test.dir/obf_test.cpp.o"
+  "CMakeFiles/obf_test.dir/obf_test.cpp.o.d"
+  "obf_test"
+  "obf_test.pdb"
+  "obf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -39,6 +39,16 @@ inline std::size_t scaled(std::size_t base, double scale,
   return v < minimum ? minimum : v;
 }
 
+/// Campaign worker count for benches: env AEGIS_THREADS, default 0
+/// (= hardware concurrency). Results are identical for every value.
+inline std::size_t threads_from_env() {
+  if (const char* env = std::getenv("AEGIS_THREADS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 0;
+}
+
 inline void print_header(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
 }

@@ -11,9 +11,11 @@
 
 #include "dp/dstar.hpp"
 #include "dp/laplace.hpp"
+#include "fuzzer/parallel_campaign.hpp"
 #include "obf/noise_calculator.hpp"
 #include "sim/gadget_runner.hpp"
 #include "sim/virtual_machine.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/website.hpp"
 
 using namespace aegis;
@@ -91,6 +93,42 @@ void BM_VmSliceWithWorkload(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_VmSliceWithWorkload);
+
+void BM_ThreadPoolParallelForOverhead(benchmark::State& state) {
+  // Dispatch + join cost of an empty index-space job: the floor under
+  // which sharding a campaign stage cannot pay off.
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    pool.parallel_for(64, [](std::size_t) {});
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ThreadPoolParallelForOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ParallelGenerationStep(benchmark::State& state) {
+  // The fuzzer's dominant stage (Table III generation+execution) through
+  // the sharded campaign engine at 1/2/4 workers. Work-stealing keeps the
+  // shards balanced; the output is identical at every worker count.
+  const auto db = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
+  const auto spec = isa::IsaSpecification::generate(isa::CpuModel::kAmdEpyc7252);
+  fuzzer::FuzzerConfig config;
+  config.num_threads = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint32_t> events;
+  for (auto name : pmu::kAmdAttackEvents) events.push_back(*db.find(name));
+  std::vector<std::uint32_t> legal;
+  for (const auto& v : spec.variants()) {
+    if (v.legal() && legal.size() < 16) legal.push_back(v.uid);
+  }
+  util::ThreadPool pool(config.num_threads);
+  fuzzer::ParallelCampaign campaign(db, spec, config, pool);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(campaign.generate(events, legal, legal));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(legal.size() * legal.size()));
+}
+BENCHMARK(BM_ParallelGenerationStep)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_NoiseBufferRefill(benchmark::State& state) {
   dp::MechanismConfig config;

@@ -4,8 +4,11 @@
 // <1 s cleanup / 33210 s generation+execution / 132 s confirmation / 60 s
 // filtering. AMD — 3407^2 = 11,607,649, 137 events, 2.2 h at 235,449/s.
 // Per-event usable gadgets: mean/median 892/505 (Intel), 617/440 (AMD).
+#include <chrono>
+
 #include "bench_common.hpp"
 #include "fuzzer/fuzzer.hpp"
+#include "util/thread_pool.hpp"
 #include "fuzzer/set_cover.hpp"
 #include "profiler/profiler.hpp"
 #include "util/stats.hpp"
@@ -31,10 +34,13 @@ void fuzz_cpu(isa::CpuModel model, double scale) {
   config.reset_sample = bench::scaled(40, scale, 24);
   config.trigger_sample = bench::scaled(40, scale, 24);
   config.repeats = 8;
+  config.num_threads = bench::threads_from_env();
   fuzzer::EventFuzzer fuzz(db, spec, config);
   const fuzzer::FuzzResult result = fuzz.run(survivors);
 
   bench::print_header(std::string("Table III — ") + std::string(isa::to_string(model)));
+  std::cout << "campaign workers: " << util::ThreadPool::resolve(config.num_threads)
+            << " (AEGIS_THREADS=" << config.num_threads << ", 0 = hardware)\n";
   std::cout << "cleaned instructions: " << result.cleaned_instructions
             << "  -> full gadget space "
             << util::fmt_group(static_cast<long long>(result.total_gadget_space))
@@ -104,11 +110,57 @@ void fuzz_cpu(isa::CpuModel model, double scale) {
             << " (paper: 43 gadgets cover all 137)\n";
 }
 
+/// AEGIS_THREAD_SWEEP=1: re-runs the AMD fuzz at 1/2/4 workers and prints
+/// the wall-clock scaling of the generation+execution step (the acceptance
+/// check for the parallel campaign engine: >= 2x at 4 workers on >= 4
+/// cores). The FuzzResult is bit-identical at every worker count, so the
+/// sweep also cross-checks the determinism contract.
+void thread_sweep(double scale) {
+  const auto db = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
+  const auto spec = isa::IsaSpecification::generate(isa::CpuModel::kAmdEpyc7252);
+  fuzzer::FuzzerConfig config;
+  config.reset_sample = bench::scaled(40, scale, 24);
+  config.trigger_sample = bench::scaled(40, scale, 24);
+  config.repeats = 8;
+  const std::vector<std::uint32_t> events = bench::amd_attack_events(db);
+
+  bench::print_header("Parallel campaign thread sweep (AMD, attack events)");
+  util::Table table({"workers", "total s", "gen+exec s", "confirm s",
+                     "speedup vs 1", "identical"});
+  double serial_total = 0.0;
+  std::size_t baseline_confirmed = 0;
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    config.num_threads = threads;
+    fuzzer::EventFuzzer fuzz(db, spec, config);
+    const auto t0 = std::chrono::steady_clock::now();
+    const fuzzer::FuzzResult result = fuzz.run(events);
+    const double total =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::size_t confirmed = 0;
+    for (const auto& r : result.reports) confirmed += r.confirmed.size();
+    if (threads == 1) {
+      serial_total = total;
+      baseline_confirmed = confirmed;
+    }
+    table.add_row({std::to_string(threads), util::fmt_f(total, 2),
+                   util::fmt_f(result.timing.generation_execution_seconds, 2),
+                   util::fmt_f(result.timing.confirmation_seconds, 2),
+                   util::fmt_f(serial_total / total, 2),
+                   confirmed == baseline_confirmed ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const double scale = bench::scale_from_args(argc, argv);
   fuzz_cpu(isa::CpuModel::kAmdEpyc7252, scale);
   fuzz_cpu(isa::CpuModel::kIntelXeonE5_1650, scale);
+  if (const char* sweep = std::getenv("AEGIS_THREAD_SWEEP");
+      sweep != nullptr && sweep[0] == '1') {
+    thread_sweep(scale);
+  }
   return 0;
 }

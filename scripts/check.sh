@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI-style check: build and run the full test suite in the default
+# configuration, then under ThreadSanitizer and AddressSanitizer
+# (-DAEGIS_SANITIZE=thread|address). The TSan pass is the data-race proof
+# for the work-stealing parallel campaign engine.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   sanitizer passes run only the concurrency-relevant suites
+#            (thread pool, parallel campaign, fuzzer, profiler) instead of
+#            the whole test suite.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+elif [[ -n "${1:-}" ]]; then
+  echo "usage: scripts/check.sh [--fast]" >&2
+  exit 2
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+FAST_FILTER='ThreadPool|Parallel|Golden|Rng|SplitMix|Fuzzer|Confirmation|Profiler|Warmup|Cleanup'
+
+run_suite() {
+  local name="$1" dir="$2" sanitize="$3"
+  echo "=== ${name}: configure + build (${dir}) ==="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DAEGIS_SANITIZE="${sanitize}" >/dev/null
+  cmake --build "${dir}" -j "${JOBS}" >/dev/null
+  echo "=== ${name}: ctest ==="
+  if [[ "${FAST}" == 1 && -n "${sanitize}" ]]; then
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -R "${FAST_FILTER}"
+  else
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+  fi
+}
+
+run_suite "default" build ""
+run_suite "tsan" build-tsan thread
+run_suite "asan" build-asan address
+
+echo "All checks passed."

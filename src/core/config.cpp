@@ -2,8 +2,10 @@
 
 namespace aegis::core {
 
-OfflineConfig make_quick_offline_config(std::uint64_t seed) {
+OfflineConfig make_quick_offline_config(std::uint64_t seed,
+                                        std::size_t num_threads) {
   OfflineConfig config;
+  config.set_num_threads(num_threads);
   config.profiler.seed = seed;
   config.profiler.warmup_repeats = 3;
   config.profiler.warmup_slices = 80;

@@ -24,15 +24,15 @@ PathMeasurement measure_path(sim::GadgetRunner& runner, const Gadget& gadget,
       const std::array<std::uint32_t, 2> seq = {gadget.reset_uid,
                                                 gadget.trigger_uid};
       // Two sub-windows with different unrolls; sum the deltas.
-      const std::vector<double> a =
-          runner.execute_once(std::span(seq).first(1), params.reset_unroll);
-      const std::vector<double> b =
-          runner.execute_once(std::span(seq).last(1), params.trigger_unroll);
+      const std::vector<double> a = runner.execute_once(
+          std::span(seq).first(1), static_cast<double>(params.reset_unroll));
+      const std::vector<double> b = runner.execute_once(
+          std::span(seq).last(1), static_cast<double>(params.trigger_unroll));
       d.resize(a.size());
       for (std::size_t i = 0; i < a.size(); ++i) d[i] = a[i] + b[i];
     } else {
       const std::array<std::uint32_t, 1> seq = {gadget.reset_uid};
-      d = runner.execute_once(seq, params.reset_unroll);
+      d = runner.execute_once(seq, static_cast<double>(params.reset_unroll));
     }
     if (r > 0) deltas.push_back(d.at(event_slot));
   }

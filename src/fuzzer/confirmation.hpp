@@ -14,8 +14,11 @@ struct ConfirmationParams {
   std::size_t repeats = 10;   // R
   double lambda1 = 0.2;
   double lambda2 = 10.0;
-  double reset_unroll = 2.0;
-  double trigger_unroll = 32.0;
+  // Unrolls are repetition counts — how many back-to-back copies of the
+  // reset/trigger instruction the generated code contains — so they are
+  // integral (a fractional instruction cannot be emitted).
+  std::size_t reset_unroll = 2;
+  std::size_t trigger_unroll = 32;
   double delta_threshold = 0.3;
 };
 

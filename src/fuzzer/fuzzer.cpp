@@ -3,10 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <unordered_map>
-#include <unordered_set>
 
-#include "fuzzer/confirmation.hpp"
-#include "fuzzer/filtering.hpp"
+#include "fuzzer/parallel_campaign.hpp"
+#include "util/thread_pool.hpp"
 
 namespace aegis::fuzzer {
 
@@ -25,22 +24,14 @@ EventFuzzer::EventFuzzer(const pmu::EventDatabase& db,
 
 const std::vector<std::uint32_t>& EventFuzzer::cleanup() {
   if (!cleaned_.empty()) return cleaned_;
-  // Test-execute each variant in the harness: variants that fault (#UD from
-  // unsupported extensions / reserved encodings, #GP from privileged
-  // instructions) are excluded. The simulator's execution model faults
-  // exactly where the spec says real hardware would.
-  sim::GadgetRunner probe(*db_, *spec_, config_.seed ^ 0xC1EA17ULL);
-  probe.program({});
-  cleaned_.reserve(spec_->variants().size() / 4 + 1);
-  for (const auto& v : spec_->variants()) {
-    const std::array<std::uint32_t, 1> seq = {v.uid};
-    try {
-      (void)probe.execute_once(seq, 1.0);
-      cleaned_.push_back(v.uid);
-    } catch (const std::invalid_argument&) {
-      // faulted: excluded from the cleaned list
-    }
-  }
+  util::ThreadPool pool(config_.num_threads);
+  ParallelCampaign campaign(*db_, *spec_, config_, pool);
+  return cleanup_with(campaign);
+}
+
+const std::vector<std::uint32_t>& EventFuzzer::cleanup_with(
+    const ParallelCampaign& campaign) {
+  if (cleaned_.empty()) cleaned_ = campaign.cleanup();
   return cleaned_;
 }
 
@@ -74,108 +65,50 @@ std::vector<std::uint32_t> EventFuzzer::sample_instructions(
 FuzzResult EventFuzzer::run(const std::vector<std::uint32_t>& event_ids) {
   FuzzResult result;
   util::Rng rng(config_.seed);
+  util::ThreadPool pool(config_.num_threads);
+  ParallelCampaign campaign(*db_, *spec_, config_, pool);
 
   auto t0 = std::chrono::steady_clock::now();
-  cleanup();
+  cleanup_with(campaign);
   result.timing.cleanup_seconds = seconds_since(t0);
   result.cleaned_instructions = cleaned_.size();
   result.total_gadget_space = cleaned_.size() * cleaned_.size();
 
   // One shared gadget grid for all events: the set-cover stage needs the
-  // same gadgets evaluated against every event.
+  // same gadgets evaluated against every event. Sampling stays on the main
+  // thread (one stream, draw order fixed by the sample sizes alone).
   const std::vector<std::uint32_t> resets =
       sample_instructions(config_.reset_sample, rng);
   const std::vector<std::uint32_t> triggers =
       sample_instructions(config_.trigger_sample, rng);
-
-  ConfirmationParams confirm_params;
-  confirm_params.repeats = config_.repeats;
-  confirm_params.lambda1 = config_.lambda1;
-  confirm_params.lambda2 = config_.lambda2;
-  confirm_params.reset_unroll = config_.reset_unroll;
-  confirm_params.trigger_unroll = config_.trigger_unroll;
-  confirm_params.delta_threshold = config_.delta_threshold;
 
   result.reports.reserve(event_ids.size());
   for (std::uint32_t event_id : event_ids) {
     result.reports.push_back(EventFuzzReport{event_id, 0, {}, {}, {}});
   }
 
-  // --- Step 2: generation + execution, events in groups of <= 4 ---
+  // --- Step 2: generation + execution, one shard per (group, reset) ---
   t0 = std::chrono::steady_clock::now();
-  std::vector<std::vector<Gadget>> candidates(event_ids.size());
-  constexpr std::size_t kGroup = pmu::EventDatabase::kNumCounters;
-  for (std::size_t g0 = 0; g0 < event_ids.size(); g0 += kGroup) {
-    const std::size_t g1 = std::min(event_ids.size(), g0 + kGroup);
-    std::vector<std::uint32_t> group(event_ids.begin() + g0,
-                                     event_ids.begin() + g1);
-    sim::GadgetRunner runner(*db_, *spec_, config_.seed ^ (g0 * 0x9E37ULL));
-    runner.program(group);
-    for (std::uint32_t reset : resets) {
-      for (std::uint32_t trigger : triggers) {
-        // Fuzzed back-to-back without state cleanup (speed over isolation;
-        // the confirmation stage handles the resulting dirty state).
-        const std::array<std::uint32_t, 2> seq = {reset, trigger};
-        const std::vector<double> delta =
-            runner.execute_once(seq, config_.trigger_unroll);
-        ++result.executed_gadgets;
-        for (std::size_t e = 0; e < group.size(); ++e) {
-          if (delta[e] > config_.delta_threshold) {
-            candidates[g0 + e].push_back(Gadget{reset, trigger});
-          }
-        }
-      }
-    }
-  }
+  GenerationOutput generation = campaign.generate(event_ids, resets, triggers);
+  result.executed_gadgets = generation.executed_pairs;
   result.timing.generation_execution_seconds = seconds_since(t0);
 
-  // --- Step 3: confirmation ---
+  // --- Step 3: confirmation, one shard per event ---
   t0 = std::chrono::steady_clock::now();
+  const std::vector<std::vector<ConfirmedGadget>> stable =
+      campaign.confirm(event_ids, generation.candidates);
   for (std::size_t e = 0; e < event_ids.size(); ++e) {
-    EventFuzzReport& report = result.reports[e];
-    report.candidates = candidates[e].size();
-    sim::GadgetRunner runner(*db_, *spec_, config_.seed ^ (e * 0xC0FFEEULL));
-    runner.program({event_ids[e]});
-
-    std::vector<ConfirmedGadget> confirmed;
-    for (const Gadget& gadget : candidates[e]) {
-      const ConfirmationOutcome outcome =
-          confirm_gadget(runner, gadget, 0, confirm_params);
-      if (outcome.confirmed) {
-        confirmed.push_back(
-            ConfirmedGadget{gadget, event_ids[e], outcome.trigger_delta()});
-      }
-    }
-
-    // Gadget reordering: re-measure in a shuffled order and drop gadgets
-    // whose behaviour changes (dirty state from the new predecessor).
-    std::vector<std::size_t> order(confirmed.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    rng.shuffle(order);
-    std::vector<ConfirmedGadget> stable;
-    stable.reserve(confirmed.size());
-    for (std::size_t idx : order) {
-      const ConfirmedGadget& g = confirmed[idx];
-      const ConfirmationOutcome again =
-          confirm_gadget(runner, g.gadget, 0, confirm_params);
-      if (!again.confirmed) continue;
-      const double ratio = again.trigger_delta() / g.median_delta;
-      if (ratio < config_.reorder_tolerance ||
-          ratio > 1.0 / config_.reorder_tolerance) {
-        continue;
-      }
-      stable.push_back(g);
-    }
-    report.confirmed = std::move(stable);
+    result.reports[e].candidates = generation.candidates[e].size();
+    result.reports[e].confirmed = stable[e];
   }
   result.timing.confirmation_seconds = seconds_since(t0);
 
-  // --- Step 4: filtering / clustering ---
+  // --- Step 4: filtering / clustering, one shard per event ---
   t0 = std::chrono::steady_clock::now();
-  for (EventFuzzReport& report : result.reports) {
-    FilterOutcome filtered = filter_gadgets(report.confirmed, *spec_);
-    report.representatives = std::move(filtered.representatives);
-    report.best = filtered.best;
+  std::vector<FilterOutcome> filtered = campaign.filter(stable);
+  for (std::size_t e = 0; e < event_ids.size(); ++e) {
+    result.reports[e].representatives = std::move(filtered[e].representatives);
+    result.reports[e].best = filtered[e].best;
   }
   result.timing.filtering_seconds = seconds_since(t0);
   return result;

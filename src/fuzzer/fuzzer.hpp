@@ -22,18 +22,24 @@
 
 namespace aegis::fuzzer {
 
+class ParallelCampaign;
+
 struct FuzzerConfig {
   std::size_t repeats = 10;        // R: paper's execution-repetition count
   double lambda1 = 0.2;            // (V2-V1) vs R(v2-v1) tolerance band
   double lambda2 = 10.0;           // require V2 > lambda2 * V1
   double delta_threshold = 0.3;       // minimum count change to flag a candidate
-  double reset_unroll = 2.0;       // reset-instruction repetitions per exec
-  double trigger_unroll = 32.0;    // trigger-instruction repetitions per exec
+  std::size_t reset_unroll = 2;    // reset-instruction repetitions per exec
+  std::size_t trigger_unroll = 32; // trigger-instruction repetitions per exec
   std::size_t reset_sample = 48;   // sampled reset instructions (0 = all)
   std::size_t trigger_sample = 48; // sampled trigger instructions (0 = all)
   double reorder_tolerance = 0.5;  // re-measured delta must stay within
                                    // [tol, 1/tol] x original
   std::uint64_t seed = 7;
+  /// Campaign workers (0 = hardware_concurrency). Results are bit-identical
+  /// for every value: shards derive deterministic RNG streams from
+  /// split_mix64(seed, shard), never from thread identity.
+  std::size_t num_threads = 0;
 };
 
 struct StepTiming {
@@ -69,7 +75,9 @@ class EventFuzzer {
   const std::vector<std::uint32_t>& cleanup();
 
   /// Steps 2-4 against the given vulnerable events (any number; fuzzed in
-  /// groups of up to 4, the concurrent-counter limit).
+  /// groups of up to 4, the concurrent-counter limit). Sharded across
+  /// FuzzerConfig::num_threads workers; the result is bit-identical for
+  /// every thread count (see ParallelCampaign).
   FuzzResult run(const std::vector<std::uint32_t>& event_ids);
 
   const FuzzerConfig& config() const noexcept { return config_; }
@@ -77,6 +85,7 @@ class EventFuzzer {
  private:
   std::vector<std::uint32_t> sample_instructions(std::size_t count,
                                                  util::Rng& rng) const;
+  const std::vector<std::uint32_t>& cleanup_with(const ParallelCampaign& campaign);
 
   const pmu::EventDatabase* db_;
   const isa::IsaSpecification* spec_;

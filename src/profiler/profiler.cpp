@@ -7,9 +7,19 @@
 #include "trace/pca.hpp"
 #include "trace/trace.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/idle.hpp"
 
 namespace aegis::profiler {
+
+namespace {
+
+// Domain-separation salts for the per-group shard streams (see the
+// determinism contract in DESIGN.md "Parallel campaign").
+constexpr std::uint64_t kWarmupSalt = 0x3A2250F11E2ULL;
+constexpr std::uint64_t kRankSalt = 0x4A11ULL;
+
+}  // namespace
 
 ApplicationProfiler::ApplicationProfiler(const pmu::EventDatabase& db,
                                          ProfilerConfig config)
@@ -21,12 +31,19 @@ WarmupReport ApplicationProfiler::warmup(const workload::Workload& application) 
   report.total_events = db_->size();
   report.before_by_type = db_->count_by_type();
 
-  util::Rng rng(config_.seed);
   const workload::IdleWorkload idle(config_.warmup_slices);
   constexpr std::size_t kGroup = pmu::EventDatabase::kNumCounters;
+  const std::size_t group_count = (db_->size() + kGroup - 1) / kGroup;
 
-  for (std::uint32_t base = 0; base < db_->size(); base += kGroup) {
+  // One shard per counter group; survivors land in index-keyed slots and
+  // are merged in group order, so the report is identical for any worker
+  // count (and identical to a serial run).
+  std::vector<std::vector<std::uint32_t>> surviving(group_count);
+  util::ThreadPool pool(config_.num_threads);
+  pool.parallel_for(group_count, [&](std::size_t g) {
+    util::Rng rng(util::split_mix64(config_.seed ^ kWarmupSalt, g));
     std::vector<std::uint32_t> group;
+    const std::uint32_t base = static_cast<std::uint32_t>(g * kGroup);
     for (std::uint32_t id = base; id < db_->size() && id < base + kGroup; ++id) {
       group.push_back(id);
     }
@@ -56,9 +73,12 @@ WarmupReport ApplicationProfiler::warmup(const workload::Workload& application) 
     for (std::size_t e = 0; e < group.size(); ++e) {
       if (util::median(rel_changes[e]) > config_.warmup_rel_change &&
           util::median(abs_changes[e]) > config_.warmup_abs_change) {
-        report.surviving.push_back(group[e]);
+        surviving[g].push_back(group[e]);
       }
     }
+  });
+  for (const auto& shard : surviving) {
+    report.surviving.insert(report.surviving.end(), shard.begin(), shard.end());
   }
 
   for (std::uint32_t id : report.surviving) {
@@ -73,19 +93,21 @@ WarmupReport ApplicationProfiler::warmup(const workload::Workload& application) 
 std::vector<EventRank> ApplicationProfiler::rank(
     const std::vector<std::unique_ptr<workload::Workload>>& secrets,
     const std::vector<std::uint32_t>& event_ids) {
-  util::Rng rng(config_.seed ^ 0x4A11ULL);
-  std::vector<EventRank> ranks;
-  ranks.reserve(event_ids.size());
   constexpr std::size_t kGroup = pmu::EventDatabase::kNumCounters;
+  const std::size_t group_count = (event_ids.size() + kGroup - 1) / kGroup;
+  std::vector<std::vector<EventRank>> per_group(group_count);
 
-  for (std::size_t base = 0; base < event_ids.size(); base += kGroup) {
+  util::ThreadPool pool(config_.num_threads);
+  pool.parallel_for(group_count, [&](std::size_t g) {
+    util::Rng rng(util::split_mix64(config_.seed ^ kRankSalt, g));
+    const std::size_t base = g * kGroup;
     std::vector<std::uint32_t> group(
         event_ids.begin() + static_cast<std::ptrdiff_t>(base),
         event_ids.begin() +
             static_cast<std::ptrdiff_t>(std::min(event_ids.size(), base + kGroup)));
 
     // One run yields a trace for all 4 events of the group at once.
-    // features[e][s] = per-run pooled series for event e under secret s.
+    // pooled[e][s] = per-run pooled series for event e under secret s.
     std::vector<std::vector<std::vector<std::vector<double>>>> pooled(
         group.size(),
         std::vector<std::vector<std::vector<double>>>(secrets.size()));
@@ -124,10 +146,16 @@ std::vector<EventRank> ApplicationProfiler::rank(
       }
       const trace::SecretGaussianModel model =
           trace::SecretGaussianModel::fit(values_by_secret);
-      ranks.push_back(EventRank{group[e], trace::mutual_information_eq1(model)});
+      per_group[g].push_back(
+          EventRank{group[e], trace::mutual_information_eq1(model)});
     }
-  }
+  });
 
+  std::vector<EventRank> ranks;
+  ranks.reserve(event_ids.size());
+  for (const auto& shard : per_group) {
+    ranks.insert(ranks.end(), shard.begin(), shard.end());
+  }
   std::sort(ranks.begin(), ranks.end(), [](const EventRank& a, const EventRank& b) {
     return a.mutual_information > b.mutual_information;
   });

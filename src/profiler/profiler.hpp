@@ -32,6 +32,11 @@ struct ProfilerConfig {
   std::size_t feature_windows = 24;     // pre-PCA temporal pooling
   std::uint64_t seed = 11;
   sim::VmConfig vm;
+  /// Workers for warm-up and ranking trace collection (0 = hardware
+  /// concurrency). One shard per 4-event counter group; each shard derives
+  /// its RNG stream from split_mix64(seed, group), so reports are
+  /// bit-identical for every thread count.
+  std::size_t num_threads = 0;
 };
 
 struct WarmupReport {

@@ -13,6 +13,11 @@ std::uint64_t split_mix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+std::uint64_t split_mix64(std::uint64_t seed, std::uint64_t stream) noexcept {
+  std::uint64_t state = seed + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  return split_mix64(state);
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));

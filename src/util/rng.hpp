@@ -16,6 +16,15 @@ namespace aegis::util {
 /// SplitMix64 step; used to expand a single 64-bit seed into stream state.
 std::uint64_t split_mix64(std::uint64_t& state) noexcept;
 
+/// Derives the seed of an independent child stream: splittable-RNG
+/// construction where stream i starts from `seed` offset by (i+1) golden
+/// gammas and takes one SplitMix64 output. Used to give every shard of a
+/// parallel campaign its own deterministic stream — results depend only on
+/// (seed, stream), never on which thread runs the shard. Feed the result to
+/// Rng's constructor. Streams are pairwise uncorrelated (see util_test's
+/// chi-square coverage).
+std::uint64_t split_mix64(std::uint64_t seed, std::uint64_t stream) noexcept;
+
 /// xoshiro256** PRNG (Blackman & Vigna). Fast, 256-bit state, suitable for
 /// simulation workloads; not cryptographically secure (not needed here).
 class Rng {

@@ -1,0 +1,153 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace aegis::util {
+
+std::size_t ThreadPool::resolve(std::size_t num_threads) noexcept {
+  if (num_threads != 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = resolve(num_threads);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::claim_index(std::size_t self, std::size_t epoch,
+                             std::size_t& index) {
+  // Only shards seeded for this worker's epoch are claimable: a worker that
+  // overslept a finished job must come up empty even if a newer
+  // parallel_for has already re-seeded the ranges.
+  // Own shard first: consume from the front.
+  {
+    Shard& own = *shards_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (own.epoch == epoch && own.begin < own.end) {
+      index = own.begin++;
+      return true;
+    }
+  }
+  // Steal: take the upper half of the largest remaining shard. The scan is
+  // racy by design (sizes move while scanning); the re-check under both
+  // locks below makes it safe, and a stale pick only costs a rescan.
+  while (true) {
+    std::size_t victim = size();
+    std::size_t victim_left = 0;
+    for (std::size_t i = 0; i < size(); ++i) {
+      if (i == self) continue;
+      Shard& s = *shards_[i];
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (s.epoch != epoch) continue;
+      const std::size_t left = s.end - s.begin;
+      if (left > victim_left) {
+        victim_left = left;
+        victim = i;
+      }
+    }
+    if (victim == size()) return false;  // everything drained
+    Shard& v = *shards_[victim];
+    Shard& own = *shards_[self];
+    std::scoped_lock lock(v.mu, own.mu);
+    if (v.epoch != epoch || v.begin >= v.end) continue;  // moved on; rescan
+    // Thief takes [mid, end) — at least one index; the victim keeps the
+    // lower half and continues consuming from its front undisturbed.
+    const std::size_t mid = v.begin + (v.end - v.begin) / 2;
+    own.begin = mid;
+    own.end = v.end;
+    v.end = mid;
+    index = own.begin++;
+    return true;
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  std::size_t seen_epoch = 0;
+  while (true) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      body = body_;
+      ++active_;
+    }
+    std::size_t done = 0;
+    std::size_t index = 0;
+    while (body != nullptr && claim_index(self, seen_epoch, index)) {
+      try {
+        (*body)(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      ++done;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      remaining_ -= done;
+      --active_;
+      if (remaining_ == 0 && active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  // Seed each worker with an even contiguous slice of the index space,
+  // tagged with the epoch this job will run as (only this caller thread
+  // writes epoch_, so reading it unlocked here is safe). Workers cannot see
+  // the new ranges as claimable until epoch_ is bumped below.
+  const std::size_t job_epoch = epoch_ + 1;
+  const std::size_t n = size();
+  const std::size_t chunk = count / n;
+  const std::size_t extra = count % n;
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t len = chunk + (i < extra ? 1 : 0);
+    Shard& s = *shards_[i];
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.begin = next;
+    s.end = next + len;
+    s.epoch = job_epoch;
+    next += len;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    remaining_ = count;
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0 && active_ == 0; });
+    body_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace aegis::util

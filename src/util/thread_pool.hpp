@@ -1,0 +1,80 @@
+// Work-stealing thread pool for deterministic sharded campaigns.
+//
+// The pool executes index-space jobs: parallel_for(count, body) runs
+// body(i) for every i in [0, count) exactly once and blocks until all are
+// done. Work starts as one contiguous index range per worker; a worker that
+// drains its range steals the upper half of the largest remaining range, so
+// uneven shard costs still load-balance.
+//
+// Determinism contract (see DESIGN.md "Parallel campaign"): the pool
+// guarantees NOTHING about execution order or which thread runs which
+// index. Callers make results thread-count-invariant by deriving all
+// per-shard state (RNG streams, simulator instances) from the shard index
+// alone — util::split_mix64(seed, shard) — and writing to disjoint,
+// index-keyed output slots that are merged in index order afterwards.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aegis::util {
+
+class ThreadPool {
+ public:
+  /// 0 = one worker per hardware thread (std::thread::hardware_concurrency).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Resolves the `0 = hardware_concurrency` convention used by the
+  /// num_threads knobs (FuzzerConfig, ProfilerConfig) without building a pool.
+  static std::size_t resolve(std::size_t num_threads) noexcept;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs body(i) for every i in [0, count); blocks until all complete.
+  /// The first exception thrown by any body is rethrown on the caller after
+  /// the remaining indices have still been executed. Not reentrant: must
+  /// not be called from inside a pool task.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  // One per worker: the contiguous [begin, end) index range it still owns.
+  // unique_ptr keeps Shard addresses stable (std::mutex is immovable).
+  // `epoch` records which parallel_for call seeded the range: a worker that
+  // wakes late for a finished epoch must not claim indices that a newer
+  // call has already re-seeded (its body pointer would be stale).
+  struct Shard {
+    std::mutex mu;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t epoch = 0;
+  };
+
+  void worker_loop(std::size_t self);
+  bool claim_index(std::size_t self, std::size_t epoch, std::size_t& index);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                    // guards the job state below
+  std::condition_variable work_cv_;  // workers wait for a new job
+  std::condition_variable done_cv_;  // the caller waits for completion
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t epoch_ = 0;      // bumped once per parallel_for call
+  std::size_t remaining_ = 0;  // indices not yet completed this job
+  std::size_t active_ = 0;     // workers still inside this job
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace aegis::util

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <type_traits>
 #include <unordered_set>
 
 #include "fuzzer/confirmation.hpp"
 #include "fuzzer/filtering.hpp"
 #include "fuzzer/fuzzer.hpp"
 #include "fuzzer/set_cover.hpp"
+#include "sim/instruction_block.hpp"
 
 namespace aegis::fuzzer {
 namespace {
@@ -242,6 +245,43 @@ TEST(SetCover, GreedyPrefersSharedGadgets) {
   const GadgetCover cover = minimal_gadget_cover(result);
   ASSERT_EQ(cover.gadgets.size(), 1u);
   EXPECT_EQ(cover.gadgets[0], shared);
+}
+
+TEST(FuzzerConfig, UnrollsAreIntegralRepetitionCounts) {
+  // The unrolls are how many back-to-back copies of an instruction the
+  // generated code contains; a fractional instruction cannot be emitted, so
+  // the knobs are integral (the historical double declaration was doc
+  // drift).
+  static_assert(std::is_integral_v<decltype(FuzzerConfig{}.reset_unroll)>);
+  static_assert(std::is_integral_v<decltype(FuzzerConfig{}.trigger_unroll)>);
+  static_assert(std::is_integral_v<decltype(ConfirmationParams{}.reset_unroll)>);
+  static_assert(
+      std::is_integral_v<decltype(ConfirmationParams{}.trigger_unroll)>);
+  // Defaults stay in sync between the config and the confirmation stage.
+  EXPECT_EQ(FuzzerConfig{}.reset_unroll, ConfirmationParams{}.reset_unroll);
+  EXPECT_EQ(FuzzerConfig{}.trigger_unroll, ConfirmationParams{}.trigger_unroll);
+}
+
+TEST(FuzzerConfig, UnrollScalesExecutionLinearly) {
+  // An unroll of n must behave as exactly n repetitions: the generated
+  // block's retired-instruction counts scale linearly and stay integral.
+  Fixture f;
+  const auto& v = f.spec.by_uid(f.find_variant(InstructionClass::kIntAlu));
+  const sim::InstructionBlock one =
+      sim::InstructionBlock::from_variant(v, 1.0, sim::kGadgetDataRegion);
+  const FuzzerConfig config;
+  const sim::InstructionBlock unrolled = sim::InstructionBlock::from_variant(
+      v, static_cast<double>(config.trigger_unroll), sim::kGadgetDataRegion);
+  const double n = static_cast<double>(config.trigger_unroll);
+  EXPECT_DOUBLE_EQ(unrolled.uops, one.uops * n);
+  for (std::size_t c = 0; c < one.class_counts.size(); ++c) {
+    EXPECT_DOUBLE_EQ(unrolled.class_counts.at_index(c),
+                     one.class_counts.at_index(c) * n)
+        << c;
+    EXPECT_DOUBLE_EQ(unrolled.class_counts.at_index(c),
+                     std::round(unrolled.class_counts.at_index(c)))
+        << "fractional retired count at class " << c;
+  }
 }
 
 TEST(GadgetHash, DistinguishesGadgets) {

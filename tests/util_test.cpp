@@ -10,6 +10,66 @@
 namespace aegis::util {
 namespace {
 
+TEST(SplitMixStreams, GoldenFirstSixteenOutputs) {
+  // Platform-stability pin for the shard-stream derivation: the parallel
+  // campaign's bit-identical-across-thread-counts guarantee rests on
+  // split_mix64(seed, stream) producing these exact seeds everywhere.
+  // Pinned from the reference implementation (pure 64-bit integer
+  // arithmetic, so any conforming platform must match).
+  constexpr std::uint64_t kGolden[16] = {
+      0x044c3cd7f43c661cULL, 0xe6984080bab12a02ULL,
+      0x953aeb70673e29cbULL, 0x73d33b666a1e21daULL,
+      0x3fdabe86cbbeaa11ULL, 0x77cbc4a133c2d0f6ULL,
+      0x53fcd6513d02befeULL, 0x225ec07a99506761ULL,
+      0x69c3a27688795369ULL, 0x1a82e79b05b5faebULL,
+      0xf5ba4eb728dd632cULL, 0xeb0354df4a45b34eULL,
+      0xdf0f9924a3016430ULL, 0xdd2f9b2d0b5f15e6ULL,
+      0x8c5c906b1aeb85f8ULL, 0xe12e5d006cd3d6afULL,
+  };
+  for (std::uint64_t stream = 0; stream < 16; ++stream) {
+    EXPECT_EQ(split_mix64(7, stream), kGolden[stream]) << stream;
+  }
+}
+
+TEST(SplitMixStreams, DerivedStreamsAreDeterministicAndDistinct) {
+  EXPECT_EQ(split_mix64(7, 3), split_mix64(7, 3));
+  EXPECT_NE(split_mix64(7, 3), split_mix64(7, 4));
+  EXPECT_NE(split_mix64(7, 3), split_mix64(8, 3));
+}
+
+TEST(SplitMixStreams, PairwiseXorPassesChiSquare) {
+  // Stream independence: XOR two derived streams' outputs and check the
+  // result is still uniform. Correlated streams (e.g. naive seed+i) would
+  // concentrate mass in a few buckets. 64 buckets from the low 6 bits,
+  // 4096 draws per pair: E = 64 per bucket; chi-square threshold 110 is
+  // ~p=0.0001 at 63 dof — far beyond noise, tight against correlation.
+  constexpr std::size_t kStreams = 6;
+  constexpr std::size_t kDraws = 4096;
+  constexpr std::size_t kBuckets = 64;
+  std::vector<std::vector<std::uint64_t>> outputs(kStreams);
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    Rng rng(split_mix64(7, s));
+    outputs[s].reserve(kDraws);
+    for (std::size_t i = 0; i < kDraws; ++i) outputs[s].push_back(rng.next_u64());
+  }
+  for (std::size_t a = 0; a < kStreams; ++a) {
+    for (std::size_t b = a + 1; b < kStreams; ++b) {
+      std::vector<std::size_t> buckets(kBuckets, 0);
+      for (std::size_t i = 0; i < kDraws; ++i) {
+        ++buckets[(outputs[a][i] ^ outputs[b][i]) & (kBuckets - 1)];
+      }
+      const double expected =
+          static_cast<double>(kDraws) / static_cast<double>(kBuckets);
+      double chi2 = 0.0;
+      for (std::size_t k = 0; k < kBuckets; ++k) {
+        const double d = static_cast<double>(buckets[k]) - expected;
+        chi2 += d * d / expected;
+      }
+      EXPECT_LT(chi2, 110.0) << "streams " << a << " and " << b;
+    }
+  }
+}
+
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Re-baselines the hot-path perf numbers: builds bench_hot_path in a
+# dedicated Release tree and writes BENCH_hotpath.json at the repo root.
+# The JSON is committed so the repo's perf trajectory (batched SoA engine
+# vs the retained reference path) is diffable across commits.
+#
+# Usage: scripts/bench_baseline.sh [output.json]
+#   AEGIS_NATIVE=ON   tune for the host CPU (-O3 -march=native)
+#   AEGIS_SCALE=<f>   scale iteration counts (default 1.0)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_hotpath.json}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+NATIVE="${AEGIS_NATIVE:-OFF}"
+
+echo "=== bench: configure + build (build-bench, AEGIS_NATIVE=${NATIVE}) ==="
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release \
+  -DAEGIS_NATIVE="${NATIVE}" >/dev/null
+cmake --build build-bench -j "${JOBS}" --target bench_hot_path >/dev/null
+
+echo "=== bench: bench_hot_path -> ${OUT} ==="
+./build-bench/bench/bench_hot_path "${OUT}"
+cat "${OUT}"

@@ -2,6 +2,8 @@
 
 #include <array>
 #include <cmath>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "util/stats.hpp"
@@ -11,30 +13,43 @@ namespace aegis::fuzzer {
 PathMeasurement measure_path(sim::GadgetRunner& runner, const Gadget& gadget,
                              bool with_trigger, std::size_t event_slot,
                              const ConfirmationParams& params) {
-  std::vector<double> deltas;
+  // Per-repeat deltas live in thread-local scratch: confirmation runs this
+  // for every candidate gadget, and per-call vectors dominated its profile.
+  thread_local std::vector<double> deltas;
+  deltas.clear();
   deltas.reserve(params.repeats);
   // One unmeasured warm-up execution: the first run of a path carries a
   // cold-cache/predictor transient that would otherwise break the
   // cumulative-vs-median linearity check for genuine gadgets.
   for (std::size_t r = 0; r < params.repeats + 1; ++r) {
-    std::vector<double> d;
+    double value = 0.0;
     if (with_trigger) {
       // Reset executes lightly, trigger is unrolled: the measured window is
       // dominated by the trigger's effect when the gadget is genuine.
       const std::array<std::uint32_t, 2> seq = {gadget.reset_uid,
                                                 gadget.trigger_uid};
-      // Two sub-windows with different unrolls; sum the deltas.
-      const std::vector<double> a = runner.execute_once(
+      // Two sub-windows with different unrolls; sum the deltas. The first
+      // span aliases runner scratch, so read it before the second call
+      // overwrites it.
+      const std::span<const double> a = runner.execute_once(
           std::span(seq).first(1), static_cast<double>(params.reset_unroll));
-      const std::vector<double> b = runner.execute_once(
+      if (event_slot >= a.size()) {
+        throw std::out_of_range("measure_path: event_slot not programmed");
+      }
+      const double reset_delta = a[event_slot];
+      const std::span<const double> b = runner.execute_once(
           std::span(seq).last(1), static_cast<double>(params.trigger_unroll));
-      d.resize(a.size());
-      for (std::size_t i = 0; i < a.size(); ++i) d[i] = a[i] + b[i];
+      value = reset_delta + b[event_slot];
     } else {
       const std::array<std::uint32_t, 1> seq = {gadget.reset_uid};
-      d = runner.execute_once(seq, static_cast<double>(params.reset_unroll));
+      const std::span<const double> d =
+          runner.execute_once(seq, static_cast<double>(params.reset_unroll));
+      if (event_slot >= d.size()) {
+        throw std::out_of_range("measure_path: event_slot not programmed");
+      }
+      value = d[event_slot];
     }
-    if (r > 0) deltas.push_back(d.at(event_slot));
+    if (r > 0) deltas.push_back(value);
   }
   PathMeasurement m;
   m.median = util::median(deltas);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <span>
 #include <stdexcept>
 
 #include "sim/gadget_runner.hpp"
@@ -88,7 +89,7 @@ GenerationOutput ParallelCampaign::generate(
       // Fuzzed back-to-back without state cleanup (speed over isolation;
       // the confirmation stage handles the resulting dirty state).
       const std::array<std::uint32_t, 2> seq = {reset, trigger};
-      const std::vector<double> delta = runner.execute_once(
+      const std::span<const double> delta = runner.execute_once(
           seq, static_cast<double>(config_->trigger_unroll));
       for (std::size_t e = 0; e < hits[shard].size(); ++e) {
         if (delta[e] > config_->delta_threshold) {

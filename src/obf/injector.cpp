@@ -7,6 +7,10 @@ namespace aegis::obf {
 
 namespace {
 
+/// Upper bound on the uops of a single submitted chunk (see the chunking
+/// comment in the constructor).
+constexpr double kMaxChunkUops = 50e3;
+
 std::vector<WeightedGadget> unit_weights(const fuzzer::GadgetCover& cover) {
   std::vector<WeightedGadget> gadgets;
   gadgets.reserve(cover.gadgets.size());
@@ -43,6 +47,15 @@ NoiseInjector::NoiseInjector(const isa::IsaSpecification& spec,
     per_gadget_.push_back(std::move(block));
   }
   gadget_count_ = gadgets.size();
+  // Submissions are split into bounded chunks so one injection cannot
+  // monopolize a slice's cycle budget in a single unsplittable block.
+  per_gadget_max_reps_.reserve(per_gadget_.size());
+  for (const sim::InstructionBlock& block : per_gadget_) {
+    const double uops_per_rep = std::max(block.uops, 1.0);
+    per_gadget_max_reps_.push_back(std::max(1.0, kMaxChunkUops / uops_per_rep));
+  }
+  segment_max_reps_per_chunk_ =
+      std::max(1.0, kMaxChunkUops / std::max(segment_.uops, 1.0));
 }
 
 double NoiseInjector::inject_mixture(sim::VirtualMachine& vm,
@@ -50,15 +63,13 @@ double NoiseInjector::inject_mixture(sim::VirtualMachine& vm,
   if (noise_norms.size() != per_gadget_.size()) {
     throw std::invalid_argument("inject_mixture: one draw per gadget required");
   }
-  const double max_chunk_uops = 50e3;
   double reps_total = 0.0;
   for (std::size_t g = 0; g < per_gadget_.size(); ++g) {
     const double clipped = std::clamp(noise_norms[g], 0.0, clip_norm_);
     const double reps = clipped * unit_reps_;
     if (reps <= 0.0) continue;
     reps_total += reps;
-    const double uops_per_rep = std::max(per_gadget_[g].uops, 1.0);
-    const double max_reps = std::max(1.0, max_chunk_uops / uops_per_rep);
+    const double max_reps = per_gadget_max_reps_[g];
     double remaining = reps;
     while (remaining > 0.0) {
       const double chunk = std::min(remaining, max_reps);
@@ -78,14 +89,9 @@ double NoiseInjector::inject(sim::VirtualMachine& vm, double noise_norm) {
   const double clipped = std::clamp(noise_norm, 0.0, clip_norm_);
   const double reps = clipped * unit_reps_;
   if (reps <= 0.0) return 0.0;
-  // Submit in bounded chunks so one injection cannot monopolize a slice's
-  // cycle budget in a single unsplittable block.
-  const double max_chunk_uops = 50e3;
-  const double uops_per_rep = std::max(segment_.uops, 1.0);
-  const double max_reps_per_chunk = std::max(1.0, max_chunk_uops / uops_per_rep);
   double remaining = reps;
   while (remaining > 0.0) {
-    const double chunk = std::min(remaining, max_reps_per_chunk);
+    const double chunk = std::min(remaining, segment_max_reps_per_chunk_);
     vm.submit(segment_.scaled(chunk));
     remaining -= chunk;
   }

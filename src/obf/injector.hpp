@@ -61,6 +61,11 @@ class NoiseInjector {
  private:
   sim::InstructionBlock segment_;   // one execution of all cover gadgets
   std::vector<sim::InstructionBlock> per_gadget_;  // weighted, per gadget
+  // Chunking bounds precomputed at construction: inject runs on the
+  // protected VM's per-slice execution path, so per-call divisions over
+  // immutable segment shapes were hoisted out of it.
+  double segment_max_reps_per_chunk_ = 1.0;
+  std::vector<double> per_gadget_max_reps_;
   double unit_reps_ = 1.0;
   double clip_norm_ = 0.0;
   std::size_t gadget_count_ = 0;

@@ -1,22 +1,44 @@
 #include "pmu/counter_file.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
 namespace aegis::pmu {
 
+namespace {
+
+std::atomic<AccumulateEngine> g_default_engine{AccumulateEngine::kBatched};
+
+}  // namespace
+
+void CounterRegisterFile::set_default_engine(AccumulateEngine engine) noexcept {
+  g_default_engine.store(engine, std::memory_order_relaxed);
+}
+
+AccumulateEngine CounterRegisterFile::default_engine() noexcept {
+  return g_default_engine.load(std::memory_order_relaxed);
+}
+
 CounterRegisterFile::CounterRegisterFile(const EventDatabase& db,
                                          std::uint64_t noise_seed)
-    : db_(&db), rng_(noise_seed) {}
+    : db_(&db), rng_(noise_seed), engine_(default_engine()) {}
 
 void CounterRegisterFile::program(std::vector<std::uint32_t> event_ids) {
   for (std::uint32_t id : event_ids) {
-    (void)db_->by_id(id);  // validate
+    (void)db_->by_id(id);  // validate before touching any state
   }
+  matrix_.program(*db_, event_ids);
   ids_ = std::move(event_ids);
   slots_.clear();
   slots_.reserve(ids_.size());
-  for (std::uint32_t id : ids_) slots_.push_back(Slot{id, 0.0, 0});
+  slot_index_.clear();
+  slot_index_.reserve(ids_.size());
+  for (std::uint32_t id : ids_) {
+    // First occurrence wins for duplicate ids, matching the old scan.
+    slot_index_.emplace(id, static_cast<std::uint32_t>(slots_.size()));
+    slots_.push_back(Slot{id, 0.0, 0});
+  }
   active_group_ = 0;
   total_slices_ = 0;
 }
@@ -39,14 +61,51 @@ bool CounterRegisterFile::slot_active(std::size_t slot_index) const noexcept {
   return slot_index / EventDatabase::kNumCounters == active_group_;
 }
 
+std::pair<std::size_t, std::size_t> CounterRegisterFile::active_range()
+    const noexcept {
+  const std::size_t first = active_group_ * EventDatabase::kNumCounters;
+  const std::size_t last =
+      std::min(slots_.size(), first + EventDatabase::kNumCounters);
+  return {first, last};
+}
+
 std::size_t CounterRegisterFile::slot_of(std::uint32_t event_id) const {
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].event_id == event_id) return i;
+  const auto it = slot_index_.find(event_id);
+  if (it == slot_index_.end()) {
+    throw std::invalid_argument("CounterRegisterFile: event not programmed");
   }
-  throw std::invalid_argument("CounterRegisterFile: event not programmed");
+  return it->second;
 }
 
 void CounterRegisterFile::accumulate(const ExecutionStats& stats) {
+  if (engine_ == AccumulateEngine::kBatched) {
+    accumulate_batched(stats);
+  } else {
+    accumulate_reference(stats);
+  }
+}
+
+void CounterRegisterFile::accumulate_batched(const ExecutionStats& stats) {
+  const auto [first, last] = active_range();
+  if (first >= last) return;
+  double features[kStatsFeatureDim];
+  flatten_stats(stats, features);
+  for (std::size_t i = first; i < last; ++i) {
+    const double expected = matrix_.expected(i, features);
+    double noisy = expected;
+    const float noise_rel = matrix_.noise_rel(i);
+    if (noise_rel > 0.0f && expected > 0.0) {
+      noisy += rng_.normal(0.0, noise_rel * expected);
+    }
+    if (noisy < 0.0) noisy = 0.0;
+    slots_[i].count += noisy;
+  }
+}
+
+// The retained pre-batching implementation: per-slot EventDatabase::by_id
+// with scattered coefficient loads, over every slot. Kept verbatim as the
+// baseline the equivalence suite and bench_hot_path compare against.
+void CounterRegisterFile::accumulate_reference(const ExecutionStats& stats) {
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (!slot_active(i)) continue;
     const EventResponse& r = db_->by_id(slots_[i].event_id).response;
@@ -61,6 +120,36 @@ void CounterRegisterFile::accumulate(const ExecutionStats& stats) {
 }
 
 void CounterRegisterFile::end_slice() {
+  if (engine_ == AccumulateEngine::kBatched) {
+    end_slice_batched();
+  } else {
+    end_slice_reference();
+  }
+  ++total_slices_;
+  if (multiplexed()) {
+    active_group_ = (active_group_ + 1) % group_count();
+  }
+}
+
+void CounterRegisterFile::end_slice_batched() {
+  const auto [first, last] = active_range();
+  for (std::size_t i = first; i < last; ++i) {
+    double background = 0.0;
+    const float host_background = matrix_.host_background(i);
+    if (host_background > 0.0f) {
+      background += static_cast<double>(
+          rng_.poisson(static_cast<double>(host_background)));
+    }
+    const float noise_abs = matrix_.noise_abs(i);
+    if (noise_abs > 0.0f) {
+      background += std::abs(rng_.normal(0.0, noise_abs));
+    }
+    slots_[i].count += background;
+    ++slots_[i].active_slices;
+  }
+}
+
+void CounterRegisterFile::end_slice_reference() {
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (!slot_active(i)) continue;
     const EventResponse& r = db_->by_id(slots_[i].event_id).response;
@@ -75,10 +164,6 @@ void CounterRegisterFile::end_slice() {
     slots_[i].count += background;
     ++slots_[i].active_slices;
   }
-  ++total_slices_;
-  if (multiplexed()) {
-    active_group_ = (active_group_ + 1) % group_count();
-  }
 }
 
 void CounterRegisterFile::tick(const ExecutionStats& stats) {
@@ -86,13 +171,17 @@ void CounterRegisterFile::tick(const ExecutionStats& stats) {
   end_slice();
 }
 
-double CounterRegisterFile::read(std::uint32_t event_id) const {
-  const Slot& s = slots_[slot_of(event_id)];
+double CounterRegisterFile::read_slot(std::size_t slot_index) const noexcept {
+  const Slot& s = slots_[slot_index];
   if (!multiplexed()) return s.count;
   if (s.active_slices == 0) return 0.0;
   // perf's enabled/running scaling: extrapolate to the full window.
   return s.count * static_cast<double>(total_slices_) /
          static_cast<double>(s.active_slices);
+}
+
+double CounterRegisterFile::read(std::uint32_t event_id) const {
+  return read_slot(slot_of(event_id));
 }
 
 double CounterRegisterFile::read_raw(std::uint32_t event_id) const {
@@ -102,7 +191,7 @@ double CounterRegisterFile::read_raw(std::uint32_t event_id) const {
 std::vector<double> CounterRegisterFile::read_all() const {
   std::vector<double> out;
   out.reserve(slots_.size());
-  for (const auto& s : slots_) out.push_back(read(s.event_id));
+  for (std::size_t i = 0; i < slots_.size(); ++i) out.push_back(read_slot(i));
   return out;
 }
 

@@ -6,15 +6,33 @@
 // profiler avoids by monitoring exactly 4 events per run (Section V-B).
 // This class reproduces both behaviours, plus the per-read measurement
 // noise that makes HPC values non-deterministic (C2).
+//
+// Two accumulate engines share one observable behaviour (see DESIGN.md
+// "PMU hot path"):
+//   * kBatched (default) — structure-of-arrays mat-vec over a coefficient
+//     matrix flattened at program() time (pmu::ResponseMatrix); touches
+//     only the active counter group, O(active) per call.
+//   * kReference — the original per-slot EventDatabase::by_id walk over
+//     every slot, retained as the equivalence/bench baseline.
+// Both draw measurement noise in the same per-slot order from the same
+// stream, so counter values are bit-identical between engines.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "pmu/event_database.hpp"
+#include "pmu/response_matrix.hpp"
 #include "util/rng.hpp"
 
 namespace aegis::pmu {
+
+/// Selects the accumulate/end_slice implementation of a
+/// CounterRegisterFile. kReference is the retained pre-batching code path;
+/// production always runs kBatched.
+enum class AccumulateEngine : unsigned char { kBatched = 0, kReference };
 
 class CounterRegisterFile {
  public:
@@ -52,6 +70,17 @@ class CounterRegisterFile {
   }
   const std::vector<std::uint32_t>& programmed() const noexcept { return ids_; }
 
+  /// Engine used by this instance (captured from the process-wide default
+  /// at construction; tests can override per instance).
+  AccumulateEngine engine() const noexcept { return engine_; }
+  void set_engine(AccumulateEngine engine) noexcept { engine_ = engine; }
+
+  /// Process-wide default engine for newly constructed register files. The
+  /// equivalence suite and bench flip this to run whole campaigns — which
+  /// construct their register files internally — through either engine.
+  static void set_default_engine(AccumulateEngine engine) noexcept;
+  static AccumulateEngine default_engine() noexcept;
+
  private:
   struct Slot {
     std::uint32_t event_id = 0;
@@ -61,14 +90,28 @@ class CounterRegisterFile {
 
   std::size_t group_count() const noexcept;
   bool slot_active(std::size_t slot_index) const noexcept;
+  /// [first, last) slot range of the currently-active counter group (groups
+  /// are contiguous by construction).
+  std::pair<std::size_t, std::size_t> active_range() const noexcept;
   std::size_t slot_of(std::uint32_t event_id) const;
+  double read_slot(std::size_t slot_index) const noexcept;
+
+  void accumulate_batched(const ExecutionStats& stats);
+  void accumulate_reference(const ExecutionStats& stats);
+  void end_slice_batched();
+  void end_slice_reference();
 
   const EventDatabase* db_;
   util::Rng rng_;
   std::vector<std::uint32_t> ids_;
   std::vector<Slot> slots_;
+  /// Programmed-id -> slot index; replaces the former O(n) linear scan in
+  /// read/read_raw (O(n^2) for a fully-programmed 1903-event sweep).
+  std::unordered_map<std::uint32_t, std::uint32_t> slot_index_;
+  ResponseMatrix matrix_;
   std::size_t active_group_ = 0;
   std::uint64_t total_slices_ = 0;
+  AccumulateEngine engine_;
 };
 
 }  // namespace aegis::pmu

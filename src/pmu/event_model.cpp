@@ -75,6 +75,8 @@ bool EventResponse::guest_visible() const noexcept {
   for (std::size_t i = 0; i < class_weight.size(); ++i) {
     if (class_weight.at_index(i) != 0.0f) return true;
   }
+  // per_interrupt intentionally excluded: interrupts are host-scheduled
+  // noise (C2), not guest activity — see the invariant note in the header.
   return per_uop != 0.0f || per_l1_miss != 0.0f || per_llc_miss != 0.0f ||
          per_l1_write != 0.0f || per_branch_miss != 0.0f ||
          per_mem_read != 0.0f || per_mem_write != 0.0f || per_cycle != 0.0f;

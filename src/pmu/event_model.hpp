@@ -79,6 +79,13 @@ struct EventResponse {
 
   /// True if any guest-activity coefficient is non-zero, i.e. the event can
   /// reflect what runs inside the VM (what warm-up profiling discovers).
+  ///
+  /// Invariant: per_interrupt is deliberately NOT consulted. Interrupt
+  /// delivery is scheduled by the host (the paper's C2 non-determinism),
+  /// so an event coupled only to interrupts carries no information about
+  /// what the guest executes — counting it as guest-visible would let
+  /// warm-up profiling keep pure-noise events. Pinned by
+  /// pmu_test.GuestVisibleIgnoresInterruptCoupling.
   bool guest_visible() const noexcept;
 };
 

@@ -1,0 +1,52 @@
+#include "pmu/response_matrix.hpp"
+
+namespace aegis::pmu {
+
+void flatten_stats(const ExecutionStats& s, double* out) noexcept {
+  constexpr std::size_t kClasses = isa::kNumInstructionClasses;
+  for (std::size_t i = 0; i < kClasses; ++i) {
+    out[i] = s.class_counts.at_index(i);
+  }
+  out[kClasses + 0] = s.uops;
+  out[kClasses + 1] = s.l1_misses;
+  out[kClasses + 2] = s.llc_misses;
+  out[kClasses + 3] = s.l1_writes;
+  out[kClasses + 4] = s.branch_mispredicts;
+  out[kClasses + 5] = s.mem_reads;
+  out[kClasses + 6] = s.mem_writes;
+  out[kClasses + 7] = s.cycles;
+  out[kClasses + 8] = s.interrupts;
+}
+
+void ResponseMatrix::program(const EventDatabase& db,
+                             std::span<const std::uint32_t> ids) {
+  constexpr std::size_t kClasses = isa::kNumInstructionClasses;
+  coeff_.clear();
+  noise_.clear();
+  coeff_.reserve(ids.size() * kStatsFeatureDim);
+  noise_.reserve(ids.size());
+  for (std::uint32_t id : ids) {
+    const EventResponse& r = db.by_id(id).response;  // validates like program()
+    for (std::size_t i = 0; i < kClasses; ++i) {
+      coeff_.push_back(static_cast<double>(r.class_weight.at_index(i)));
+    }
+    // Scalar coefficients in expected_count's term order (see flatten_stats).
+    coeff_.push_back(static_cast<double>(r.per_uop));
+    coeff_.push_back(static_cast<double>(r.per_l1_miss));
+    coeff_.push_back(static_cast<double>(r.per_llc_miss));
+    coeff_.push_back(static_cast<double>(r.per_l1_write));
+    coeff_.push_back(static_cast<double>(r.per_branch_miss));
+    coeff_.push_back(static_cast<double>(r.per_mem_read));
+    coeff_.push_back(static_cast<double>(r.per_mem_write));
+    coeff_.push_back(static_cast<double>(r.per_cycle));
+    coeff_.push_back(static_cast<double>(r.per_interrupt));
+    noise_.push_back(RowNoise{r.noise_rel, r.noise_abs, r.host_background});
+  }
+}
+
+void ResponseMatrix::clear() noexcept {
+  coeff_.clear();
+  noise_.clear();
+}
+
+}  // namespace aegis::pmu

@@ -1,0 +1,82 @@
+// Batched structure-of-arrays PMU response engine.
+//
+// CounterRegisterFile::accumulate is the innermost loop of every campaign:
+// Table III fuzzing, the Fig. 8 sweep over all 1903 events and the
+// obfuscator's per-slice in-guest path all funnel millions of simulated
+// gadget executions through it. The scattered representation — one
+// EventDatabase::by_id pointer chase per slot per call into an
+// EventDescriptor whose float coefficients interleave with its name and
+// type — costs a dependent load chain plus ~34 float->double conversions
+// per slot. ResponseMatrix flattens the programmed responses ONCE, at
+// program() time, into a dense row-major double matrix so that accumulate
+// becomes a small mat-vec against one flattened feature vector.
+//
+// Contract: expected(row, features) performs bit-identical arithmetic to
+// EventResponse::expected_count on the same ExecutionStats record — the
+// same terms, in the same order, at the same (double) precision — so the
+// batched engine is a drop-in replacement for the retained reference
+// implementation. tests/hotpath_test.cpp proves the equivalence end to end
+// (fuzzing shard + profiler ranking, bit-identical counters).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pmu/event_database.hpp"
+#include "pmu/event_model.hpp"
+
+namespace aegis::pmu {
+
+/// Width of the flattened ExecutionStats feature vector: one slot per
+/// instruction class plus the 9 scalar activity fields.
+inline constexpr std::size_t kStatsFeatureDim = isa::kNumInstructionClasses + 9;
+
+/// Flattens `s` into out[0..kStatsFeatureDim): class counts first, then the
+/// scalars in EventResponse::expected_count's term order (uops, l1_misses,
+/// llc_misses, l1_writes, branch_mispredicts, mem_reads, mem_writes,
+/// cycles, interrupts). Changing this order breaks the bit-identity
+/// contract with the reference implementation.
+void flatten_stats(const ExecutionStats& s, double* out) noexcept;
+
+class ResponseMatrix {
+ public:
+  /// Flattens the EventResponse of each id into one dense coefficient row
+  /// (and caches the per-row noise terms used by end_slice). Validates ids
+  /// against the database exactly like the reference path (throws
+  /// std::out_of_range on unknown ids).
+  void program(const EventDatabase& db, std::span<const std::uint32_t> ids);
+
+  void clear() noexcept;
+
+  std::size_t rows() const noexcept { return noise_.size(); }
+
+  /// Expected (noise-free) count of row `row` for a feature vector produced
+  /// by flatten_stats. Bit-identical to EventResponse::expected_count.
+  double expected(std::size_t row, const double* features) const noexcept {
+    const double* c = coeff_.data() + row * kStatsFeatureDim;
+    double count = 0.0;
+    for (std::size_t i = 0; i < kStatsFeatureDim; ++i) {
+      count += c[i] * features[i];
+    }
+    return count < 0.0 ? 0.0 : count;
+  }
+
+  float noise_rel(std::size_t row) const noexcept { return noise_[row].rel; }
+  float noise_abs(std::size_t row) const noexcept { return noise_[row].abs; }
+  float host_background(std::size_t row) const noexcept {
+    return noise_[row].background;
+  }
+
+ private:
+  struct RowNoise {
+    float rel = 0.0f;
+    float abs = 0.0f;
+    float background = 0.0f;
+  };
+
+  std::vector<double> coeff_;   // rows() x kStatsFeatureDim, row-major
+  std::vector<RowNoise> noise_;
+};
+
+}  // namespace aegis::pmu

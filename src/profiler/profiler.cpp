@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <utility>
 
 #include "trace/pca.hpp"
 #include "trace/trace.hpp"
@@ -115,11 +116,11 @@ std::vector<EventRank> ApplicationProfiler::rank(
       for (std::size_t run = 0; run < config_.ranking_runs_per_secret; ++run) {
         sim::VirtualMachine vm(config_.vm, rng.next_u64());
         sim::HostMonitor monitor(*db_, rng.next_u64());
-        const sim::MonitorResult r =
+        sim::MonitorResult r =
             monitor.monitor(vm, secrets[s]->visit(rng.next_u64()), group,
                             secrets[s]->trace_slices());
         trace::Trace t;
-        t.samples = r.samples;
+        t.samples = std::move(r.samples);  // last use; avoids a deep copy
         const std::vector<double> all =
             t.window_features(config_.feature_windows);
         const std::size_t w = all.size() / group.size();

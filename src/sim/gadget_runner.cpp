@@ -38,6 +38,11 @@ InstructionBlock make_epilog() {
   return b;
 }
 
+// The prolog/epilog never change between executions; building them per
+// call was pure hot-loop overhead.
+const InstructionBlock kProlog = make_prolog();
+const InstructionBlock kEpilog = make_epilog();
+
 }  // namespace
 
 GadgetRunner::GadgetRunner(const pmu::EventDatabase& db,
@@ -55,27 +60,39 @@ void GadgetRunner::program(std::vector<std::uint32_t> event_ids) {
   counters_.program(std::move(event_ids));
 }
 
-std::vector<double> GadgetRunner::execute_once(
+const InstructionBlock& GadgetRunner::variant_block(std::uint32_t uid,
+                                                    double unroll) {
+  const auto it = block_cache_.find(uid);
+  if (it != block_cache_.end() && it->second.unroll == unroll) {
+    return it->second.block;
+  }
+  const isa::InstructionVariant& v = spec_->by_uid(uid);
+  if (!v.legal()) {
+    throw std::invalid_argument("GadgetRunner: illegal variant " + v.mnemonic);
+  }
+  CachedBlock& entry = it != block_cache_.end() ? it->second : block_cache_[uid];
+  entry.unroll = unroll;
+  entry.block = InstructionBlock::from_variant(v, unroll, kGadgetDataRegion);
+  return entry.block;
+}
+
+std::span<const double> GadgetRunner::execute_once(
     std::span<const std::uint32_t> variant_uids, double unroll) {
   // Prolog runs before the first RDPMC.
-  (void)execute_block(make_prolog(), uarch_);
+  (void)execute_block(kProlog, uarch_);
 
-  std::vector<double> before;
-  before.reserve(counters_.programmed().size());
-  for (std::uint32_t id : counters_.programmed()) {
-    before.push_back(counters_.read_raw(id));
+  const std::vector<std::uint32_t>& ids = counters_.programmed();
+  const std::size_t n = ids.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    before_[i] = counters_.read_raw(ids[i]);
   }
 
   // Measured window: the generated instruction sequence. A rare interrupt
   // can still land inside (the residual C2 noise the fuzzer's repetition
   // machinery has to average out).
   for (std::uint32_t uid : variant_uids) {
-    const isa::InstructionVariant& v = spec_->by_uid(uid);
-    if (!v.legal()) {
-      throw std::invalid_argument("GadgetRunner: illegal variant " + v.mnemonic);
-    }
-    pmu::ExecutionStats stats = execute_block(
-        InstructionBlock::from_variant(v, unroll, kGadgetDataRegion), uarch_);
+    pmu::ExecutionStats stats =
+        execute_block(variant_block(uid, unroll), uarch_);
     if (rng_.bernoulli(config_.interrupt_rate)) {
       stats.interrupts += 1.0;
       stats.cycles += config_.interrupt_cycles;
@@ -84,14 +101,12 @@ std::vector<double> GadgetRunner::execute_once(
     counters_.accumulate(stats);
   }
 
-  std::vector<double> delta(before.size());
-  const auto& ids = counters_.programmed();
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    delta[i] = counters_.read_raw(ids[i]) - before[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    delta_[i] = counters_.read_raw(ids[i]) - before_[i];
   }
 
-  (void)execute_block(make_epilog(), uarch_);
-  return delta;
+  (void)execute_block(kEpilog, uarch_);
+  return std::span<const double>(delta_.data(), n);
 }
 
 void GadgetRunner::reset_machine_state() { uarch_ = MicroArchState{}; }

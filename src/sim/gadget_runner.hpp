@@ -11,10 +11,18 @@
 // Micro-architectural state deliberately persists across measurements —
 // gadgets fuzzed back-to-back inherit each other's cache dirt (C6), which
 // Event Fuzzer's confirmation stage has to detect and reject.
+//
+// The steady-state measurement loop is allocation-free: generated variant
+// blocks are cached per (uid, unroll), the prolog/epilog are built once,
+// and before/delta live in fixed member scratch sized to the 4-register
+// hardware limit (see DESIGN.md "PMU hot path"; pinned by the
+// instrumented-allocator test in tests/hotpath_test.cpp).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "isa/spec.hpp"
@@ -35,12 +43,16 @@ class GadgetRunner {
   /// Executes the instruction sequence (each uid repeated `unroll` times,
   /// uids in order: reset sequence then trigger sequence) once inside the
   /// prolog/epilog + serialization harness, and returns the per-event HPC
-  /// count deltas across the measured window.
-  std::vector<double> execute_once(std::span<const std::uint32_t> variant_uids,
-                                   double unroll = 8.0);
+  /// count deltas across the measured window. The returned span aliases
+  /// member scratch: it is valid until the next execute_once call and holds
+  /// one delta per programmed event.
+  std::span<const double> execute_once(
+      std::span<const std::uint32_t> variant_uids, double unroll = 8.0);
 
   /// Clears cache/predictor state (a fresh process image). Tests use this;
-  /// the fuzzer intentionally does NOT between gadgets.
+  /// the fuzzer intentionally does NOT between gadgets. The variant-block
+  /// cache survives: cached blocks depend only on the immutable ISA spec,
+  /// never on machine state.
   void reset_machine_state();
 
   const std::vector<std::uint32_t>& programmed() const noexcept {
@@ -48,11 +60,25 @@ class GadgetRunner {
   }
 
  private:
+  /// Returns the cached InstructionBlock::from_variant(uid, unroll) result,
+  /// building (and legality-checking) it on first use. One entry per uid;
+  /// an unroll change rebuilds the entry in place. Illegal variants are
+  /// never cached and throw on every call, exactly like the uncached path.
+  const InstructionBlock& variant_block(std::uint32_t uid, double unroll);
+
+  struct CachedBlock {
+    double unroll = -1.0;  // never a valid repetition count
+    InstructionBlock block;
+  };
+
   const isa::IsaSpecification* spec_;
   VmConfig config_;
   util::Rng rng_;
   MicroArchState uarch_;
   pmu::CounterRegisterFile counters_;
+  std::unordered_map<std::uint32_t, CachedBlock> block_cache_;
+  std::array<double, pmu::EventDatabase::kNumCounters> before_{};
+  std::array<double, pmu::EventDatabase::kNumCounters> delta_{};
 };
 
 }  // namespace aegis::sim

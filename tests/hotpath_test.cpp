@@ -1,0 +1,384 @@
+// Hot-path engine proof obligations (see DESIGN.md "PMU hot path"):
+//   * legacy-vs-batched equivalence — a seed-7 fuzzing shard and a profiler
+//     ranking run through both CounterRegisterFile engines must produce
+//     bit-identical counter values and the identical EventRank order;
+//   * steady-state GadgetRunner::execute_once performs zero heap
+//     allocations (instrumented global allocator);
+//   * perf smoke — the batched engine must not be slower than the retained
+//     reference implementation on the 1903-event sweep shape.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "fuzzer/fuzzer.hpp"
+#include "pmu/counter_file.hpp"
+#include "pmu/event_database.hpp"
+#include "pmu/response_matrix.hpp"
+#include "profiler/profiler.hpp"
+#include "sim/gadget_runner.hpp"
+#include "workload/website.hpp"
+
+// ---------------------------------------------------------------------------
+// Instrumented allocator: counts every global operator new so tests can
+// assert an allocation-free window. Disabled under sanitizers, whose
+// runtimes own the allocator.
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define AEGIS_ALLOC_HOOK 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define AEGIS_ALLOC_HOOK 0
+#else
+#define AEGIS_ALLOC_HOOK 1
+#endif
+#else
+#define AEGIS_ALLOC_HOOK 1
+#endif
+
+#if AEGIS_ALLOC_HOOK
+
+namespace {
+std::atomic<std::uint64_t> g_allocation_count{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::align_val_t align) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // AEGIS_ALLOC_HOOK
+
+namespace aegis {
+namespace {
+
+using pmu::AccumulateEngine;
+using pmu::CounterRegisterFile;
+
+/// Flips the process-wide default engine for a scope; campaigns construct
+/// their register files internally, so this is how whole runs are steered
+/// through one engine or the other.
+class EngineGuard {
+ public:
+  explicit EngineGuard(AccumulateEngine engine) {
+    CounterRegisterFile::set_default_engine(engine);
+  }
+  ~EngineGuard() {
+    CounterRegisterFile::set_default_engine(AccumulateEngine::kBatched);
+  }
+};
+
+struct Fixture {
+  pmu::EventDatabase db =
+      pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
+  isa::IsaSpecification spec =
+      isa::IsaSpecification::generate(isa::CpuModel::kAmdEpyc7252);
+
+  std::vector<std::uint32_t> events() const {
+    std::vector<std::uint32_t> ids;
+    for (auto name : pmu::kAmdAttackEvents) ids.push_back(*db.find(name));
+    ids.push_back(*db.find("RETIRED_BRANCH_INSTRUCTIONS"));
+    ids.push_back(*db.find("RETIRED_MMX_FP_INSTRUCTIONS:SSE_INSTR"));
+    return ids;
+  }
+};
+
+pmu::ExecutionStats busy_stats() {
+  pmu::ExecutionStats stats;
+  for (std::size_t i = 0; i < stats.class_counts.size(); ++i) {
+    stats.class_counts.at_index(i) = 10.0 + static_cast<double>(i);
+  }
+  stats.uops = 1200.0;
+  stats.l1_misses = 7.0;
+  stats.llc_misses = 2.0;
+  stats.l1_writes = 40.0;
+  stats.branch_mispredicts = 3.0;
+  stats.mem_reads = 220.0;
+  stats.mem_writes = 90.0;
+  stats.interrupts = 1.0;
+  stats.cycles = 4000.0;
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Feature flattening layout.
+
+TEST(ResponseMatrix, FlattenMatchesExpectedCountTermOrder) {
+  const pmu::ExecutionStats stats = busy_stats();
+  std::array<double, pmu::kStatsFeatureDim> f{};
+  pmu::flatten_stats(stats, f.data());
+  constexpr std::size_t k = isa::kNumInstructionClasses;
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(f[i], stats.class_counts.at_index(i)) << i;
+  }
+  EXPECT_EQ(f[k + 0], stats.uops);
+  EXPECT_EQ(f[k + 1], stats.l1_misses);
+  EXPECT_EQ(f[k + 2], stats.llc_misses);
+  EXPECT_EQ(f[k + 3], stats.l1_writes);
+  EXPECT_EQ(f[k + 4], stats.branch_mispredicts);
+  EXPECT_EQ(f[k + 5], stats.mem_reads);
+  EXPECT_EQ(f[k + 6], stats.mem_writes);
+  EXPECT_EQ(f[k + 7], stats.cycles);
+  EXPECT_EQ(f[k + 8], stats.interrupts);
+}
+
+TEST(ResponseMatrix, ExpectedIsBitIdenticalToEventResponse) {
+  Fixture fix;
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t id = 0; id < fix.db.size(); ++id) ids.push_back(id);
+  pmu::ResponseMatrix matrix;
+  matrix.program(fix.db, ids);
+  ASSERT_EQ(matrix.rows(), fix.db.size());
+
+  const pmu::ExecutionStats stats = busy_stats();
+  std::array<double, pmu::kStatsFeatureDim> f{};
+  pmu::flatten_stats(stats, f.data());
+  for (std::uint32_t id = 0; id < fix.db.size(); ++id) {
+    const double reference = fix.db.by_id(id).response.expected_count(stats);
+    EXPECT_EQ(matrix.expected(id, f.data()), reference) << "event " << id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine equivalence, unit level: identical RNG streams through both
+// engines must yield bit-identical counters, multiplexed or not.
+
+TEST(EngineEquivalence, CountersBitIdenticalAcrossEngines) {
+  Fixture fix;
+  for (const std::size_t num_events : {4u, 11u}) {
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t id = 0; ids.size() < num_events; ++id) {
+      if (fix.db.by_id(id).response.guest_visible()) ids.push_back(id);
+    }
+    CounterRegisterFile batched(fix.db, 99);
+    batched.set_engine(AccumulateEngine::kBatched);
+    CounterRegisterFile reference(fix.db, 99);
+    reference.set_engine(AccumulateEngine::kReference);
+    batched.program(ids);
+    reference.program(ids);
+
+    const pmu::ExecutionStats stats = busy_stats();
+    for (int t = 0; t < 50; ++t) {
+      batched.tick(stats);
+      reference.tick(stats);
+    }
+    for (std::uint32_t id : ids) {
+      EXPECT_EQ(batched.read_raw(id), reference.read_raw(id)) << id;
+      EXPECT_EQ(batched.read(id), reference.read(id)) << id;
+    }
+    EXPECT_EQ(batched.read_all(), reference.read_all());
+  }
+}
+
+TEST(EngineEquivalence, DefaultEngineRoundTrips) {
+  EXPECT_EQ(CounterRegisterFile::default_engine(), AccumulateEngine::kBatched);
+  {
+    EngineGuard guard(AccumulateEngine::kReference);
+    EXPECT_EQ(CounterRegisterFile::default_engine(),
+              AccumulateEngine::kReference);
+    Fixture fix;
+    CounterRegisterFile counters(fix.db, 1);
+    EXPECT_EQ(counters.engine(), AccumulateEngine::kReference);
+  }
+  EXPECT_EQ(CounterRegisterFile::default_engine(), AccumulateEngine::kBatched);
+}
+
+// ---------------------------------------------------------------------------
+// Engine equivalence, campaign level: the PR 1 golden/differential suite
+// extended across engines. A seed-7 fuzzing shard must agree bit-for-bit.
+
+void expect_gadgets_equal(const std::vector<fuzzer::ConfirmedGadget>& a,
+                          const std::vector<fuzzer::ConfirmedGadget>& b,
+                          const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].gadget.reset_uid, b[i].gadget.reset_uid) << what << " " << i;
+    EXPECT_EQ(a[i].gadget.trigger_uid, b[i].gadget.trigger_uid)
+        << what << " " << i;
+    EXPECT_EQ(a[i].event_id, b[i].event_id) << what << " " << i;
+    EXPECT_EQ(a[i].median_delta, b[i].median_delta) << what << " " << i;
+  }
+}
+
+TEST(EngineEquivalence, Seed7FuzzingShardBitIdentical) {
+  Fixture fix;
+  fuzzer::FuzzerConfig config;
+  config.seed = 7;
+  config.reset_sample = 20;
+  config.trigger_sample = 20;
+  config.repeats = 4;
+  config.num_threads = 2;
+
+  auto run_with = [&](AccumulateEngine engine) {
+    EngineGuard guard(engine);
+    fuzzer::EventFuzzer fuzzer(fix.db, fix.spec, config);
+    return fuzzer.run(fix.events());
+  };
+  const fuzzer::FuzzResult reference = run_with(AccumulateEngine::kReference);
+  const fuzzer::FuzzResult batched = run_with(AccumulateEngine::kBatched);
+
+  EXPECT_EQ(batched.cleaned_instructions, reference.cleaned_instructions);
+  EXPECT_EQ(batched.executed_gadgets, reference.executed_gadgets);
+  ASSERT_EQ(batched.reports.size(), reference.reports.size());
+  std::size_t total_confirmed = 0;
+  for (std::size_t e = 0; e < batched.reports.size(); ++e) {
+    EXPECT_EQ(batched.reports[e].event_id, reference.reports[e].event_id);
+    EXPECT_EQ(batched.reports[e].candidates, reference.reports[e].candidates);
+    expect_gadgets_equal(batched.reports[e].confirmed,
+                         reference.reports[e].confirmed, "confirmed");
+    expect_gadgets_equal(batched.reports[e].representatives,
+                         reference.reports[e].representatives,
+                         "representatives");
+    total_confirmed += batched.reports[e].confirmed.size();
+  }
+  // Equality of empty results would prove nothing.
+  ASSERT_GT(total_confirmed, 0u);
+}
+
+TEST(EngineEquivalence, ProfilerRankingIdenticalAcrossEngines) {
+  Fixture fix;
+  profiler::ProfilerConfig config;
+  config.seed = 7;
+  config.ranking_runs_per_secret = 3;
+  config.num_threads = 2;
+  std::vector<std::unique_ptr<workload::Workload>> secrets;
+  for (std::uint32_t site = 0; site < 3; ++site) {
+    secrets.push_back(std::make_unique<workload::WebsiteWorkload>(site, 40));
+  }
+
+  auto rank_with = [&](AccumulateEngine engine) {
+    EngineGuard guard(engine);
+    return profiler::ApplicationProfiler(fix.db, config)
+        .rank(secrets, fix.events());
+  };
+  const std::vector<profiler::EventRank> reference =
+      rank_with(AccumulateEngine::kReference);
+  const std::vector<profiler::EventRank> batched =
+      rank_with(AccumulateEngine::kBatched);
+
+  ASSERT_EQ(batched.size(), reference.size());
+  ASSERT_GT(batched.size(), 0u);
+  EXPECT_GT(batched.front().mutual_information, 0.0);
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i].event_id, reference[i].event_id) << i;
+    EXPECT_EQ(batched[i].mutual_information, reference[i].mutual_information)
+        << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation steady state.
+
+TEST(HotPathAllocations, ExecuteOnceSteadyStateAllocatesNothing) {
+#if AEGIS_ALLOC_HOOK
+  Fixture fix;
+  sim::GadgetRunner runner(fix.db, fix.spec, 21);
+  const std::vector<std::uint32_t> all_events = fix.events();
+  runner.program({all_events.begin(), all_events.begin() + 4});
+
+  // Any two legal variants make a (reset, trigger) gadget; one with a
+  // memory operand exercises the cache-access stats path too.
+  std::uint32_t plain = 0, memory = 0;
+  bool have_plain = false, have_memory = false;
+  for (const auto& v : fix.spec.variants()) {
+    if (!v.legal()) continue;
+    if (!have_plain && !v.has_memory_operand) {
+      plain = v.uid;
+      have_plain = true;
+    }
+    if (!have_memory && v.has_memory_operand) {
+      memory = v.uid;
+      have_memory = true;
+    }
+    if (have_plain && have_memory) break;
+  }
+  ASSERT_TRUE(have_plain);
+  ASSERT_TRUE(have_memory);
+  const std::array<std::uint32_t, 2> gadget = {plain, memory};
+
+  // Warm-up: populates the variant-block cache (the only allocations the
+  // measurement loop is allowed).
+  for (int i = 0; i < 3; ++i) (void)runner.execute_once(gadget, 16.0);
+
+  const std::uint64_t before =
+      g_allocation_count.load(std::memory_order_relaxed);
+  double sink = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const std::span<const double> delta = runner.execute_once(gadget, 16.0);
+    sink += delta[0];
+  }
+  const std::uint64_t after =
+      g_allocation_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state execute_once must not touch the heap (sink=" << sink
+      << ")";
+#else
+  GTEST_SKIP() << "allocation hook disabled under sanitizers";
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Perf smoke: the batched engine must not lose to the reference it
+// replaced. Measured on the multiplexed 1903-event sweep shape, where the
+// structural win (active-group range vs full-slot walk) dwarfs timer and
+// scheduler noise; bench_hot_path tracks the precise ratios.
+
+TEST(HotPathPerfSmoke, BatchedNotSlowerThanReferenceOnSweep) {
+  Fixture fix;
+  std::vector<std::uint32_t> all_ids;
+  for (std::uint32_t id = 0; id < fix.db.size(); ++id) all_ids.push_back(id);
+  const pmu::ExecutionStats stats = busy_stats();
+
+  auto time_engine = [&](AccumulateEngine engine) {
+    CounterRegisterFile counters(fix.db, 42);
+    counters.set_engine(engine);
+    counters.program(all_ids);
+    // Touch everything once so first-use effects hit neither timing.
+    counters.tick(stats);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 400; ++i) counters.accumulate(stats);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  const double reference = time_engine(AccumulateEngine::kReference);
+  const double batched = time_engine(AccumulateEngine::kBatched);
+  EXPECT_LE(batched, reference)
+      << "batched " << batched << "s vs reference " << reference << "s";
+}
+
+}  // namespace
+}  // namespace aegis

@@ -250,6 +250,98 @@ TEST(CounterFile, HostBackgroundAccruesForHostOnlyEvents) {
   EXPECT_GT(counters.read_raw(host_event), 0.0);
 }
 
+namespace {
+/// Eight guest-visible events (two counter groups) with RETIRED_UOPS at the
+/// given slot, so tests can pin which multiplex group it lands in.
+std::vector<std::uint32_t> eight_events_with_uops_at(const EventDatabase& db,
+                                                     std::size_t slot) {
+  const std::uint32_t uops_id = *db.find("RETIRED_UOPS");
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t i = 0; ids.size() < 8; ++i) {
+    if (ids.size() == slot) {
+      ids.push_back(uops_id);
+      continue;
+    }
+    if (i != uops_id && db.by_id(i).response.guest_visible()) ids.push_back(i);
+  }
+  return ids;
+}
+}  // namespace
+
+TEST(CounterFile, EndSliceRotatesActiveGroup) {
+  const auto db = EventDatabase::generate(CpuModel::kAmdEpyc7252);
+  const std::uint32_t uops_id = *db.find("RETIRED_UOPS");
+  // RETIRED_UOPS in slot 4 = the second counter group.
+  CounterRegisterFile counters(db, 6);
+  counters.program(eight_events_with_uops_at(db, 4));
+  ExecutionStats stats;
+  stats.uops = 1000;
+
+  // Group 0 is active first: work accumulated now must not reach group 1.
+  counters.accumulate(stats);
+  EXPECT_DOUBLE_EQ(counters.read_raw(uops_id), 0.0);
+
+  // end_slice rotates to group 1; the same work now lands on RETIRED_UOPS.
+  counters.end_slice();
+  counters.accumulate(stats);
+  const double after_rotation = counters.read_raw(uops_id);
+  EXPECT_GT(after_rotation, 0.0);
+
+  // The next end_slice applies per-slice noise to group 1 (still active),
+  // then wraps back to group 0: RETIRED_UOPS stops counting entirely.
+  counters.end_slice();
+  const double after_wrap = counters.read_raw(uops_id);
+  counters.accumulate(stats);
+  EXPECT_DOUBLE_EQ(counters.read_raw(uops_id), after_wrap);
+}
+
+TEST(CounterFile, ReadExtrapolatesByActiveSliceRatio) {
+  const auto db = EventDatabase::generate(CpuModel::kAmdEpyc7252);
+  const std::uint32_t uops_id = *db.find("RETIRED_UOPS");
+  CounterRegisterFile counters(db, 7);
+  counters.program(eight_events_with_uops_at(db, 0));
+  ExecutionStats stats;
+  stats.uops = 1000;
+  // 16 slices over 2 groups: each group active exactly 8. The perf-style
+  // estimate is count * total_slices / active_slices = count * 2, and with
+  // power-of-two slice counts the scaling is exact in floating point.
+  for (int t = 0; t < 16; ++t) counters.tick(stats);
+  const double raw = counters.read_raw(uops_id);
+  ASSERT_GT(raw, 0.0);
+  EXPECT_DOUBLE_EQ(counters.read(uops_id), raw * 2.0);
+}
+
+TEST(CounterFile, ReadBeforeAnyCompletedSliceIsZero) {
+  const auto db = EventDatabase::generate(CpuModel::kAmdEpyc7252);
+  const std::uint32_t uops_id = *db.find("RETIRED_UOPS");
+  CounterRegisterFile counters(db, 8);
+  counters.program(eight_events_with_uops_at(db, 0));
+  ExecutionStats stats;
+  stats.uops = 1000;
+  // Work accumulated but no slice completed: active_slices is still 0, so
+  // the scaled estimate reports 0 even though raw counts exist (perf has no
+  // running-time to extrapolate from).
+  counters.accumulate(stats);
+  EXPECT_GT(counters.read_raw(uops_id), 0.0);
+  EXPECT_DOUBLE_EQ(counters.read(uops_id), 0.0);
+}
+
+TEST(EventResponse, GuestVisibleIgnoresInterruptCoupling) {
+  // Interrupt delivery is host-scheduled noise (C2): an event coupled only
+  // to interrupts says nothing about guest activity and must not pass the
+  // warm-up filter. See the invariant note on guest_visible().
+  EventResponse response;
+  response.per_interrupt = 5.0f;
+  EXPECT_FALSE(response.guest_visible());
+  // Its expected count still reflects interrupts...
+  ExecutionStats stats;
+  stats.interrupts = 3;
+  EXPECT_DOUBLE_EQ(response.expected_count(stats), 15.0);
+  // ...and any genuine guest coefficient flips visibility.
+  response.per_uop = 1.0f;
+  EXPECT_TRUE(response.guest_visible());
+}
+
 TEST(EventType, ShortCodesMatchTableII) {
   EXPECT_EQ(short_code(EventType::kHardware), "H");
   EXPECT_EQ(short_code(EventType::kSoftware), "S");

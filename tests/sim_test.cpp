@@ -321,7 +321,7 @@ TEST(GadgetRunner, MeasuresUopDeltaOfSimpleGadget) {
     }
   }
   const std::array<std::uint32_t, 1> seq = {alu};
-  const std::vector<double> delta = runner.execute_once(seq, 32.0);
+  const std::span<const double> delta = runner.execute_once(seq, 32.0);
   ASSERT_EQ(delta.size(), 1u);
   EXPECT_GT(delta[0], 20.0);  // ~32 uops, modulo measurement noise
 }

@@ -1,0 +1,245 @@
+// Multi-tenant protection-service load generator.
+//
+// Sweeps fleet sizes through the ProtectionService daemon — template
+// registration per tenant (exercising the single-flight TemplateCache and
+// its disk warm start), then one protected session per tenant through the
+// bounded submission queue — and reports throughput, p50/p99 session
+// latency and cache hit rate per fleet size:
+//
+//   bench_service [output.json]   full sweep (1..48 tenants), JSON emitted
+//                                 to the path (default stdout); committed
+//                                 as BENCH_service.json
+//   bench_service --smoke         bounded run for CI: asserts non-zero
+//                                 throughput, zero refusals under an ample
+//                                 budget, and single-flight analysis
+//
+// AEGIS_SCALE scales per-session slice counts; AEGIS_THREADS sets the
+// session-pool worker count (0 = hardware concurrency).
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "service/protection_service.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace aegis::bench {
+namespace {
+
+struct SweepPoint {
+  std::size_t tenants = 0;
+  double wall_seconds = 0.0;
+  double throughput = 0.0;       // sessions / second
+  double p50_latency_ms = 0.0;   // enqueue -> completion
+  double p99_latency_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  std::size_t analyses_run = 0;
+  std::size_t warm_starts = 0;
+  std::size_t refused = 0;
+  std::size_t degraded = 0;
+  double mean_injected_reps = 0.0;
+};
+
+struct Scenario {
+  core::Aegis engine{isa::CpuModel::kAmdEpyc7252};
+  std::vector<std::unique_ptr<workload::Workload>> secrets;
+  core::OfflineConfig offline;
+  dp::MechanismConfig mechanism;
+  std::size_t session_slices;
+  std::string cache_dir;
+
+  explicit Scenario(double scale) {
+    attack::WfaScale wfa;
+    wfa.sites = 4;
+    wfa.slices = 100;
+    secrets = attack::make_wfa_secrets(wfa);
+    offline = core::make_quick_offline_config();
+    offline.profiler.ranking_runs_per_secret = 3;
+    offline.fuzz_top_events = 12;
+    offline.set_num_threads(threads_from_env());
+    mechanism.kind = dp::MechanismKind::kLaplace;
+    mechanism.epsilon = 0.05;
+    session_slices = scaled(60, scale, 20);
+    cache_dir = "/tmp/aegis_bench_service_cache";
+    std::filesystem::create_directories(cache_dir);
+  }
+};
+
+double ms(double seconds) { return seconds * 1e3; }
+
+SweepPoint run_fleet_size(const Scenario& scenario, std::size_t tenants) {
+  service::ServiceConfig config;
+  config.num_threads = threads_from_env();
+  config.queue_capacity = 64;
+  config.batch_size = 16;
+  config.governor.default_epsilon_cap = 64.0;  // ample: nothing refused
+  config.cache.cache_dir = scenario.cache_dir;
+  service::ProtectionService svc(config);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // Every tenant registers the template (same key): 1 miss, N-1 hits, and
+  // at most ONE analysis/warm-start thanks to single-flight.
+  std::size_t tpl_id = 0;
+  for (std::size_t t = 0; t < tenants; ++t) {
+    tpl_id = svc.register_template(scenario.engine, *scenario.secrets[0],
+                                   scenario.secrets, scenario.offline,
+                                   scenario.mechanism, {}, 0xFEEDULL);
+  }
+  for (std::size_t t = 0; t < tenants; ++t) {
+    service::SessionSubmission sub;
+    sub.template_id = tpl_id;
+    sub.request.tenant_id = t;
+    sub.request.seed = util::split_mix64(0xBE7ACULL, t);
+    sub.request.application =
+        scenario.secrets[t % scenario.secrets.size()].get();
+    sub.request.slices = scenario.session_slices;
+    sub.request.per_slice_epsilon = scenario.mechanism.epsilon;
+    if (!svc.submit(sub)) {
+      std::cerr << "bench_service: submit rejected\n";
+      std::exit(1);
+    }
+  }
+  svc.drain();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const service::ServiceStats stats = svc.stats();
+  const auto completed = svc.take_completed();
+  std::vector<double> latencies;
+  double injected = 0.0;
+  for (const auto& done : completed) {
+    latencies.push_back(done.latency_seconds);
+    injected += done.result.injected_repetitions;
+  }
+
+  SweepPoint point;
+  point.tenants = tenants;
+  point.wall_seconds = wall;
+  point.throughput = static_cast<double>(completed.size()) / wall;
+  point.p50_latency_ms = ms(util::quantile(latencies, 0.50));
+  point.p99_latency_ms = ms(util::quantile(latencies, 0.99));
+  point.cache_hit_rate = stats.cache.hit_rate();
+  point.analyses_run = stats.cache.analyses_run;
+  point.warm_starts = stats.cache.warm_starts;
+  point.refused = stats.sessions_refused;
+  point.degraded = stats.sessions_degraded;
+  point.mean_injected_reps =
+      completed.empty() ? 0.0 : injected / static_cast<double>(completed.size());
+
+  if (stats.sessions_completed + stats.sessions_refused !=
+      static_cast<std::size_t>(tenants)) {
+    std::cerr << "bench_service: lost sessions (completed "
+              << stats.sessions_completed << " refused "
+              << stats.sessions_refused << " of " << tenants << ")\n";
+    std::exit(1);
+  }
+  return point;
+}
+
+void emit_json(std::ostream& out, const std::vector<SweepPoint>& sweep,
+               const Scenario& scenario) {
+  out << "{\n"
+      << "  \"bench\": \"service\",\n"
+      << "  \"cpu_model\": \"AmdEpyc7252\",\n"
+      << "  \"session_slices\": " << scenario.session_slices << ",\n"
+      << "  \"mechanism\": \"laplace\",\n"
+      << "  \"per_slice_epsilon\": " << scenario.mechanism.epsilon << ",\n"
+      << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"tenants\": %zu, \"throughput_sessions_per_sec\": "
+                  "%.1f, \"p50_latency_ms\": %.2f, \"p99_latency_ms\": %.2f, "
+                  "\"cache_hit_rate\": %.4f, \"offline_analyses\": %zu, "
+                  "\"warm_starts\": %zu, \"refused\": %zu, \"degraded\": %zu, "
+                  "\"mean_injected_reps\": %.1f}%s\n",
+                  p.tenants, p.throughput, p.p50_latency_ms, p.p99_latency_ms,
+                  p.cache_hit_rate, p.analyses_run, p.warm_starts, p.refused,
+                  p.degraded, p.mean_injected_reps,
+                  i + 1 < sweep.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+int run_smoke(const Scenario& scenario) {
+  print_header("bench_service --smoke");
+  const SweepPoint point = run_fleet_size(scenario, 8);
+  std::cout << "tenants 8: " << util::fmt_f(point.throughput, 1)
+            << " sessions/s, p50 " << util::fmt_f(point.p50_latency_ms, 1)
+            << " ms, p99 " << util::fmt_f(point.p99_latency_ms, 1)
+            << " ms, cache hit rate " << util::fmt_f(point.cache_hit_rate, 3)
+            << ", analyses " << point.analyses_run << "+"
+            << point.warm_starts << " warm\n";
+  bool ok = true;
+  if (!(point.throughput > 0.0)) {
+    std::cerr << "SMOKE FAIL: zero throughput\n";
+    ok = false;
+  }
+  if (point.refused != 0) {
+    std::cerr << "SMOKE FAIL: " << point.refused
+              << " sessions refused under an ample budget\n";
+    ok = false;
+  }
+  if (point.analyses_run + point.warm_starts != 1) {
+    std::cerr << "SMOKE FAIL: single-flight violated ("
+              << point.analyses_run << " analyses, " << point.warm_starts
+              << " warm starts)\n";
+    ok = false;
+  }
+  std::cout << (ok ? "SMOKE OK\n" : "SMOKE FAIL\n");
+  return ok ? 0 : 1;
+}
+
+int run(int argc, char** argv) {
+  const double scale = [&] {
+    if (const char* env = std::getenv("AEGIS_SCALE")) {
+      const double s = std::atof(env);
+      if (s > 0) return s;
+    }
+    return 1.0;
+  }();
+  Scenario scenario(scale);
+
+  if (argc > 1 && std::string(argv[1]) == "--smoke") {
+    return run_smoke(scenario);
+  }
+
+  print_header("bench_service: multi-tenant fleet sweep");
+  std::vector<SweepPoint> sweep;
+  for (std::size_t tenants : {1, 4, 8, 16, 32, 48}) {
+    const SweepPoint point = run_fleet_size(scenario, tenants);
+    std::cout << "tenants " << point.tenants << ": "
+              << util::fmt_f(point.throughput, 1) << " sessions/s, p50 "
+              << util::fmt_f(point.p50_latency_ms, 1) << " ms, p99 "
+              << util::fmt_f(point.p99_latency_ms, 1)
+              << " ms, cache hit rate "
+              << util::fmt_f(point.cache_hit_rate, 3) << " ("
+              << point.analyses_run << " analyses, " << point.warm_starts
+              << " warm)\n";
+    sweep.push_back(point);
+  }
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    if (!out) {
+      std::cerr << "bench_service: cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    emit_json(out, sweep, scenario);
+    std::cerr << "bench_service: wrote " << argv[1] << "\n";
+  } else {
+    emit_json(std::cout, sweep, scenario);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aegis::bench
+
+int main(int argc, char** argv) { return aegis::bench::run(argc, argv); }

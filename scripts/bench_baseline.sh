@@ -1,25 +1,33 @@
 #!/usr/bin/env bash
-# Re-baselines the hot-path perf numbers: builds bench_hot_path in a
-# dedicated Release tree and writes BENCH_hotpath.json at the repo root.
-# The JSON is committed so the repo's perf trajectory (batched SoA engine
-# vs the retained reference path) is diffable across commits.
+# Re-baselines the committed perf numbers: builds the tracker benches in a
+# dedicated Release tree and writes BENCH_hotpath.json + BENCH_service.json
+# at the repo root. The JSON is committed so the repo's perf trajectory
+# (batched SoA engine vs reference; multi-tenant service throughput) is
+# diffable across commits.
 #
-# Usage: scripts/bench_baseline.sh [output.json]
+# Usage: scripts/bench_baseline.sh [hotpath.json] [service.json]
 #   AEGIS_NATIVE=ON   tune for the host CPU (-O3 -march=native)
 #   AEGIS_SCALE=<f>   scale iteration counts (default 1.0)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_hotpath.json}"
+HOTPATH_OUT="${1:-BENCH_hotpath.json}"
+SERVICE_OUT="${2:-BENCH_service.json}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 NATIVE="${AEGIS_NATIVE:-OFF}"
 
 echo "=== bench: configure + build (build-bench, AEGIS_NATIVE=${NATIVE}) ==="
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release \
   -DAEGIS_NATIVE="${NATIVE}" >/dev/null
-cmake --build build-bench -j "${JOBS}" --target bench_hot_path >/dev/null
+cmake --build build-bench -j "${JOBS}" \
+  --target bench_hot_path --target bench_service >/dev/null
 
-echo "=== bench: bench_hot_path -> ${OUT} ==="
-./build-bench/bench/bench_hot_path "${OUT}"
-cat "${OUT}"
+echo "=== bench: bench_hot_path -> ${HOTPATH_OUT} ==="
+./build-bench/bench/bench_hot_path "${HOTPATH_OUT}"
+cat "${HOTPATH_OUT}"
+
+echo "=== bench: bench_service -> ${SERVICE_OUT} ==="
+rm -rf /tmp/aegis_bench_service_cache  # cold template cache: sweep 1 analyses
+./build-bench/bench/bench_service "${SERVICE_OUT}"
+cat "${SERVICE_OUT}"

@@ -24,7 +24,7 @@ Aegis::Aegis(isa::CpuModel template_cpu)
 OfflineResult Aegis::analyze(
     const workload::Workload& application,
     const std::vector<std::unique_ptr<workload::Workload>>& secrets,
-    const OfflineConfig& config) {
+    const OfflineConfig& config) const {
   OfflineResult result;
 
   profiler::ApplicationProfiler prof(db_, config.profiler);

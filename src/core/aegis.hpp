@@ -52,11 +52,12 @@ class Aegis {
   /// the template server's processor model.
   explicit Aegis(isa::CpuModel template_cpu);
 
-  /// Offline pipeline: profile -> rank -> fuzz -> cover.
+  /// Offline pipeline: profile -> rank -> fuzz -> cover. Pure function of
+  /// (substrate, inputs): safe to call concurrently from service threads.
   OfflineResult analyze(
       const workload::Workload& application,
       const std::vector<std::unique_ptr<workload::Workload>>& secrets,
-      const OfflineConfig& config);
+      const OfflineConfig& config) const;
 
   /// Online defense: an obfuscator bound to the analyzed gadget cover.
   /// `mechanism` picks Laplace / d* / baseline and the privacy budget; the

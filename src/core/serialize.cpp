@@ -10,7 +10,14 @@ namespace aegis::core {
 
 namespace {
 
-constexpr const char* kMagic = "aegis-offline-result v1";
+// Header line: "aegis-offline-result v<N>". The version is parsed, not
+// string-compared: streams written by an OLDER build (version <=
+// kFormatVersion) load normally, while a stream from a NEWER build is
+// rejected with an actionable error instead of a confusing parse failure
+// deeper in the file. Bump kFormatVersion whenever the section layout
+// changes incompatibly.
+constexpr const char* kMagicPrefix = "aegis-offline-result v";
+constexpr unsigned kFormatVersion = 1;
 
 std::string event_name(const pmu::EventDatabase& db, std::uint32_t id) {
   return db.by_id(id).name;
@@ -48,7 +55,7 @@ void expect_section(std::istream& is, const std::string& name) {
 void save_offline_result(std::ostream& os, const OfflineResult& result,
                          const pmu::EventDatabase& db) {
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
-  os << kMagic << "\n";
+  os << kMagicPrefix << kFormatVersion << "\n";
   os << "cpu " << isa::to_string(db.model()) << "\n";
 
   os << "[warmup]\n" << result.warmup.surviving.size() << "\n";
@@ -92,8 +99,30 @@ void save_offline_result(std::ostream& os, const OfflineResult& result,
 OfflineResult load_offline_result(std::istream& is,
                                   const pmu::EventDatabase& db) {
   OfflineResult result;
-  if (read_line(is, "magic") != kMagic) {
-    throw std::runtime_error("load_offline_result: bad magic line");
+  {
+    const std::string magic = read_line(is, "magic");
+    const std::string prefix(kMagicPrefix);
+    if (magic.rfind(prefix, 0) != 0) {
+      throw std::runtime_error("load_offline_result: bad magic line");
+    }
+    unsigned version = 0;
+    try {
+      std::size_t consumed = 0;
+      const std::string suffix = magic.substr(prefix.size());
+      version = static_cast<unsigned>(std::stoul(suffix, &consumed));
+      if (consumed != suffix.size()) {
+        throw std::invalid_argument("trailing junk");
+      }
+    } catch (const std::exception&) {
+      throw std::runtime_error("load_offline_result: bad format version in '" +
+                               magic + "'");
+    }
+    if (version == 0 || version > kFormatVersion) {
+      throw std::runtime_error(
+          "load_offline_result: stream format v" + std::to_string(version) +
+          " is newer than this build's supported v" +
+          std::to_string(kFormatVersion) + "; upgrade aegis to load it");
+    }
   }
   {
     const std::string cpu_line = read_line(is, "cpu");

@@ -1,33 +1,74 @@
 #include "dp/accountant.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace aegis::dp {
 
+namespace {
+
+double sanitize_delta(double delta) noexcept {
+  return (delta <= 0.0 || delta >= 1.0) ? 1e-6 : delta;
+}
+
+/// eps (e^eps - 1): the per-release additive term of advanced composition.
+double overhead_term(double epsilon) noexcept {
+  return epsilon * (std::exp(epsilon) - 1.0);
+}
+
+}  // namespace
+
 void PrivacyAccountant::record_release(double epsilon) noexcept {
-  if (epsilon <= 0.0) return;
-  ++releases_;
-  basic_epsilon_ += epsilon;
+  record_releases(epsilon, 1);
+}
+
+void PrivacyAccountant::record_releases(double epsilon,
+                                        std::size_t k) noexcept {
+  if (epsilon <= 0.0 || k == 0) return;
+  const double kd = static_cast<double>(k);
+  releases_ += k;
+  basic_epsilon_ += kd * epsilon;
+  sum_squares_ += kd * epsilon * epsilon;
+  overhead_sum_ += kd * overhead_term(epsilon);
 }
 
 double PrivacyAccountant::advanced_epsilon(double delta) const noexcept {
   if (releases_ == 0) return 0.0;
-  const double mean_epsilon = basic_epsilon_ / static_cast<double>(releases_);
-  return advanced_composition(mean_epsilon, releases_, delta);
+  return std::sqrt(2.0 * std::log(1.0 / sanitize_delta(delta)) * sum_squares_) +
+         overhead_sum_;
+}
+
+double PrivacyAccountant::advanced_epsilon_if(double epsilon, std::size_t k,
+                                              double delta) const noexcept {
+  double squares = sum_squares_;
+  double overhead = overhead_sum_;
+  if (epsilon > 0.0 && k > 0) {
+    const double kd = static_cast<double>(k);
+    squares += kd * epsilon * epsilon;
+    overhead += kd * overhead_term(epsilon);
+  }
+  if (squares <= 0.0) return 0.0;
+  return std::sqrt(2.0 * std::log(1.0 / sanitize_delta(delta)) * squares) +
+         overhead;
+}
+
+double PrivacyAccountant::remaining(double budget, double delta) const noexcept {
+  return std::max(0.0, budget - advanced_epsilon(delta));
 }
 
 void PrivacyAccountant::reset() noexcept {
   releases_ = 0;
   basic_epsilon_ = 0.0;
+  sum_squares_ = 0.0;
+  overhead_sum_ = 0.0;
 }
 
 double PrivacyAccountant::advanced_composition(double epsilon, std::size_t k,
                                                double delta) noexcept {
   if (k == 0 || epsilon <= 0.0) return 0.0;
-  if (delta <= 0.0 || delta >= 1.0) delta = 1e-6;
   const double kd = static_cast<double>(k);
-  return epsilon * std::sqrt(2.0 * kd * std::log(1.0 / delta)) +
-         kd * epsilon * (std::exp(epsilon) - 1.0);
+  return epsilon * std::sqrt(2.0 * kd * std::log(1.0 / sanitize_delta(delta))) +
+         kd * overhead_term(epsilon);
 }
 
 }  // namespace aegis::dp

@@ -7,6 +7,14 @@
 
 namespace aegis::obf {
 
+sim::SliceAgent coarsen_agent(sim::SliceAgent inner, std::size_t granularity) {
+  if (granularity <= 1) return inner;
+  return [inner = std::move(inner), granularity](sim::VirtualMachine& vm,
+                                                 std::size_t t) {
+    if (t % granularity == 0) inner(vm, t);
+  };
+}
+
 std::vector<EventCalibration> calibrate_events(
     const pmu::EventDatabase& db, const std::vector<std::uint32_t>& event_ids,
     const std::vector<std::unique_ptr<workload::Workload>>& secrets,

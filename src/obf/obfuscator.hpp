@@ -55,6 +55,16 @@ struct EventCalibration {
   double peak = 0.0;  // the paper's p
 };
 
+/// Degraded-granularity wrapper for admission-controlled sessions: the
+/// inner agent (kernel sample + noise injection) fires only every
+/// `granularity`-th slice, so a monitoring window of T slices consumes
+/// ceil(T / granularity) DP releases instead of T. granularity == 1 is the
+/// identity. The skipped slices run un-refreshed — the previously injected
+/// gadget counts still skew them via micro-architectural carry-over, but
+/// the DP guarantee is only per released slice, which is exactly what the
+/// BudgetGovernor accounts for.
+sim::SliceAgent coarsen_agent(sim::SliceAgent inner, std::size_t granularity);
+
 std::vector<EventCalibration> calibrate_events(
     const pmu::EventDatabase& db, const std::vector<std::uint32_t>& event_ids,
     const std::vector<std::unique_ptr<workload::Workload>>& secrets,

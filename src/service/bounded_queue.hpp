@@ -1,0 +1,101 @@
+// Bounded MPMC submission queue with blocking backpressure.
+//
+// The protection service accepts session submissions faster than the
+// session pool can drain them only up to `capacity`; past that, push()
+// blocks the producer (backpressure) instead of growing an unbounded
+// backlog — the paper's host daemon must never let admission outpace the
+// obfuscation capacity it actually has. close() wakes every blocked
+// producer and consumer: pushes after close are rejected, pops drain the
+// remaining items and then report emptiness.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace aegis::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks while the queue is full. Returns false iff the queue was
+  /// closed (the item is not enqueued).
+  bool push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T item) {
+    std::lock_guard lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed AND drained
+  /// (then nullopt).
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Pops up to `limit` items without blocking for more than the first.
+  /// Batching lets the dispatcher hand the session pool a whole fleet
+  /// instead of one session per wakeup. Empty result = closed and drained.
+  std::deque<T> pop_batch(std::size_t limit) {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    std::deque<T> batch;
+    while (!items_.empty() && batch.size() < limit) {
+      batch.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    if (!batch.empty()) not_full_.notify_all();
+    return batch;
+  }
+
+  void close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace aegis::service

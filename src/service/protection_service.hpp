@@ -1,0 +1,122 @@
+// ProtectionService: the host-side Aegis daemon (multi-tenant simulation).
+//
+// Related work frames obfuscation defenses as long-running runtime
+// services with explicit budgets, not one-shot tools (Obelix; SEV-Step's
+// always-on per-VM loop). This facade turns the Aegis library into that
+// service:
+//
+//   tenants ──submit()──▶ BoundedQueue ──▶ dispatcher thread
+//                (backpressure)               │ batches by template
+//                                             ▼
+//             BudgetGovernor ◀── admission ── SessionManager ──▶ ThreadPool
+//                  │                               │
+//             per-tenant eps caps           per-session VM+obfuscator
+//
+// Templates are registered once per (CPU family, workload, config) via the
+// single-flight TemplateCache (warm-started from disk when configured);
+// session submissions reference a registered template id. stats() returns
+// a consistent ServiceStats snapshot for observability.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+#include "service/bounded_queue.hpp"
+#include "service/session_manager.hpp"
+#include "service/template_cache.hpp"
+
+namespace aegis::service {
+
+struct ServiceConfig {
+  /// Session-pool workers (0 = hardware concurrency).
+  std::size_t num_threads = 0;
+  /// Submission-queue bound; submit() blocks past this (backpressure).
+  std::size_t queue_capacity = 64;
+  /// Max sessions the dispatcher hands the pool per fleet batch.
+  std::size_t batch_size = 16;
+  GovernorConfig governor;
+  TemplateCacheConfig cache;
+};
+
+struct SessionSubmission {
+  std::size_t template_id = 0;
+  SessionRequest request;
+};
+
+struct CompletedSession {
+  SessionResult result;
+  double latency_seconds = 0.0;  // enqueue -> session completion
+};
+
+class ProtectionService {
+ public:
+  explicit ProtectionService(ServiceConfig config = {});
+  ~ProtectionService();
+
+  ProtectionService(const ProtectionService&) = delete;
+  ProtectionService& operator=(const ProtectionService&) = delete;
+
+  /// Registers (or joins) the protection template for this (engine,
+  /// application, offline config): offline analysis through the
+  /// single-flight TemplateCache, then one calibration pass shared by all
+  /// sessions. Concurrent registrations of the same key perform exactly
+  /// one analysis and one calibration. Returns the template id sessions
+  /// reference.
+  std::size_t register_template(
+      const core::Aegis& engine, const workload::Workload& application,
+      const std::vector<std::unique_ptr<workload::Workload>>& secrets,
+      const core::OfflineConfig& offline, dp::MechanismConfig mechanism,
+      core::ObfuscatorBuildOptions options = {},
+      std::uint64_t seed = 0x0B5EULL);
+
+  const ProtectionTemplate& protection_template(std::size_t template_id) const;
+
+  void set_tenant_cap(std::uint64_t tenant_id, double epsilon_cap);
+
+  /// Enqueues one session; blocks while the queue is full (backpressure).
+  /// Returns false iff the service is shutting down.
+  bool submit(SessionSubmission submission);
+
+  /// Blocks until every accepted submission has been dispatched and run.
+  void drain();
+
+  /// Stops accepting work, drains the queue and joins the dispatcher.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  ServiceStats stats() const;
+
+  /// Moves out the finished sessions accumulated since the last call.
+  std::vector<CompletedSession> take_completed();
+
+  BudgetGovernor& governor() noexcept { return governor_; }
+  TemplateCache& cache() noexcept { return cache_; }
+  std::size_t num_threads() const noexcept { return manager_.num_threads(); }
+
+ private:
+  struct TimedSubmission {
+    SessionSubmission submission;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void dispatch_loop();
+
+  ServiceConfig config_;
+  TemplateCache cache_;
+  BudgetGovernor governor_;
+  SessionManager manager_;
+  BoundedQueue<TimedSubmission> queue_;
+
+  mutable std::mutex mu_;  // guards templates_, completed_, pending_, stats
+  std::condition_variable idle_cv_;
+  std::vector<std::unique_ptr<ProtectionTemplate>> templates_;
+  std::unordered_map<TemplateKey, std::size_t, TemplateKeyHash> template_ids_;
+  std::vector<CompletedSession> completed_;
+  std::size_t pending_ = 0;    // accepted but not yet finished
+  std::size_t submitted_ = 0;
+
+  std::thread dispatcher_;
+  bool stopped_ = false;
+};
+
+}  // namespace aegis::service

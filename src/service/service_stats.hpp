@@ -1,0 +1,56 @@
+// Observability snapshot for the Aegis protection service.
+//
+// Every counter is sampled atomically-enough for dashboards (a single
+// mutex-guarded copy inside ProtectionService::stats()); the struct itself
+// is a plain value so callers can diff snapshots across time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aegis::service {
+
+/// TemplateCache counters. `lookups = hits + misses`; `warm_starts` counts
+/// misses satisfied from the on-disk store instead of a fresh analysis, so
+/// `analyses_run = misses - warm_starts` (minus failed loads that fell
+/// back to analysis).
+struct TemplateCacheStats {
+  std::size_t lookups = 0;
+  std::size_t hits = 0;         // served from memory (incl. in-flight joins)
+  std::size_t misses = 0;       // this caller became the single-flight leader
+  std::size_t warm_starts = 0;  // leader satisfied the miss from disk
+  std::size_t analyses_run = 0; // leader ran the offline pipeline
+
+  double hit_rate() const noexcept {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// Per-tenant privacy-budget view (BudgetGovernor).
+struct TenantBudgetStats {
+  std::uint64_t tenant_id = 0;
+  std::size_t releases = 0;        // DP releases consumed so far
+  double basic_epsilon = 0.0;      // sequential-composition spend
+  double advanced_epsilon = 0.0;   // advanced-composition spend
+  double epsilon_cap = 0.0;
+  std::size_t admitted = 0;        // windows granted at full granularity
+  std::size_t degraded = 0;        // windows granted at coarser granularity
+  std::size_t refused = 0;         // windows rejected (budget exhausted)
+};
+
+struct ServiceStats {
+  std::size_t sessions_submitted = 0;
+  std::size_t sessions_started = 0;    // dispatched onto the session pool
+  std::size_t sessions_active = 0;     // currently executing
+  std::size_t sessions_completed = 0;  // ran to the end of their window
+  std::size_t sessions_refused = 0;    // rejected by admission control
+  std::size_t sessions_degraded = 0;   // ran at coarser granularity
+  std::size_t queue_depth = 0;         // submissions awaiting dispatch
+  TemplateCacheStats cache;
+  std::vector<TenantBudgetStats> tenants;  // sorted by tenant_id
+};
+
+}  // namespace aegis::service

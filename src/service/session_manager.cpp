@@ -1,0 +1,110 @@
+#include "service/session_manager.hpp"
+
+#include "util/rng.hpp"
+
+namespace aegis::service {
+
+namespace {
+
+// Fixed stream indices of the per-tenant seed tree. Adding a stream is
+// backward-compatible; reordering is not (it would silently change every
+// tenant's trace).
+enum SeedStream : std::uint64_t {
+  kVmStream = 1,
+  kMonitorStream = 2,
+  kVisitStream = 3,
+  kObfuscatorStream = 4,
+};
+
+}  // namespace
+
+ProtectionTemplate make_protection_template(
+    const core::Aegis& engine,
+    std::shared_ptr<const core::OfflineResult> analysis,
+    const std::vector<std::unique_ptr<workload::Workload>>& secrets,
+    dp::MechanismConfig mechanism, core::ObfuscatorBuildOptions options,
+    std::uint64_t seed, std::size_t monitor_top_events) {
+  ProtectionTemplate tpl;
+  tpl.engine = &engine;
+  tpl.analysis = std::move(analysis);
+  // One calibration pass (runs the secret set); its sized config is the
+  // template every session reuses with its own seed.
+  const auto calibrated = engine.make_obfuscator(*tpl.analysis, secrets,
+                                                 mechanism, options, seed);
+  tpl.obf_config = calibrated->config();
+  tpl.monitored_events = tpl.analysis->top_events(monitor_top_events);
+  return tpl;
+}
+
+SessionResult run_protected_session(const ProtectionTemplate& tpl,
+                                    const SessionRequest& request,
+                                    std::size_t granularity) {
+  SessionResult result;
+  result.tenant_id = request.tenant_id;
+  result.granularity = granularity;
+
+  obf::ObfuscatorConfig config = tpl.obf_config;
+  config.seed = util::split_mix64(request.seed, kObfuscatorStream);
+  obf::EventObfuscator obfuscator(tpl.engine->database(),
+                                  tpl.engine->specification(),
+                                  tpl.analysis->cover, config);
+  const sim::SliceAgent agent =
+      obf::coarsen_agent(obfuscator.session(), granularity);
+
+  sim::VirtualMachine vm(tpl.vm, util::split_mix64(request.seed, kVmStream));
+  sim::HostMonitor monitor(tpl.engine->database(),
+                           util::split_mix64(request.seed, kMonitorStream));
+  result.trace = monitor.monitor(
+      vm, request.application->visit(util::split_mix64(request.seed, kVisitStream)),
+      tpl.monitored_events, request.slices, agent);
+  result.injected_repetitions = obfuscator.total_injected_repetitions();
+  return result;
+}
+
+SessionManager::SessionManager(std::size_t num_threads,
+                               BudgetGovernor& governor)
+    : pool_(num_threads), governor_(&governor) {}
+
+std::vector<SessionResult> SessionManager::run_fleet(
+    const ProtectionTemplate& tpl,
+    const std::vector<SessionRequest>& requests) {
+  std::vector<SessionResult> results(requests.size());
+
+  // Phase 1 — admission, serial and in submission order: governor state is
+  // shared per tenant, so decision order must not depend on scheduling.
+  std::vector<std::size_t> granted(requests.size(), 0);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const SessionRequest& request = requests[i];
+    const AdmissionDecision decision = governor_->request_window(
+        request.tenant_id, request.slices, request.per_slice_epsilon);
+    results[i].tenant_id = request.tenant_id;
+    results[i].outcome = decision.outcome;
+    results[i].granularity = decision.granularity;
+    results[i].epsilon_after = decision.epsilon_after;
+    if (decision.outcome == Admission::kRefuse) {
+      ++refused_;
+    } else {
+      granted[i] = decision.granularity;
+      if (decision.outcome == Admission::kDegrade) ++degraded_;
+    }
+  }
+
+  // Phase 2 — execution, parallel: each admitted session writes only its
+  // own index-keyed slot and derives all randomness from its request seed,
+  // so results are bit-identical at every worker count.
+  pool_.parallel_for(requests.size(), [&](std::size_t i) {
+    if (granted[i] == 0) return;  // refused
+    ++started_;
+    ++active_;
+    const Admission outcome = results[i].outcome;
+    const double epsilon_after = results[i].epsilon_after;
+    results[i] = run_protected_session(tpl, requests[i], granted[i]);
+    results[i].outcome = outcome;
+    results[i].epsilon_after = epsilon_after;
+    --active_;
+    ++completed_;
+  });
+  return results;
+}
+
+}  // namespace aegis::service

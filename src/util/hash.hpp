@@ -1,0 +1,51 @@
+// Stable 64-bit hashing for cache keys.
+//
+// The service layer keys its template cache on (CPU family, workload
+// fingerprint, offline-config hash). std::hash gives no cross-run or
+// cross-platform stability guarantee, and the hashes name on-disk cache
+// files, so the keys are built from FNV-1a 64 — simple, stable, and good
+// enough for a cache directory (collisions only cost a spurious template
+// reuse across runs of the SAME deployment, and the serialized stream's
+// own CPU-family check still rejects cross-family loads).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace aegis::util {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over raw bytes, continuing from `state` (chainable).
+inline std::uint64_t fnv1a(const void* data, std::size_t size,
+                           std::uint64_t state = kFnvOffset) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= bytes[i];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+inline std::uint64_t fnv1a(std::string_view text,
+                           std::uint64_t state = kFnvOffset) noexcept {
+  return fnv1a(text.data(), text.size(), state);
+}
+
+/// Chains one 64-bit word into a running hash.
+inline std::uint64_t hash_combine(std::uint64_t state,
+                                  std::uint64_t value) noexcept {
+  return fnv1a(&value, sizeof(value), state);
+}
+
+/// Chains a double by bit pattern (exact: two configs hash equal iff the
+/// field bits are equal, the same notion of equality determinism needs).
+inline std::uint64_t hash_combine(std::uint64_t state, double value) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return hash_combine(state, bits);
+}
+
+}  // namespace aegis::util

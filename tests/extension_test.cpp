@@ -3,6 +3,8 @@
 // mixture injection machinery.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "attack/kea.hpp"
 #include "dp/accountant.hpp"
 #include "sim/cache_probe.hpp"
@@ -253,13 +255,76 @@ TEST(PrivacyAccountant, AdvancedMonotoneInReleases) {
   }
 }
 
-TEST(PrivacyAccountant, AdvancedEpsilonUsesMeanRelease) {
+TEST(PrivacyAccountant, HomogeneousReleasesMatchTheClosedForm) {
   dp::PrivacyAccountant accountant;
   for (int i = 0; i < 100; ++i) accountant.record_release(0.02);
   const double direct =
       dp::PrivacyAccountant::advanced_composition(0.02, 100, 1e-6);
   EXPECT_NEAR(accountant.advanced_epsilon(1e-6), direct, 1e-12);
   EXPECT_DOUBLE_EQ(dp::PrivacyAccountant().advanced_epsilon(1e-6), 0.0);
+}
+
+TEST(PrivacyAccountant, HeterogeneousReleasesUseExactSumOfSquares) {
+  // Mixed granularities (what the BudgetGovernor produces when it
+  // degrades): the bound must come from the exact per-release sum of
+  // squares, NOT from k releases at the mean epsilon.
+  const std::vector<double> epsilons = {0.4, 0.05, 0.05, 0.2, 0.01,
+                                        0.3, 0.05, 0.1,  0.25};
+  const double delta = 1e-6;
+  dp::PrivacyAccountant accountant;
+  for (double eps : epsilons) accountant.record_release(eps);
+
+  double sum = 0.0, sum_sq = 0.0, overhead = 0.0;
+  for (double eps : epsilons) {
+    sum += eps;
+    sum_sq += eps * eps;
+    overhead += eps * (std::exp(eps) - 1.0);
+  }
+  const double direct =
+      std::sqrt(2.0 * std::log(1.0 / delta) * sum_sq) + overhead;
+  EXPECT_NEAR(accountant.advanced_epsilon(delta), direct, 1e-12);
+  EXPECT_NEAR(accountant.basic_epsilon(), sum, 1e-12);
+
+  // The mean-epsilon approximation is a DIFFERENT (wrong) number here.
+  const double mean_based = dp::PrivacyAccountant::advanced_composition(
+      sum / static_cast<double>(epsilons.size()), epsilons.size(), delta);
+  EXPECT_GT(std::abs(mean_based - direct), 1e-3);
+}
+
+TEST(PrivacyAccountant, RecordReleasesBatchesEqualSingles) {
+  dp::PrivacyAccountant batched, single;
+  batched.record_releases(0.1, 50);
+  batched.record_releases(0.02, 7);
+  for (int i = 0; i < 50; ++i) single.record_release(0.1);
+  for (int i = 0; i < 7; ++i) single.record_release(0.02);
+  EXPECT_EQ(batched.releases(), single.releases());
+  EXPECT_NEAR(batched.advanced_epsilon(1e-6), single.advanced_epsilon(1e-6),
+              1e-12);
+}
+
+TEST(PrivacyAccountant, AdvancedEpsilonIfIsAPureHypothetical) {
+  dp::PrivacyAccountant accountant;
+  accountant.record_releases(0.05, 20);
+  const double before = accountant.advanced_epsilon(1e-6);
+  // The hypothetical equals the value reached by actually recording...
+  const double hypothetical = accountant.advanced_epsilon_if(0.2, 5, 1e-6);
+  dp::PrivacyAccountant committed = accountant;
+  committed.record_releases(0.2, 5);
+  EXPECT_NEAR(hypothetical, committed.advanced_epsilon(1e-6), 1e-12);
+  // ...without mutating the accountant.
+  EXPECT_DOUBLE_EQ(accountant.advanced_epsilon(1e-6), before);
+  EXPECT_EQ(accountant.releases(), 20u);
+  // Zero extra releases = the current bound.
+  EXPECT_NEAR(accountant.advanced_epsilon_if(0.0, 0, 1e-6), before, 1e-12);
+}
+
+TEST(PrivacyAccountant, RemainingClampsAtZero) {
+  dp::PrivacyAccountant accountant;
+  accountant.record_releases(0.1, 100);
+  const double spent = accountant.advanced_epsilon(1e-6);
+  EXPECT_NEAR(accountant.remaining(spent + 1.0, 1e-6), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(accountant.remaining(spent * 0.5, 1e-6), 0.0);
+  EXPECT_NEAR(dp::PrivacyAccountant().remaining(3.0, 1e-6), 3.0, 1e-12);
 }
 
 }  // namespace

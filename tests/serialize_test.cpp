@@ -109,6 +109,35 @@ TEST(Serialize, RejectsGarbage) {
                std::runtime_error);
 }
 
+TEST(Serialize, RejectsFutureFormatVersionsWithAClearError) {
+  auto& f = fixture();
+  std::stringstream stream;
+  save_offline_result(stream, f.result, f.aegis.database());
+  std::string text = stream.str();
+
+  // Hand-edit the header to claim a future format version: a stream from
+  // a newer build must be refused up front, not mis-parsed downstream.
+  const std::string header = "aegis-offline-result v1";
+  ASSERT_EQ(text.rfind(header, 0), 0u);
+  text.replace(0, header.size(), "aegis-offline-result v7");
+  std::stringstream future(text);
+  try {
+    (void)load_offline_result(future, f.aegis.database());
+    FAIL() << "future-version stream must not load";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("v7"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("newer"), std::string::npos);
+  }
+
+  // Versions that are merely garbage are rejected as malformed.
+  std::stringstream junk("aegis-offline-result vQ\n");
+  EXPECT_THROW((void)load_offline_result(junk, f.aegis.database()),
+               std::runtime_error);
+  std::stringstream zero("aegis-offline-result v0\n");
+  EXPECT_THROW((void)load_offline_result(zero, f.aegis.database()),
+               std::runtime_error);
+}
+
 TEST(Serialize, FileRoundTrip) {
   auto& f = fixture();
   const std::string path = "/tmp/aegis_serialize_test.txt";

@@ -1,0 +1,468 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "attack/wfa.hpp"
+#include "service/protection_service.hpp"
+#include "util/rng.hpp"
+
+namespace aegis::service {
+namespace {
+
+/// One offline analysis + calibration shared by the whole suite (the same
+/// scaled-down WFA scenario the serialize tests use).
+struct Fixture {
+  core::Aegis aegis{isa::CpuModel::kAmdEpyc7252};
+  std::vector<std::unique_ptr<workload::Workload>> secrets;
+  core::OfflineConfig config;
+  std::shared_ptr<const core::OfflineResult> analysis;
+  ProtectionTemplate tpl;
+
+  Fixture() {
+    attack::WfaScale scale;
+    scale.sites = 4;
+    scale.slices = 100;
+    secrets = attack::make_wfa_secrets(scale);
+    config = core::make_quick_offline_config();
+    config.profiler.ranking_runs_per_secret = 3;
+    config.fuzz_top_events = 12;
+    analysis = std::make_shared<const core::OfflineResult>(
+        aegis.analyze(*secrets[0], secrets, config));
+    dp::MechanismConfig mechanism;
+    mechanism.kind = dp::MechanismKind::kLaplace;
+    mechanism.epsilon = 0.05;
+    tpl = make_protection_template(aegis, analysis, secrets, mechanism, {},
+                                   0xFEEDULL);
+  }
+
+  dp::MechanismConfig mechanism() const { return tpl.obf_config.mechanism; }
+
+  SessionRequest request(std::uint64_t tenant, std::size_t slices = 40) const {
+    SessionRequest req;
+    req.tenant_id = tenant;
+    req.seed = util::split_mix64(0xABCDULL, tenant);
+    req.application = secrets[tenant % secrets.size()].get();
+    req.slices = slices;
+    req.per_slice_epsilon = tpl.obf_config.mechanism.epsilon;
+    return req;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = "/tmp/aegis_service_test_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------- keying
+
+TEST(TemplateKeying, FamilyMembersShareAKey) {
+  auto& f = fixture();
+  const TemplateKey a =
+      make_template_key(isa::CpuModel::kAmdEpyc7252, *f.secrets[0], f.config);
+  const TemplateKey b =
+      make_template_key(isa::CpuModel::kAmdEpyc7313P, *f.secrets[0], f.config);
+  EXPECT_EQ(a, b);  // Table I: family members share event lists
+  const TemplateKey intel = make_template_key(isa::CpuModel::kIntelXeonE5_1650,
+                                              *f.secrets[0], f.config);
+  EXPECT_NE(a, intel);
+}
+
+TEST(TemplateKeying, ConfigHashIsThreadCountInvariantButFieldSensitive) {
+  auto& f = fixture();
+  core::OfflineConfig threaded = f.config;
+  threaded.set_num_threads(8);
+  EXPECT_EQ(hash_offline_config(f.config), hash_offline_config(threaded));
+
+  core::OfflineConfig different = f.config;
+  different.fuzzer.seed ^= 1;
+  EXPECT_NE(hash_offline_config(f.config), hash_offline_config(different));
+  different = f.config;
+  different.fuzz_top_events += 1;
+  EXPECT_NE(hash_offline_config(f.config), hash_offline_config(different));
+}
+
+TEST(TemplateKeying, WorkloadFingerprintSeparatesSecrets) {
+  auto& f = fixture();
+  EXPECT_NE(fingerprint_workload(*f.secrets[0]),
+            fingerprint_workload(*f.secrets[1]));
+  EXPECT_EQ(fingerprint_workload(*f.secrets[0]),
+            fingerprint_workload(*f.secrets[0]));
+}
+
+// ---------------------------------------------------------- single-flight
+
+TEST(TemplateCacheTest, ColdStartOfManyTenantsRunsExactlyOneAnalysis) {
+  auto& f = fixture();
+  TemplateCache cache;  // memory-only
+  const TemplateKey key =
+      make_template_key(f.aegis.cpu(), *f.secrets[0], f.config);
+
+  constexpr std::size_t kTenants = 8;
+  std::atomic<int> analyses{0};
+  std::vector<std::shared_ptr<const core::OfflineResult>> results(kTenants);
+  std::vector<std::thread> tenants;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    tenants.emplace_back([&, t] {
+      results[t] = cache.get_or_analyze(key, f.aegis.database(), [&] {
+        ++analyses;
+        // Hold the in-flight window open long enough that every other
+        // tenant joins it instead of racing past.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return *f.analysis;  // copy of the precomputed analysis
+      });
+    });
+  }
+  for (auto& t : tenants) t.join();
+
+  EXPECT_EQ(analyses.load(), 1);
+  for (std::size_t t = 1; t < kTenants; ++t) {
+    EXPECT_EQ(results[t], results[0]);  // shared pointer identity
+  }
+  const TemplateCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, kTenants);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, kTenants - 1);
+  EXPECT_EQ(stats.analyses_run, 1u);
+  EXPECT_EQ(stats.warm_starts, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TemplateCacheTest, WarmStartsFromDiskWithoutReanalysis) {
+  auto& f = fixture();
+  const std::string dir = fresh_dir("warm");
+  const TemplateKey key =
+      make_template_key(f.aegis.cpu(), *f.secrets[0], f.config);
+
+  {
+    TemplateCache writer({dir});
+    (void)writer.get_or_analyze(key, f.aegis.database(),
+                                [&] { return *f.analysis; });
+    EXPECT_EQ(writer.stats().analyses_run, 1u);
+    EXPECT_TRUE(std::filesystem::exists(writer.disk_path(key)));
+  }
+
+  TemplateCache cold({dir});  // a restarted service instance
+  const auto loaded = cold.get_or_analyze(key, f.aegis.database(), [&]() {
+    ADD_FAILURE() << "warm start must not re-run the analysis";
+    return *f.analysis;
+  });
+  EXPECT_EQ(loaded->cover.gadgets, f.analysis->cover.gadgets);
+  EXPECT_EQ(loaded->warmup.surviving, f.analysis->warmup.surviving);
+  const TemplateCacheStats stats = cold.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.warm_starts, 1u);
+  EXPECT_EQ(stats.analyses_run, 0u);
+}
+
+TEST(TemplateCacheTest, FailedAnalysisPropagatesAndAllowsRetry) {
+  auto& f = fixture();
+  TemplateCache cache;
+  const TemplateKey key =
+      make_template_key(f.aegis.cpu(), *f.secrets[0], f.config);
+  EXPECT_THROW((void)cache.get_or_analyze(
+                   key, f.aegis.database(),
+                   []() -> core::OfflineResult {
+                     throw std::runtime_error("injected failure");
+                   }),
+               std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);  // evicted: the next caller may retry
+  const auto retried = cache.get_or_analyze(key, f.aegis.database(),
+                                            [&] { return *f.analysis; });
+  EXPECT_EQ(retried->cover.gadgets, f.analysis->cover.gadgets);
+}
+
+// ------------------------------------------------------ fleet determinism
+
+TEST(SessionFleet, SixteenTenantsBitIdenticalToStandaloneAcrossThreadCounts) {
+  auto& f = fixture();
+  constexpr std::size_t kTenants = 16;
+
+  std::vector<SessionRequest> requests;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    requests.push_back(f.request(t));
+  }
+
+  // The reference: each tenant standalone, no fleet machinery at all.
+  std::vector<SessionResult> standalone;
+  for (const auto& req : requests) {
+    standalone.push_back(run_protected_session(f.tpl, req, 1));
+  }
+
+  for (std::size_t num_threads : {std::size_t{1}, std::size_t{8}}) {
+    BudgetGovernor governor;  // fresh budgets: every window admits at g=1
+    SessionManager manager(num_threads, governor);
+    const std::vector<SessionResult> fleet = manager.run_fleet(f.tpl, requests);
+
+    ASSERT_EQ(fleet.size(), standalone.size());
+    for (std::size_t t = 0; t < kTenants; ++t) {
+      SCOPED_TRACE("tenant " + std::to_string(t) + " threads " +
+                   std::to_string(num_threads));
+      EXPECT_EQ(fleet[t].outcome, Admission::kAdmit);
+      EXPECT_EQ(fleet[t].granularity, 1u);
+      // Bit-identical counter traces: exact double equality, no tolerance.
+      ASSERT_EQ(fleet[t].trace.samples, standalone[t].trace.samples);
+      EXPECT_EQ(fleet[t].trace.busy_cycles, standalone[t].trace.busy_cycles);
+      EXPECT_EQ(fleet[t].injected_repetitions,
+                standalone[t].injected_repetitions);
+    }
+    EXPECT_EQ(manager.completed(), kTenants);
+    EXPECT_EQ(manager.refused(), 0u);
+  }
+}
+
+TEST(SessionFleet, TenantTraceIndependentOfFleetComposition) {
+  auto& f = fixture();
+  // Tenant 3 alone...
+  BudgetGovernor g1;
+  SessionManager alone(2, g1);
+  const auto solo = alone.run_fleet(f.tpl, {f.request(3)});
+  // ...and inside a 8-tenant fleet.
+  std::vector<SessionRequest> requests;
+  for (std::size_t t = 0; t < 8; ++t) requests.push_back(f.request(t));
+  BudgetGovernor g2;
+  SessionManager fleet(4, g2);
+  const auto together = fleet.run_fleet(f.tpl, requests);
+  ASSERT_EQ(solo.size(), 1u);
+  EXPECT_EQ(solo[0].trace.samples, together[3].trace.samples);
+}
+
+// ------------------------------------------------------- admission control
+
+TEST(BudgetGovernorTest, WalksAdmitDegradeRefuseAsBudgetExhausts) {
+  GovernorConfig config;
+  config.default_epsilon_cap = 8.0;
+  config.delta = 1e-6;
+  config.max_granularity = 64;
+  BudgetGovernor governor(config);
+
+  const std::uint64_t tenant = 42;
+  const std::size_t slices = 32;
+  const double eps = 0.2;
+
+  std::size_t admits = 0, degrades = 0, refusals = 0;
+  bool seen_degrade_after_admit = false;
+  bool seen_refuse_after_degrade = false;
+  Admission last = Admission::kAdmit;
+  dp::PrivacyAccountant shadow;  // direct re-computation of the spend
+
+  for (int window = 0; window < 64; ++window) {
+    const AdmissionDecision decision =
+        governor.request_window(tenant, slices, eps);
+    switch (decision.outcome) {
+      case Admission::kAdmit:
+        ++admits;
+        EXPECT_EQ(decision.granularity, 1u);
+        EXPECT_EQ(decision.releases, slices);
+        break;
+      case Admission::kDegrade:
+        ++degrades;
+        EXPECT_GT(decision.granularity, 1u);
+        EXPECT_LT(decision.releases, slices);
+        if (last == Admission::kAdmit) seen_degrade_after_admit = true;
+        break;
+      case Admission::kRefuse:
+        ++refusals;
+        EXPECT_EQ(decision.releases, 0u);
+        if (last == Admission::kDegrade) seen_refuse_after_degrade = true;
+        break;
+    }
+    if (decision.outcome != Admission::kRefuse) {
+      shadow.record_releases(eps, decision.releases);
+      // The grant itself never crosses the cap...
+      EXPECT_LE(decision.epsilon_after, config.default_epsilon_cap + 1e-12);
+      // ...and matches a direct advanced-composition computation.
+      EXPECT_NEAR(decision.epsilon_after, shadow.advanced_epsilon(config.delta),
+                  1e-12);
+    } else {
+      // Refusals record nothing: the spend stays where it was.
+      EXPECT_NEAR(decision.epsilon_after, shadow.advanced_epsilon(config.delta),
+                  1e-12);
+    }
+    last = decision.outcome;
+  }
+
+  // All three outcomes occur, in budget order.
+  EXPECT_GE(admits, 1u);
+  EXPECT_GE(degrades, 1u);
+  EXPECT_GE(refusals, 1u);
+  EXPECT_TRUE(seen_degrade_after_admit);
+  EXPECT_TRUE(seen_refuse_after_degrade);
+
+  // ServiceStats-side counters match the observed outcomes exactly.
+  const TenantBudgetStats usage = governor.usage(tenant);
+  EXPECT_EQ(usage.admitted, admits);
+  EXPECT_EQ(usage.degraded, degrades);
+  EXPECT_EQ(usage.refused, refusals);
+  EXPECT_EQ(usage.releases, shadow.releases());
+  EXPECT_NEAR(usage.advanced_epsilon, shadow.advanced_epsilon(config.delta),
+              1e-12);
+  EXPECT_LE(usage.advanced_epsilon, usage.epsilon_cap);
+  EXPECT_NEAR(governor.remaining(tenant),
+              shadow.remaining(config.default_epsilon_cap, config.delta),
+              1e-12);
+}
+
+TEST(BudgetGovernorTest, RefusedSessionsCarryNoTrace) {
+  auto& f = fixture();
+  GovernorConfig config;
+  config.default_epsilon_cap = 1e-3;  // nothing fits
+  config.max_granularity = 4;
+  BudgetGovernor governor(config);
+  SessionManager manager(2, governor);
+  const auto results = manager.run_fleet(f.tpl, {f.request(7)});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].outcome, Admission::kRefuse);
+  EXPECT_TRUE(results[0].trace.samples.empty());
+  EXPECT_EQ(manager.refused(), 1u);
+  EXPECT_EQ(manager.completed(), 0u);
+}
+
+TEST(BudgetGovernorTest, ZeroEpsilonWindowsAlwaysAdmit) {
+  BudgetGovernor governor;
+  // The d* mechanism's guarantee is series-level: per-slice accounting
+  // does not apply, and the governor never refuses it.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(governor.request_window(1, 100, 0.0).outcome, Admission::kAdmit);
+  }
+  EXPECT_EQ(governor.usage(1).releases, 0u);
+}
+
+TEST(BudgetGovernorTest, TenantsAreIsolated) {
+  GovernorConfig config;
+  config.default_epsilon_cap = 2.0;
+  BudgetGovernor governor(config);
+  // Exhaust tenant 1.
+  while (governor.request_window(1, 64, 0.2).outcome != Admission::kRefuse) {
+  }
+  // Tenant 2's budget is untouched.
+  EXPECT_EQ(governor.request_window(2, 16, 0.05).outcome, Admission::kAdmit);
+  EXPECT_NEAR(governor.remaining(2) + governor.usage(2).advanced_epsilon, 2.0,
+              1e-12);
+}
+
+// ----------------------------------------------------------- bounded queue
+
+TEST(BoundedQueueTest, BackpressureBlocksProducerUntilPop) {
+  BoundedQueue<int> queue(2);
+  ASSERT_TRUE(queue.push(1));
+  ASSERT_TRUE(queue.push(2));
+  EXPECT_FALSE(queue.try_push(3));  // full
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(queue.push(3));  // blocks until the consumer pops
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(pushed.load());  // still blocked: the queue is full
+  EXPECT_EQ(queue.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenReportsEmpty) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.push(1));
+  ASSERT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_FALSE(queue.push(3));  // rejected after close
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.pop().value(), 2);
+  EXPECT_FALSE(queue.pop().has_value());  // closed + drained
+}
+
+// -------------------------------------------------------------- end to end
+
+TEST(ProtectionServiceTest, EndToEndFleetThroughTheDaemon) {
+  auto& f = fixture();
+  ServiceConfig config;
+  config.num_threads = 4;
+  config.queue_capacity = 4;  // tighter than the load: exercises backpressure
+  config.batch_size = 4;
+  ProtectionService svc(config);
+
+  dp::MechanismConfig mechanism = f.mechanism();
+  const std::size_t tpl_id = svc.register_template(
+      f.aegis, *f.secrets[0], f.secrets, f.config, mechanism, {}, 0xFEEDULL);
+
+  constexpr std::size_t kSessions = 12;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    SessionSubmission sub;
+    sub.template_id = tpl_id;
+    sub.request = f.request(s % 3, 30);
+    ASSERT_TRUE(svc.submit(sub));
+  }
+  svc.drain();
+
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.sessions_submitted, kSessions);
+  EXPECT_EQ(stats.sessions_completed, kSessions);
+  EXPECT_EQ(stats.sessions_refused, 0u);
+  EXPECT_EQ(stats.sessions_active, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.cache.lookups, 1u);
+  ASSERT_EQ(stats.tenants.size(), 3u);
+  for (const auto& tenant : stats.tenants) {
+    EXPECT_GT(tenant.releases, 0u);
+    EXPECT_GT(tenant.advanced_epsilon, 0.0);
+    EXPECT_LE(tenant.advanced_epsilon, tenant.epsilon_cap);
+  }
+
+  const auto completed = svc.take_completed();
+  ASSERT_EQ(completed.size(), kSessions);
+  for (const auto& done : completed) {
+    EXPECT_EQ(done.result.outcome, Admission::kAdmit);
+    EXPECT_FALSE(done.result.trace.samples.empty());
+    EXPECT_GT(done.latency_seconds, 0.0);
+  }
+  EXPECT_TRUE(svc.take_completed().empty());  // moved out
+}
+
+TEST(ProtectionServiceTest, ConcurrentRegistrationsShareOneTemplate) {
+  auto& f = fixture();
+  // Pre-populate a disk cache so the heavy analysis is not re-run here.
+  const std::string dir = fresh_dir("register");
+  {
+    TemplateCache seeded({dir});
+    (void)seeded.get_or_analyze(
+        make_template_key(f.aegis.cpu(), *f.secrets[0], f.config),
+        f.aegis.database(), [&] { return *f.analysis; });
+  }
+
+  ServiceConfig config;
+  config.num_threads = 2;
+  config.cache.cache_dir = dir;
+  ProtectionService svc(config);
+
+  constexpr std::size_t kTenants = 6;
+  std::vector<std::size_t> ids(kTenants);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    threads.emplace_back([&, t] {
+      ids[t] = svc.register_template(f.aegis, *f.secrets[0], f.secrets,
+                                     f.config, f.mechanism(), {}, 0xFEEDULL);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::size_t t = 1; t < kTenants; ++t) EXPECT_EQ(ids[t], ids[0]);
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.cache.lookups, kTenants);
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_EQ(stats.cache.warm_starts, 1u);
+  EXPECT_EQ(stats.cache.analyses_run, 0u);
+}
+
+}  // namespace
+}  // namespace aegis::service

@@ -36,6 +36,7 @@ BENCHMARK(BM_LaplaceBufferedTransform);
 void BM_LaplaceStdLibraryApi(benchmark::State& state) {
   // The comparison point: composing std::exponential_distribution draws per
   // sample, as a library-API implementation would.
+  // aegis-lint: random-ok(benchmark-only comparison point; fixed seed)
   std::mt19937_64 engine(1);
   std::exponential_distribution<double> expo(1.0);
   std::bernoulli_distribution sign(0.5);

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # CI-style check: build and run the full test suite in the default
-# configuration, then under ThreadSanitizer and AddressSanitizer
-# (-DAEGIS_SANITIZE=thread|address). The TSan pass is the data-race proof
-# for the work-stealing parallel campaign engine.
+# configuration, then under ThreadSanitizer, AddressSanitizer, and
+# UndefinedBehaviorSanitizer (-DAEGIS_SANITIZE=thread|address|undefined).
+# The TSan pass is the data-race proof for the work-stealing parallel
+# campaign engine; the UBSan pass guards the arithmetic-heavy PMU/DP
+# kernels. A dedicated lint stage builds and runs aegis-lint explicitly so
+# a broken lint build fails the check rather than silently skipping the
+# gate, and runs clang-tidy when available.
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   sanitizer passes run only the concurrency-relevant suites
-#            (thread pool, parallel campaign, fuzzer, profiler) instead of
-#            the whole test suite.
+#            (thread pool, parallel campaign, fuzzer, profiler, queue)
+#            instead of the whole test suite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,7 +25,7 @@ elif [[ -n "${1:-}" ]]; then
 fi
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
-FAST_FILTER='ThreadPool|Parallel|Golden|Rng|SplitMix|Fuzzer|Confirmation|Profiler|Warmup|Cleanup'
+FAST_FILTER='ThreadPool|Parallel|Golden|Rng|SplitMix|Fuzzer|Confirmation|Profiler|Warmup|Cleanup|BoundedQueue'
 
 run_suite() {
   local name="$1" dir="$2" sanitize="$3"
@@ -37,8 +41,36 @@ run_suite() {
   fi
 }
 
+# Lint stage: build the analyzer and its unit tests by name so a lint build
+# failure is a hard error here (ctest would otherwise just drop the gate),
+# then run the tree-wide gate directly for file:line diagnostics on stdout.
+run_lint() {
+  local dir="build"
+  echo "=== lint: build aegis-lint ==="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DAEGIS_SANITIZE="" >/dev/null
+  cmake --build "${dir}" -j "${JOBS}" \
+    --target aegis_lint aegis_lint_test >/dev/null
+  echo "=== lint: aegis-lint gate (src bench examples) ==="
+  "${dir}/tools/aegis_lint/aegis_lint" --root . src bench examples
+  echo "=== lint: aegis-lint unit tests ==="
+  "${dir}/tools/aegis_lint/aegis_lint_test" --gtest_brief=1
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== lint: clang-tidy (src) ==="
+    # Compile-commands come from the default build dir; tidy only src/ so
+    # the pass stays fast enough for every push.
+    cmake -B "${dir}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    find src -name '*.cpp' -print0 |
+      xargs -0 -P "${JOBS}" -n 4 clang-tidy -p "${dir}" --quiet
+  else
+    echo "=== lint: clang-tidy not found, skipping ==="
+  fi
+}
+
+run_lint
 run_suite "default" build ""
 run_suite "tsan" build-tsan thread
 run_suite "asan" build-asan address
+run_suite "ubsan" build-ubsan undefined
 
 echo "All checks passed."

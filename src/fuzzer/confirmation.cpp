@@ -10,13 +10,16 @@
 
 namespace aegis::fuzzer {
 
+// aegis-lint: noalloc
 PathMeasurement measure_path(sim::GadgetRunner& runner, const Gadget& gadget,
                              bool with_trigger, std::size_t event_slot,
                              const ConfirmationParams& params) {
   // Per-repeat deltas live in thread-local scratch: confirmation runs this
   // for every candidate gadget, and per-call vectors dominated its profile.
+  // aegis-lint: alloc-ok(thread_local: constructed once per thread, reused)
   thread_local std::vector<double> deltas;
   deltas.clear();
+  // aegis-lint: alloc-ok(thread_local scratch; capacity retained across calls)
   deltas.reserve(params.repeats);
   // One unmeasured warm-up execution: the first run of a path carries a
   // cold-cache/predictor transient that would otherwise break the
@@ -49,6 +52,7 @@ PathMeasurement measure_path(sim::GadgetRunner& runner, const Gadget& gadget,
       }
       value = d[event_slot];
     }
+    // aegis-lint: alloc-ok(appends into pre-reserved thread_local scratch)
     if (r > 0) deltas.push_back(value);
   }
   PathMeasurement m;

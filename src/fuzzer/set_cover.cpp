@@ -3,13 +3,40 @@
 #include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace aegis::fuzzer {
+
+namespace {
+
+/// Deterministic gadget ordering: lexicographic on (reset_uid,
+/// trigger_uid). The greedy loop scans candidates in this order and
+/// replaces the incumbent only on a STRICT improvement, so every tie —
+/// same coverage, same total delta — resolves to the lowest gadget key
+/// regardless of hash-table iteration order or report insertion order.
+bool gadget_key_less(const Gadget& a, const Gadget& b) {
+  if (a.reset_uid != b.reset_uid) return a.reset_uid < b.reset_uid;
+  return a.trigger_uid < b.trigger_uid;
+}
+
+/// One greedy candidate: a gadget and its per-event deltas sorted by event
+/// id. Flattening out of the hash maps fixes BOTH sources of
+/// nondeterminism the original implementation had: the scan order of the
+/// gadgets and the floating-point summation order of their deltas.
+struct Candidate {
+  Gadget gadget;
+  std::vector<std::pair<std::uint32_t, double>> effects;
+};
+
+}  // namespace
 
 GadgetCover minimal_gadget_cover(const FuzzResult& result) {
   GadgetCover cover;
 
-  // gadget -> (event -> delta), from each event's confirmed list.
+  // gadget -> (event -> delta), from each event's confirmed list. The hash
+  // maps deduplicate in O(1); every traversal that feeds the result walks
+  // the deterministically sorted `candidates` list built below instead.
   std::unordered_map<Gadget, std::unordered_map<std::uint32_t, double>, GadgetHash>
       effect_of;
   std::unordered_set<std::uint32_t> universe;
@@ -25,17 +52,33 @@ GadgetCover minimal_gadget_cover(const FuzzResult& result) {
     }
   }
 
+  std::vector<Candidate> candidates;
+  candidates.reserve(effect_of.size());
+  // aegis-lint: ordered-ok(flattening only; candidates + effects are sorted below)
+  for (const auto& [gadget, effects] : effect_of) {
+    Candidate c;
+    c.gadget = gadget;
+    c.effects.assign(effects.begin(), effects.end());
+    std::sort(c.effects.begin(), c.effects.end());
+    candidates.push_back(std::move(c));
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return gadget_key_less(a.gadget, b.gadget);
+            });
+
   std::unordered_set<std::uint32_t> uncovered = universe;
   while (!uncovered.empty()) {
     // Pick the gadget covering the most still-uncovered events; break ties
-    // by total delta (stronger disturbance preferred).
-    const Gadget* best = nullptr;
+    // by total delta (stronger disturbance preferred), then by lowest
+    // gadget key (scan order + strict improvement).
+    const Candidate* best = nullptr;
     std::size_t best_newly = 0;
     double best_delta = 0.0;
-    for (const auto& [gadget, effects] : effect_of) {
+    for (const Candidate& c : candidates) {
       std::size_t newly = 0;
       double delta = 0.0;
-      for (const auto& [event, d] : effects) {
+      for (const auto& [event, d] : c.effects) {
         if (uncovered.contains(event)) {
           ++newly;
           delta += d;
@@ -43,27 +86,33 @@ GadgetCover minimal_gadget_cover(const FuzzResult& result) {
       }
       if (newly > best_newly ||
           (newly == best_newly && newly > 0 && delta > best_delta)) {
-        best = &gadget;
+        best = &c;
         best_newly = newly;
         best_delta = delta;
       }
     }
     if (best == nullptr || best_newly == 0) break;  // defensive; cannot happen
-    cover.gadgets.push_back(*best);
-    for (const auto& [event, d] : effect_of[*best]) uncovered.erase(event);
+    cover.gadgets.push_back(best->gadget);
+    for (const auto& [event, d] : best->effects) uncovered.erase(event);
   }
 
-  // Segment effect: executing every chosen gadget once sums their deltas.
+  // Segment effect: executing every chosen gadget once sums their deltas,
+  // accumulated in chosen-gadget order over event-sorted effect lists —
+  // a fixed floating-point evaluation order.
+  cover.covered_events.assign(universe.begin(), universe.end());
+  std::sort(cover.covered_events.begin(), cover.covered_events.end());
   std::unordered_map<std::uint32_t, double> segment;
-  for (const Gadget& g : cover.gadgets) {
-    for (const auto& [event, d] : effect_of[g]) segment[event] += d;
+  for (const Candidate& c : candidates) {
+    const bool chosen =
+        std::find(cover.gadgets.begin(), cover.gadgets.end(), c.gadget) !=
+        cover.gadgets.end();
+    if (!chosen) continue;
+    for (const auto& [event, d] : c.effects) segment[event] += d;
   }
-  for (std::uint32_t event : universe) {
-    cover.covered_events.push_back(event);
+  cover.segment_effect.reserve(cover.covered_events.size());
+  for (std::uint32_t event : cover.covered_events) {
     cover.segment_effect.emplace_back(event, segment[event]);
   }
-  std::sort(cover.covered_events.begin(), cover.covered_events.end());
-  std::sort(cover.segment_effect.begin(), cover.segment_effect.end());
   return cover;
 }
 

@@ -58,6 +58,7 @@ NoiseInjector::NoiseInjector(const isa::IsaSpecification& spec,
       std::max(1.0, kMaxChunkUops / std::max(segment_.uops, 1.0));
 }
 
+// aegis-lint: noalloc
 double NoiseInjector::inject_mixture(sim::VirtualMachine& vm,
                                      std::span<const double> noise_norms) {
   if (noise_norms.size() != per_gadget_.size()) {
@@ -83,6 +84,7 @@ double NoiseInjector::inject_mixture(sim::VirtualMachine& vm,
   return mean_reps;
 }
 
+// aegis-lint: noalloc
 double NoiseInjector::inject(sim::VirtualMachine& vm, double noise_norm) {
   // Paper: each noise element is truncated by the clip bound [0, B_u]
   // (repetition counts cannot be negative).

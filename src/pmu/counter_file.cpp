@@ -77,6 +77,7 @@ std::size_t CounterRegisterFile::slot_of(std::uint32_t event_id) const {
   return it->second;
 }
 
+// aegis-lint: noalloc
 void CounterRegisterFile::accumulate(const ExecutionStats& stats) {
   if (engine_ == AccumulateEngine::kBatched) {
     accumulate_batched(stats);
@@ -85,6 +86,7 @@ void CounterRegisterFile::accumulate(const ExecutionStats& stats) {
   }
 }
 
+// aegis-lint: noalloc
 void CounterRegisterFile::accumulate_batched(const ExecutionStats& stats) {
   const auto [first, last] = active_range();
   if (first >= last) return;
@@ -105,6 +107,7 @@ void CounterRegisterFile::accumulate_batched(const ExecutionStats& stats) {
 // The retained pre-batching implementation: per-slot EventDatabase::by_id
 // with scattered coefficient loads, over every slot. Kept verbatim as the
 // baseline the equivalence suite and bench_hot_path compare against.
+// aegis-lint: noalloc
 void CounterRegisterFile::accumulate_reference(const ExecutionStats& stats) {
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (!slot_active(i)) continue;
@@ -131,6 +134,7 @@ void CounterRegisterFile::end_slice() {
   }
 }
 
+// aegis-lint: noalloc
 void CounterRegisterFile::end_slice_batched() {
   const auto [first, last] = active_range();
   for (std::size_t i = first; i < last; ++i) {
@@ -149,6 +153,7 @@ void CounterRegisterFile::end_slice_batched() {
   }
 }
 
+// aegis-lint: noalloc
 void CounterRegisterFile::end_slice_reference() {
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (!slot_active(i)) continue;

@@ -2,6 +2,7 @@
 
 namespace aegis::pmu {
 
+// aegis-lint: noalloc
 void flatten_stats(const ExecutionStats& s, double* out) noexcept {
   constexpr std::size_t kClasses = isa::kNumInstructionClasses;
   for (std::size_t i = 0; i < kClasses; ++i) {

@@ -53,6 +53,7 @@ class ResponseMatrix {
 
   /// Expected (noise-free) count of row `row` for a feature vector produced
   /// by flatten_stats. Bit-identical to EventResponse::expected_count.
+  // aegis-lint: noalloc
   double expected(std::size_t row, const double* features) const noexcept {
     const double* c = coeff_.data() + row * kStatsFeatureDim;
     double count = 0.0;

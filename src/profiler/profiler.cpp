@@ -27,6 +27,7 @@ ApplicationProfiler::ApplicationProfiler(const pmu::EventDatabase& db,
     : db_(&db), config_(config) {}
 
 WarmupReport ApplicationProfiler::warmup(const workload::Workload& application) {
+  // aegis-lint: clock-ok(reporting-only: WarmupReport::wall_seconds)
   const auto start = std::chrono::steady_clock::now();
   WarmupReport report;
   report.total_events = db_->size();
@@ -86,6 +87,7 @@ WarmupReport ApplicationProfiler::warmup(const workload::Workload& application) 
     ++report.after_by_type[static_cast<std::size_t>(db_->by_id(id).type)];
   }
   report.wall_seconds =
+      // aegis-lint: clock-ok(reporting-only: WarmupReport::wall_seconds)
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   return report;

@@ -91,6 +91,7 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
+  // aegis-lint: lock-level(40)
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;

@@ -86,6 +86,7 @@ class BudgetGovernor {
   TenantBudgetStats snapshot(std::uint64_t id, const Tenant& t) const;
 
   GovernorConfig config_;
+  // aegis-lint: lock-level(15, noblock)
   mutable std::mutex mu_;
   std::map<std::uint64_t, Tenant> tenants_;  // ordered for stable snapshots
 };

@@ -67,6 +67,7 @@ bool ProtectionService::submit(SessionSubmission submission) {
     ++submitted_;
   }
   TimedSubmission timed{std::move(submission),
+                        // aegis-lint: clock-ok(reporting-only: latency_seconds)
                         std::chrono::steady_clock::now()};
   if (!queue_.push(std::move(timed))) {
     std::lock_guard lock(mu_);
@@ -108,6 +109,7 @@ void ProtectionService::dispatch_loop() {
         requests.push_back(batch[i].submission.request);
       }
       std::vector<SessionResult> results = manager_.run_fleet(*tpl, requests);
+      // aegis-lint: clock-ok(reporting-only: per-session latency_seconds)
       const auto now = std::chrono::steady_clock::now();
       {
         std::lock_guard lock(mu_);

@@ -107,6 +107,7 @@ class ProtectionService {
   SessionManager manager_;
   BoundedQueue<TimedSubmission> queue_;
 
+  // aegis-lint: lock-level(30, noblock)
   mutable std::mutex mu_;  // guards templates_, completed_, pending_, stats
   std::condition_variable idle_cv_;
   std::vector<std::unique_ptr<ProtectionTemplate>> templates_;

@@ -89,6 +89,7 @@ class TemplateCache {
 
  private:
   struct Entry {
+    // aegis-lint: lock-level(20)
     std::mutex mu;
     std::condition_variable ready_cv;
     bool ready = false;
@@ -98,6 +99,7 @@ class TemplateCache {
   };
 
   TemplateCacheConfig config_;
+  // aegis-lint: lock-level(10, noblock)
   mutable std::mutex mu_;  // guards entries_ + stats_
   std::unordered_map<TemplateKey, std::shared_ptr<Entry>, TemplateKeyHash>
       entries_;

@@ -76,6 +76,7 @@ const InstructionBlock& GadgetRunner::variant_block(std::uint32_t uid,
   return entry.block;
 }
 
+// aegis-lint: noalloc
 std::span<const double> GadgetRunner::execute_once(
     std::span<const std::uint32_t> variant_uids, double unroll) {
   // Prolog runs before the first RDPMC.

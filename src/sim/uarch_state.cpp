@@ -14,6 +14,7 @@ void MicroArchState::evict_pressure(RegionId keep, double bytes) {
   // proportion to the capacity fraction consumed.
   const double l1_pressure = std::min(1.0, bytes / kL1Bytes);
   const double llc_pressure = std::min(1.0, bytes / kLlcBytes);
+  // aegis-lint: ordered-ok(independent per-region scaling; order has no effect)
   for (auto& [id, st] : regions_) {
     if (id == keep) continue;
     st.l1_frac *= (1.0 - l1_pressure);
@@ -56,6 +57,7 @@ void MicroArchState::flush(RegionId region, double bytes) {
 }
 
 void MicroArchState::flush_all() noexcept {
+  // aegis-lint: ordered-ok(independent per-region reset; order has no effect)
   for (auto& [id, st] : regions_) {
     st.l1_frac = 0.0;
     st.llc_frac = 0.0;

@@ -54,6 +54,7 @@ class ThreadPool {
   // wakes late for a finished epoch must not claim indices that a newer
   // call has already re-seeded (its body pointer would be stale).
   struct Shard {
+    // aegis-lint: lock-level(51)
     std::mutex mu;
     std::size_t begin = 0;
     std::size_t end = 0;
@@ -66,6 +67,7 @@ class ThreadPool {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
 
+  // aegis-lint: lock-level(50)
   std::mutex mu_;                    // guards the job state below
   std::condition_variable work_cv_;  // workers wait for a new job
   std::condition_variable done_cv_;  // the caller waits for completion

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <type_traits>
 #include <unordered_set>
@@ -245,6 +246,70 @@ TEST(SetCover, GreedyPrefersSharedGadgets) {
   const GadgetCover cover = minimal_gadget_cover(result);
   ASSERT_EQ(cover.gadgets.size(), 1u);
   EXPECT_EQ(cover.gadgets[0], shared);
+}
+
+TEST(SetCover, DeterministicAcrossRunsAndInsertionOrders) {
+  // Regression for the hash-order tie-break bug: three gadgets cover the
+  // same two events with IDENTICAL deltas, so the old implementation's
+  // winner depended on unordered_map iteration order (stdlib + insertion
+  // sequence). The cover must now be a pure function of the set of
+  // confirmed gadgets: same result on every run and for every insertion
+  // order of the reports and their confirmed lists.
+  const Gadget tie_a{5, 9}, tie_b{2, 7}, tie_c{9, 1};
+  const Gadget only_a{11, 3}, only_b{4, 12};
+  const std::vector<ConfirmedGadget> base_a = {
+      {tie_a, 100, 10.0}, {tie_b, 100, 10.0}, {tie_c, 100, 10.0},
+      {only_a, 100, 3.0}};
+  const std::vector<ConfirmedGadget> base_b = {
+      {tie_a, 200, 10.0}, {tie_b, 200, 10.0}, {tie_c, 200, 10.0},
+      {only_b, 200, 3.0}};
+  const auto make_result = [](std::vector<ConfirmedGadget> ca,
+                              std::vector<ConfirmedGadget> cb,
+                              bool swap_reports) {
+    EventFuzzReport ra, rb;
+    ra.event_id = 100;
+    ra.confirmed = std::move(ca);
+    rb.event_id = 200;
+    rb.confirmed = std::move(cb);
+    FuzzResult result;
+    if (swap_reports) {
+      result.reports = {rb, ra};
+    } else {
+      result.reports = {ra, rb};
+    }
+    return result;
+  };
+  const auto expect_same = [](const GadgetCover& got, const GadgetCover& want,
+                              const char* what) {
+    EXPECT_EQ(got.gadgets, want.gadgets) << what;
+    EXPECT_EQ(got.covered_events, want.covered_events) << what;
+    EXPECT_EQ(got.uncovered_events, want.uncovered_events) << what;
+    EXPECT_EQ(got.segment_effect, want.segment_effect) << what;
+  };
+
+  const GadgetCover base = minimal_gadget_cover(make_result(base_a, base_b, false));
+  ASSERT_EQ(base.gadgets.size(), 1u);
+  // The pure tie must resolve to the lowest (reset_uid, trigger_uid) key.
+  EXPECT_EQ(base.gadgets[0], tie_b);
+
+  // Same input, repeated runs.
+  for (int run = 0; run < 3; ++run) {
+    expect_same(minimal_gadget_cover(make_result(base_a, base_b, false)), base,
+                "repeated run");
+  }
+  // Every rotation of both confirmed lists, with and without swapped
+  // report order — each permutation changes the hash maps' insertion
+  // sequence, which the old tie-break leaked into the output.
+  for (std::size_t rot = 0; rot < base_a.size(); ++rot) {
+    std::vector<ConfirmedGadget> ca(base_a.begin() + rot, base_a.end());
+    ca.insert(ca.end(), base_a.begin(), base_a.begin() + rot);
+    std::vector<ConfirmedGadget> cb(base_b.rbegin(), base_b.rend());
+    std::rotate(cb.begin(), cb.begin() + rot, cb.end());
+    expect_same(minimal_gadget_cover(make_result(ca, cb, false)), base,
+                "rotated confirmed lists");
+    expect_same(minimal_gadget_cover(make_result(ca, cb, true)), base,
+                "rotated lists + swapped reports");
+  }
 }
 
 TEST(FuzzerConfig, UnrollsAreIntegralRepetitionCounts) {

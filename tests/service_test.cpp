@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <filesystem>
 #include <thread>
+#include <vector>
 
 #include "attack/wfa.hpp"
 #include "service/protection_service.hpp"
@@ -100,6 +102,20 @@ TEST(TemplateKeying, WorkloadFingerprintSeparatesSecrets) {
 }
 
 // ---------------------------------------------------------- single-flight
+
+// Pins the full key-hash composition (vendor, family, fingerprint,
+// config hash chained through util::hash_combine). The value was computed
+// independently from the FNV-1a spec; if this fails, the on-disk cache
+// naming scheme changed and warm starts will re-run every analysis.
+TEST(TemplateKeying, KeyHashGoldenValuePinsFnvComposition) {
+  TemplateKey key;
+  key.vendor = isa::Vendor::kAmd;
+  key.cpu_family = 0x19;
+  key.workload_fingerprint = 0x1122334455667788ULL;
+  key.config_hash = 0xdeadbeefcafef00dULL;
+  EXPECT_EQ(TemplateKeyHash{}(key),
+            static_cast<std::size_t>(0xac7917c1241e9876ULL));
+}
 
 TEST(TemplateCacheTest, ColdStartOfManyTenantsRunsExactlyOneAnalysis) {
   auto& f = fixture();
@@ -380,6 +396,72 @@ TEST(BoundedQueueTest, CloseDrainsThenReportsEmpty) {
   EXPECT_EQ(queue.pop().value(), 1);
   EXPECT_EQ(queue.pop().value(), 2);
   EXPECT_FALSE(queue.pop().has_value());  // closed + drained
+}
+
+TEST(BoundedQueueTest, CloseWakesEveryBlockedProducer) {
+  // Shutdown with producers parked in push(): close() must wake all of
+  // them with push() == false, and the pre-close item must still drain.
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(0));  // queue now full: every push below blocks
+  constexpr int kProducers = 4;
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &rejected, p] {
+      if (!queue.push(p + 1)) ++rejected;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  queue.close();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(rejected.load(), kProducers);
+  EXPECT_EQ(queue.pop().value(), 0);
+  EXPECT_FALSE(queue.pop().has_value());  // closed + drained
+}
+
+TEST(BoundedQueueTest, CloseWithFullQueueDrainsInOrder) {
+  BoundedQueue<int> queue(3);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(queue.push(i));
+  queue.close();
+  EXPECT_EQ(queue.size(), 3u);  // close never drops accepted items
+  const std::deque<int> batch = queue.pop_batch(8);
+  ASSERT_EQ(batch.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(batch[i], i);
+  EXPECT_TRUE(queue.pop_batch(8).empty());
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueueTest, ConcurrentCloseAndPushNeverLosesAcceptedItems) {
+  // Races close() against a herd of non-blocking pushers with a live
+  // consumer (run under TSan via check.sh's fast filter). Invariant:
+  // exactly the accepted pushes are popped — close neither drops an
+  // accepted item nor admits one after shutdown.
+  constexpr int kPushers = 8;
+  constexpr int kPerPusher = 64;
+  BoundedQueue<int> queue(16);
+  std::atomic<int> accepted{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pushers;
+  pushers.reserve(kPushers);
+  for (int p = 0; p < kPushers; ++p) {
+    pushers.emplace_back([&queue, &accepted, &go, p] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < kPerPusher; ++i) {
+        if (queue.try_push(p * kPerPusher + i)) ++accepted;
+      }
+    });
+  }
+  std::atomic<int> drained{0};
+  std::thread consumer([&queue, &drained] {
+    while (queue.pop().has_value()) ++drained;
+  });
+  go = true;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  queue.close();
+  for (auto& t : pushers) t.join();
+  consumer.join();
+  EXPECT_EQ(drained.load(), accepted.load());
 }
 
 // -------------------------------------------------------------- end to end

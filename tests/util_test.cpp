@@ -2,13 +2,39 @@
 
 #include <cmath>
 #include <sstream>
+#include <string_view>
 
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace aegis::util {
 namespace {
+
+// Golden vectors for FNV-1a 64. The hash names on-disk template-cache
+// files (service/template_cache.cpp), so any drift in the offset basis,
+// prime, or byte order silently invalidates every cached template; these
+// constants pin the algorithm, independently computed from the FNV spec.
+TEST(FnvHash, GoldenValuesPinTheAlgorithm) {
+  EXPECT_EQ(fnv1a(""), kFnvOffset);
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("aegis"), 0x53ee4f03d03d1a6cULL);
+  EXPECT_EQ(fnv1a("The quick brown fox"), 0x2374316b9b449782ULL);
+  // hash_combine(double) chains the exact bit pattern.
+  EXPECT_EQ(hash_combine(kFnvOffset, 1.5), 0xaa95e93229a27c80ULL);
+}
+
+TEST(FnvHash, ChainingMatchesOneShotOverConcatenation) {
+  // NB: the chained call must go through the string_view overload by name;
+  // a bare literal + state would resolve to fnv1a(const void*, size_t).
+  const std::string_view head = "The quick ";
+  const std::string_view tail = "brown fox";
+  EXPECT_EQ(fnv1a(tail, fnv1a(head)), fnv1a("The quick brown fox"));
+  const std::uint64_t word = 0x1122334455667788ULL;
+  EXPECT_EQ(hash_combine(kFnvOffset, word),
+            fnv1a(&word, sizeof(word)));
+}
 
 TEST(SplitMixStreams, GoldenFirstSixteenOutputs) {
   // Platform-stability pin for the shard-stream derivation: the parallel

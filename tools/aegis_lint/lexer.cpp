@@ -1,0 +1,161 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace aegis::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses the text of one comment for an `aegis-lint:` directive. Returns
+/// false when the comment carries none.
+bool parse_directive(std::string_view comment, int line, Directive& out) {
+  const std::string_view kMarker = "aegis-lint:";
+  const std::size_t at = comment.find(kMarker);
+  if (at == std::string_view::npos) return false;
+  std::size_t i = at + kMarker.size();
+  while (i < comment.size() && std::isspace(static_cast<unsigned char>(comment[i]))) ++i;
+  std::size_t tag_begin = i;
+  while (i < comment.size() &&
+         (ident_char(comment[i]) || comment[i] == '-')) {
+    ++i;
+  }
+  if (i == tag_begin) return false;
+  out.tag = std::string(comment.substr(tag_begin, i - tag_begin));
+  out.arg.clear();
+  out.line = line;
+  while (i < comment.size() && std::isspace(static_cast<unsigned char>(comment[i]))) ++i;
+  if (i < comment.size() && comment[i] == '(') {
+    // Argument runs to the LAST closing paren so reasons may themselves
+    // contain parentheses.
+    const std::size_t close = comment.rfind(')');
+    if (close != std::string_view::npos && close > i) {
+      out.arg = std::string(comment.substr(i + 1, close - i - 1));
+      // Trim surrounding whitespace.
+      while (!out.arg.empty() && std::isspace(static_cast<unsigned char>(out.arg.front()))) {
+        out.arg.erase(out.arg.begin());
+      }
+      while (!out.arg.empty() && std::isspace(static_cast<unsigned char>(out.arg.back()))) {
+        out.arg.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+LexOutput lex(std::string_view src) {
+  LexOutput out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](TokenKind kind, std::string text) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      Directive d;
+      if (parse_directive(src.substr(i + 2, end - i - 2), line, d)) {
+        out.directives.push_back(std::move(d));
+      }
+      i = end;
+      continue;
+    }
+    // Block comment (a directive inside applies at its opening line).
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      const std::size_t stop = end == std::string_view::npos ? n : end + 2;
+      Directive d;
+      if (parse_directive(src.substr(i + 2, stop - i - 2), line, d)) {
+        out.directives.push_back(std::move(d));
+      }
+      for (std::size_t j = i; j < stop; ++j) {
+        if (src[j] == '\n') ++line;
+      }
+      i = stop;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t d_end = i + 2;
+      while (d_end < n && src[d_end] != '(' && src[d_end] != '\n') ++d_end;
+      if (d_end < n && src[d_end] == '(') {
+        const std::string close =
+            ")" + std::string(src.substr(i + 2, d_end - i - 2)) + "\"";
+        std::size_t end = src.find(close, d_end + 1);
+        const std::size_t stop =
+            end == std::string_view::npos ? n : end + close.size();
+        push(TokenKind::kString, std::string(src.substr(i, stop - i)));
+        for (std::size_t j = i; j < stop; ++j) {
+          if (src[j] == '\n') ++line;
+        }
+        i = stop;
+        continue;
+      }
+      // "R" not followed by a raw string: fall through as an identifier.
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      const std::size_t stop = j < n ? j + 1 : n;
+      push(TokenKind::kString, std::string(src.substr(i + 1, j - i - 1)));
+      i = stop;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      push(TokenKind::kIdent, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      // Good enough for matching purposes: digits, radix letters, dots,
+      // digit separators, exponent signs.
+      while (j < n && (ident_char(src[j]) || src[j] == '.' || src[j] == '\'' ||
+                       ((src[j] == '+' || src[j] == '-') &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+        ++j;
+      }
+      push(TokenKind::kNumber, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    push(TokenKind::kPunct, std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace aegis::lint

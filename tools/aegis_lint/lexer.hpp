@@ -1,0 +1,51 @@
+// aegis-lint lexer: a minimal C++ tokenizer sufficient for the repo's
+// invariant rules. It is NOT a full C++ front end — it produces a flat
+// token stream (identifiers, numbers, literals, single-character
+// punctuation) plus the parsed `// aegis-lint:` directive comments the
+// rules and the suppression machinery consume. Comments and string/char
+// literal *contents* never reach the rules, so banned identifiers inside
+// documentation or log messages cannot trigger findings.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aegis::lint {
+
+enum class TokenKind {
+  kIdent,   // [A-Za-z_][A-Za-z0-9_]*
+  kNumber,  // numeric literal (no semantic parsing)
+  kString,  // string or char literal, text excludes quotes
+  kPunct,   // exactly one character of punctuation
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+/// A parsed `aegis-lint:` comment, e.g.
+///   // aegis-lint: noalloc
+///   // aegis-lint: ordered-ok(per-region update is order-independent)
+///   std::mutex mu_;  // aegis-lint: lock-level(30, noblock)
+/// `tag` is the word after the colon ("noalloc", "ordered-ok",
+/// "lock-level", ...) and `arg` the raw text inside the optional parens.
+struct Directive {
+  std::string tag;
+  std::string arg;
+  int line = 0;
+};
+
+struct LexOutput {
+  std::vector<Token> tokens;
+  std::vector<Directive> directives;
+};
+
+/// Tokenizes `source`. Never throws on malformed input: unterminated
+/// literals or comments simply end at end-of-file (the linter must degrade
+/// gracefully on code the compiler would reject anyway).
+LexOutput lex(std::string_view source);
+
+}  // namespace aegis::lint

@@ -1,0 +1,146 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace aegis::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool known_suppress_tag(const std::string& tag) {
+  for (const RuleInfo& r : rule_catalog()) {
+    if (r.suppress_tag == tag) return true;
+  }
+  return false;
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  if (!is) throw std::runtime_error("aegis_lint: cannot read " + p.string());
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(std::string_view source,
+                                 std::string_view companion,
+                                 const LintConfig& config) {
+  const LexOutput file = lex(source);
+  LexOutput comp;
+  if (!companion.empty()) comp = lex(companion);
+  std::vector<Finding> raw =
+      run_rules(file, companion.empty() ? nullptr : &comp, config);
+
+  std::vector<Finding> out;
+  for (Finding& f : raw) {
+    bool suppressed = false;
+    if (!f.suppress_tag.empty()) {
+      for (const Directive& d : file.directives) {
+        if (d.tag != f.suppress_tag) continue;
+        if (d.line != f.line && d.line != f.line - 1) continue;
+        if (d.arg.empty()) continue;  // reason-less: reported below
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) out.push_back(std::move(f));
+  }
+  // Reason-less suppressions are findings of their own: an unexplained
+  // exemption is exactly the reviewer-attention problem the linter exists
+  // to remove.
+  for (const Directive& d : file.directives) {
+    if (known_suppress_tag(d.tag) && d.arg.empty()) {
+      out.push_back(Finding{"suppression", d.line,
+                            "suppression '" + d.tag +
+                                "' needs a reason: // aegis-lint: " + d.tag +
+                                "(<why this site is safe>)",
+                            ""});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+std::vector<FileFinding> lint_tree(const TreeOptions& options) {
+  const fs::path root = options.root.empty() ? fs::path(".") : fs::path(options.root);
+  std::vector<fs::path> files;
+  for (const std::string& sub : options.paths) {
+    const fs::path p = root / sub;
+    if (fs::is_regular_file(p)) {
+      if (lintable(p)) files.push_back(p);
+      continue;
+    }
+    if (!fs::is_directory(p)) {
+      throw std::runtime_error("aegis_lint: no such path: " + p.string());
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(p)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<FileFinding> out;
+  for (const fs::path& p : files) {
+    std::string rel = fs::relative(p, root).generic_string();
+    LintConfig config;
+    for (const std::string& prefix : options.clock_exempt) {
+      if (rel.rfind(prefix, 0) == 0) config.clock_rule = false;
+    }
+    // Companion header: declarations in x.hpp govern iteration/locking in
+    // x.cpp.
+    std::string companion;
+    if (p.extension() == ".cpp" || p.extension() == ".cc") {
+      for (const char* ext : {".hpp", ".h"}) {
+        fs::path header = p;
+        header.replace_extension(ext);
+        if (fs::is_regular_file(header)) {
+          companion = read_file(header);
+          break;
+        }
+      }
+    }
+    for (Finding& f : lint_source(read_file(p), companion, config)) {
+      out.push_back(FileFinding{rel, std::move(f)});
+    }
+  }
+  return out;
+}
+
+std::string format_finding(const FileFinding& f) {
+  std::string s = f.file + ":" + std::to_string(f.finding.line) + ": [" +
+                  f.finding.rule + "] " + f.finding.message;
+  if (!f.finding.suppress_tag.empty()) {
+    s += "\n    suppress with: // aegis-lint: " + f.finding.suppress_tag +
+         "(<reason>)";
+  }
+  return s;
+}
+
+std::string format_suppression_hint(const FileFinding& f) {
+  if (f.finding.suppress_tag.empty()) {
+    return f.file + ":" + std::to_string(f.finding.line) +
+           ": not suppressible; fix the finding: " + f.finding.message;
+  }
+  return f.file + ":" + std::to_string(f.finding.line) +
+         ": // aegis-lint: " + f.finding.suppress_tag + "(<reason>)";
+}
+
+}  // namespace aegis::lint

@@ -1,0 +1,52 @@
+// Lint driver: suppression filtering and the filesystem walk.
+//
+// Suppression syntax (one per comment, same line as the finding or the
+// line immediately above it):
+//     // aegis-lint: <tag>-ok(<reason>)
+// The reason is mandatory — an empty reason does not suppress and is
+// itself reported, so every silenced finding documents WHY the invariant
+// holds at that site.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace aegis::lint {
+
+struct FileFinding {
+  std::string file;  // display path (relative to the lint root)
+  Finding finding;
+};
+
+/// Lints one in-memory source. `companion` contributes declarations
+/// (unordered-container names, lock-level tables) — pass "" when there is
+/// none. Returns only UNSUPPRESSED findings (plus findings about invalid
+/// suppressions/directives).
+std::vector<Finding> lint_source(std::string_view source,
+                                 std::string_view companion,
+                                 const LintConfig& config);
+
+struct TreeOptions {
+  std::string root;                 // absolute or cwd-relative repo root
+  std::vector<std::string> paths;   // subtrees/files relative to root
+  /// Path prefixes (relative, '/'-terminated) where banned-clock is off:
+  /// benchmarks exist to measure wall time.
+  std::vector<std::string> clock_exempt = {"bench/"};
+};
+
+/// Lints every .cpp/.hpp/.h under the requested subtrees, in sorted path
+/// order. A .cpp file's same-stem .hpp/.h neighbor is its companion.
+/// Throws std::runtime_error when a requested path does not exist.
+std::vector<FileFinding> lint_tree(const TreeOptions& options);
+
+/// Renders one finding as "file:line: [rule] message".
+std::string format_finding(const FileFinding& f);
+
+/// The `--fix-suppressions` view: the exact comment to paste for each
+/// finding that supports suppression.
+std::string format_suppression_hint(const FileFinding& f);
+
+}  // namespace aegis::lint

@@ -1,0 +1,88 @@
+// aegis_lint CLI — the repo's invariant gate.
+//
+//   aegis_lint --root <repo> [paths...]     lint (default: src bench examples)
+//   aegis_lint --list-rules                 print the rule catalog
+//   aegis_lint ... --fix-suppressions       print ready-to-paste suppression
+//                                           comments for every finding
+//
+// Exit status: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aegis::lint;
+
+  TreeOptions options;
+  options.root = ".";
+  bool fix_suppressions = false;
+  bool list_rules = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "aegis_lint: --root needs a directory\n";
+        return 2;
+      }
+      options.root = argv[++i];
+    } else if (arg == "--fix-suppressions") {
+      fix_suppressions = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: aegis_lint [--root DIR] [--fix-suppressions] "
+                   "[--list-rules] [paths...]\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "aegis_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const RuleInfo& r : rule_catalog()) {
+      std::cout << r.name << " (suppress: " << r.suppress_tag << ")\n    "
+                << r.summary << "\n";
+    }
+    return 0;
+  }
+
+  options.paths = paths.empty()
+                      ? std::vector<std::string>{"src", "bench", "examples"}
+                      : paths;
+
+  std::vector<FileFinding> findings;
+  try {
+    findings = lint_tree(options);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  if (fix_suppressions) {
+    for (const FileFinding& f : findings) {
+      std::cout << format_suppression_hint(f) << "\n";
+    }
+    return findings.empty() ? 0 : 1;
+  }
+
+  for (const FileFinding& f : findings) {
+    std::cout << format_finding(f) << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << "aegis_lint: " << findings.size()
+              << " finding(s). Fix them or suppress with a reason "
+                 "(--fix-suppressions prints paste-ready comments; "
+                 "--list-rules explains each rule).\n";
+    return 1;
+  }
+  std::cout << "aegis_lint: clean\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Rule catalog for aegis-lint. Each rule enforces one repo invariant the
+// compiler cannot see (see DESIGN.md "Static analysis layer"):
+//
+//   banned-random      rand()/srand()/std::random_device/std engine types/
+//                      time()-seeding. All randomness must flow through
+//                      util::Rng so results are a pure function of config
+//                      seeds.                     suppress: random-ok(...)
+//   banned-clock       std::*_clock::now(). Wall-clock reads are allowed
+//                      only at reporting-only sites (timing fields in
+//                      result structs, latency stats) and in bench/, which
+//                      is exempt wholesale.        suppress: clock-ok(...)
+//   std-hash           std::hash<> — unstable across runs/platforms, so it
+//                      can never feed a persisted value or cache key; use
+//                      util/hash.hpp FNV-1a.    suppress: std-hash-ok(...)
+//   unordered-iter     range-for over a std::unordered_{map,set} variable:
+//                      iteration order is a hash-table artifact, so any
+//                      result it feeds (ranking, serialization, greedy
+//                      selection) loses determinism. suppress: ordered-ok(...)
+//   noalloc            inside a `// aegis-lint: noalloc` function (or a
+//                      noalloc-begin/noalloc-end region): no new/malloc/
+//                      push_back/emplace*/resize/reserve/..., no by-value
+//                      allocating container declarations.
+//                                                  suppress: alloc-ok(...)
+//   lock-order         mutexes declared `// aegis-lint: lock-level(N[,
+//                      noblock])` must be acquired in strictly increasing
+//                      level order when nested.      suppress: lock-ok(...)
+//   blocking-in-lock   while holding a `noblock` mutex: no .join()/.push()/
+//                      .pop()/.pop_batch() and no condition-variable wait
+//                      (waiting on the held lock itself is allowed — the
+//                      wait releases it).        suppress: blocking-ok(...)
+//
+// Rules are lexical by design: they see one file (plus its companion
+// header) and cannot follow calls across translation units. That buys a
+// dependency-free analyzer that runs in milliseconds as a ctest gate; the
+// sanitizer matrix covers the dynamic side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace aegis::lint {
+
+struct Finding {
+  std::string rule;          // catalog name, e.g. "noalloc"
+  int line = 0;              // 1-based line in the linted file
+  std::string message;
+  std::string suppress_tag;  // e.g. "alloc-ok"; empty = not suppressible
+};
+
+struct LintConfig {
+  /// When false the banned-clock rule is skipped (the driver disables it
+  /// for bench/, which exists to measure wall time).
+  bool clock_rule = true;
+};
+
+struct RuleInfo {
+  std::string name;
+  std::string suppress_tag;
+  std::string summary;
+};
+
+/// The rule catalog, for --list-rules and the docs.
+std::vector<RuleInfo> rule_catalog();
+
+/// Runs every rule over `file`. `companion` (may be null) contributes
+/// declarations only — unordered-container variable names and lock-level
+/// tables from a .cpp file's header — never findings.
+std::vector<Finding> run_rules(const LexOutput& file, const LexOutput* companion,
+                               const LintConfig& config);
+
+}  // namespace aegis::lint

@@ -13,16 +13,26 @@
 //                                 throughput, zero refusals under an ample
 //                                 budget, and single-flight analysis
 //
+// Telemetry dumps (combinable with --smoke or the sweep; every run shares
+// one wall-clock telemetry registry threaded through ServiceConfig):
+//   --trace FILE   chrome://tracing / Perfetto trace_event JSON
+//   --prom FILE    Prometheus text exposition of the final metrics
+//   --stats FILE   JSON snapshot (the tools/aegis_top input format)
+//
 // AEGIS_SCALE scales per-session slice counts; AEGIS_THREADS sets the
 // session-pool worker count (0 = hardware concurrency).
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "bench_common.hpp"
 #include "service/protection_service.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/time_source.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -70,13 +80,69 @@ struct Scenario {
 
 double ms(double seconds) { return seconds * 1e3; }
 
-SweepPoint run_fleet_size(const Scenario& scenario, std::size_t tenants) {
+// One registry + wall clock per fleet point: ServiceStats are derived from
+// registry counters, so sharing a registry across points would make the
+// per-point figures cumulative. The dump flags export the LAST point run.
+struct TelemetrySink {
+  telemetry::WallTimeSource wall;
+  telemetry::Registry registry{&wall};
+};
+
+struct DumpOptions {
+  const char* trace = nullptr;
+  const char* prom = nullptr;
+  const char* stats = nullptr;
+  bool any() const { return trace != nullptr || prom != nullptr || stats != nullptr; }
+};
+
+template <typename Fn>
+bool emit_telemetry_file(const char* path, const char* what, Fn&& fn) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_service: cannot open " << what << " file " << path
+              << "\n";
+    return false;
+  }
+  fn(out);
+  out.flush();
+  if (out.tellp() <= 0) {
+    std::cerr << "bench_service: " << what << " file " << path
+              << " came out empty\n";
+    return false;
+  }
+  std::cerr << "bench_service: wrote " << what << " " << path << "\n";
+  return true;
+}
+
+bool dump_telemetry(const DumpOptions& dump, const TelemetrySink& sink) {
+  bool ok = true;
+  if (dump.trace != nullptr) {
+    ok &= emit_telemetry_file(dump.trace, "trace", [&](std::ostream& os) {
+      telemetry::write_trace_json(sink.registry, os);
+    });
+  }
+  if (dump.prom != nullptr) {
+    ok &= emit_telemetry_file(dump.prom, "prometheus", [&](std::ostream& os) {
+      telemetry::write_prometheus(sink.registry.metrics().snapshot(), os);
+    });
+  }
+  if (dump.stats != nullptr) {
+    ok &= emit_telemetry_file(dump.stats, "snapshot", [&](std::ostream& os) {
+      telemetry::write_json_snapshot(sink.registry, os);
+    });
+  }
+  return ok;
+}
+
+SweepPoint run_fleet_size(const Scenario& scenario, std::size_t tenants,
+                          telemetry::Registry* registry) {
   service::ServiceConfig config;
   config.num_threads = threads_from_env();
   config.queue_capacity = 64;
   config.batch_size = 16;
   config.governor.default_epsilon_cap = 64.0;  // ample: nothing refused
   config.cache.cache_dir = scenario.cache_dir;
+  config.telemetry = registry;
   service::ProtectionService svc(config);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -167,9 +233,10 @@ void emit_json(std::ostream& out, const std::vector<SweepPoint>& sweep,
   out << "  ]\n}\n";
 }
 
-int run_smoke(const Scenario& scenario) {
+int run_smoke(const Scenario& scenario, const DumpOptions& dump) {
   print_header("bench_service --smoke");
-  const SweepPoint point = run_fleet_size(scenario, 8);
+  TelemetrySink sink;
+  const SweepPoint point = run_fleet_size(scenario, 8, &sink.registry);
   std::cout << "tenants 8: " << util::fmt_f(point.throughput, 1)
             << " sessions/s, p50 " << util::fmt_f(point.p50_latency_ms, 1)
             << " ms, p99 " << util::fmt_f(point.p99_latency_ms, 1)
@@ -192,6 +259,12 @@ int run_smoke(const Scenario& scenario) {
               << " warm starts)\n";
     ok = false;
   }
+  // Telemetry dumps double as the smoke check that the exporters produce
+  // non-empty output from a real service run.
+  if (!dump_telemetry(dump, sink)) {
+    std::cerr << "SMOKE FAIL: telemetry dump empty or unwritable\n";
+    ok = false;
+  }
   std::cout << (ok ? "SMOKE OK\n" : "SMOKE FAIL\n");
   return ok ? 0 : 1;
 }
@@ -206,14 +279,41 @@ int run(int argc, char** argv) {
   }();
   Scenario scenario(scale);
 
-  if (argc > 1 && std::string(argv[1]) == "--smoke") {
-    return run_smoke(scenario);
+  bool smoke = false;
+  const char* out_path = nullptr;
+  DumpOptions dump;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto flag_value = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_service: " << name << " needs a file argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--trace") {
+      dump.trace = flag_value("--trace");
+    } else if (arg == "--prom") {
+      dump.prom = flag_value("--prom");
+    } else if (arg == "--stats") {
+      dump.stats = flag_value("--stats");
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  if (smoke) {
+    return run_smoke(scenario, dump);
   }
 
   print_header("bench_service: multi-tenant fleet sweep");
   std::vector<SweepPoint> sweep;
+  std::unique_ptr<TelemetrySink> sink;
   for (std::size_t tenants : {1, 4, 8, 16, 32, 48}) {
-    const SweepPoint point = run_fleet_size(scenario, tenants);
+    sink = std::make_unique<TelemetrySink>();
+    const SweepPoint point = run_fleet_size(scenario, tenants, &sink->registry);
     std::cout << "tenants " << point.tenants << ": "
               << util::fmt_f(point.throughput, 1) << " sessions/s, p50 "
               << util::fmt_f(point.p50_latency_ms, 1) << " ms, p99 "
@@ -225,17 +325,18 @@ int run(int argc, char** argv) {
     sweep.push_back(point);
   }
 
-  if (argc > 1) {
-    std::ofstream out(argv[1]);
+  if (out_path != nullptr) {
+    std::ofstream out(out_path);
     if (!out) {
-      std::cerr << "bench_service: cannot open " << argv[1] << "\n";
+      std::cerr << "bench_service: cannot open " << out_path << "\n";
       return 1;
     }
     emit_json(out, sweep, scenario);
-    std::cerr << "bench_service: wrote " << argv[1] << "\n";
+    std::cerr << "bench_service: wrote " << out_path << "\n";
   } else {
     emit_json(std::cout, sweep, scenario);
   }
+  if (!dump_telemetry(dump, *sink)) return 1;
   return 0;
 }
 

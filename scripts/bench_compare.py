@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Compare fresh bench JSON against committed baselines; fail on regression.
+
+Usage:
+    scripts/bench_compare.py BASELINE_hotpath.json FRESH_hotpath.json \
+                             BASELINE_service.json FRESH_service.json
+
+Headline metrics (everything else in the JSON is informational):
+  hotpath   accumulate_4_events.batched_ns            lower is better
+            accumulate_sweep_1903_events.batched_ns   lower is better
+            execute_once.steady_state_ns              lower is better
+            profiler_sweep.batched_events_per_sec     higher is better
+  service   max over sweep of throughput_sessions_per_sec   higher is better
+
+A metric regresses when it is worse than the baseline by more than the
+tolerance (default 15%, override with AEGIS_BENCH_TOLERANCE, a fraction).
+The tolerance is deliberately loose: shared CI runners jitter, and only a
+real hot-path or throughput cliff should block a merge. Improvements are
+reported but never fail. Exit status: 0 ok, 1 regression, 2 usage/IO error.
+
+Stdlib only — no pip installs in CI.
+"""
+
+import json
+import os
+import sys
+
+
+DEFAULT_TOLERANCE = 0.15
+
+
+class MetricError(Exception):
+    pass
+
+
+def dig(doc, path):
+    node = doc
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            raise MetricError(f"missing key {path!r}")
+        node = node[key]
+    if not isinstance(node, (int, float)) or isinstance(node, bool):
+        raise MetricError(f"{path!r} is not a number")
+    return float(node)
+
+
+def peak_throughput(doc):
+    sweep = doc.get("sweep")
+    if not isinstance(sweep, list) or not sweep:
+        raise MetricError("missing or empty 'sweep'")
+    values = [
+        p["throughput_sessions_per_sec"]
+        for p in sweep
+        if isinstance(p, dict) and "throughput_sessions_per_sec" in p
+    ]
+    if not values:
+        raise MetricError("sweep has no throughput_sessions_per_sec")
+    return float(max(values))
+
+
+# (label, extractor, higher_is_better)
+HOTPATH_METRICS = [
+    ("hotpath accumulate_4_events.batched_ns",
+     lambda d: dig(d, "accumulate_4_events.batched_ns"), False),
+    ("hotpath accumulate_sweep_1903_events.batched_ns",
+     lambda d: dig(d, "accumulate_sweep_1903_events.batched_ns"), False),
+    ("hotpath execute_once.steady_state_ns",
+     lambda d: dig(d, "execute_once.steady_state_ns"), False),
+    ("hotpath profiler_sweep.batched_events_per_sec",
+     lambda d: dig(d, "profiler_sweep.batched_events_per_sec"), True),
+]
+
+SERVICE_METRICS = [
+    ("service peak throughput_sessions_per_sec", peak_throughput, True),
+]
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def tolerance():
+    raw = os.environ.get("AEGIS_BENCH_TOLERANCE", "")
+    if not raw:
+        return DEFAULT_TOLERANCE
+    try:
+        value = float(raw)
+    except ValueError:
+        print(f"bench_compare: bad AEGIS_BENCH_TOLERANCE {raw!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    if value <= 0:
+        print("bench_compare: AEGIS_BENCH_TOLERANCE must be positive",
+              file=sys.stderr)
+        sys.exit(2)
+    return value
+
+
+def compare(metrics, baseline, fresh, tol):
+    """Returns the number of regressions, printing one line per metric."""
+    regressions = 0
+    for label, extract, higher_is_better in metrics:
+        try:
+            base = extract(baseline)
+            new = extract(fresh)
+        except MetricError as e:
+            # A missing metric is a hard failure: silently skipping it would
+            # make the gate pass vacuously after a rename.
+            print(f"FAIL  {label}: {e}")
+            regressions += 1
+            continue
+        if base <= 0:
+            print(f"skip  {label}: non-positive baseline {base}")
+            continue
+        # ratio > 0 means worse, as a fraction of the baseline.
+        if higher_is_better:
+            ratio = (base - new) / base
+        else:
+            ratio = (new - base) / base
+        verdict = "FAIL" if ratio > tol else ("  ok" if ratio >= 0 else "good")
+        print(f"{verdict}  {label}: baseline {base:.2f} -> {new:.2f} "
+              f"({'-' if ratio > 0 else '+'}{abs(ratio) * 100:.1f}% "
+              f"{'worse' if ratio > 0 else 'better'}, tolerance "
+              f"{tol * 100:.0f}%)")
+        if ratio > tol:
+            regressions += 1
+    return regressions
+
+
+def main(argv):
+    if len(argv) != 5:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    base_hot, fresh_hot, base_svc, fresh_svc = argv[1:5]
+    tol = tolerance()
+    regressions = 0
+    regressions += compare(HOTPATH_METRICS, load(base_hot), load(fresh_hot), tol)
+    regressions += compare(SERVICE_METRICS, load(base_svc), load(fresh_svc), tol)
+    if regressions:
+        print(f"bench_compare: {regressions} metric(s) regressed beyond "
+              f"{tol * 100:.0f}%", file=sys.stderr)
+        return 1
+    print("bench_compare: all headline metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/registry.hpp"
+
 namespace aegis::pmu {
 
 namespace {
@@ -22,7 +24,11 @@ AccumulateEngine CounterRegisterFile::default_engine() noexcept {
 
 CounterRegisterFile::CounterRegisterFile(const EventDatabase& db,
                                          std::uint64_t noise_seed)
-    : db_(&db), rng_(noise_seed), engine_(default_engine()) {}
+    : db_(&db),
+      rng_(noise_seed),
+      engine_(default_engine()),
+      accumulate_calls_(telemetry::Registry::global().metrics().counter(
+          "aegis_pmu_accumulate_total")) {}
 
 void CounterRegisterFile::program(std::vector<std::uint32_t> event_ids) {
   for (std::uint32_t id : event_ids) {
@@ -79,6 +85,7 @@ std::size_t CounterRegisterFile::slot_of(std::uint32_t event_id) const {
 
 // aegis-lint: noalloc
 void CounterRegisterFile::accumulate(const ExecutionStats& stats) {
+  accumulate_calls_.inc();
   if (engine_ == AccumulateEngine::kBatched) {
     accumulate_batched(stats);
   } else {

@@ -25,6 +25,7 @@
 
 #include "pmu/event_database.hpp"
 #include "pmu/response_matrix.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace aegis::pmu {
@@ -112,6 +113,9 @@ class CounterRegisterFile {
   std::size_t active_group_ = 0;
   std::uint64_t total_slices_ = 0;
   AccumulateEngine engine_;
+  /// Resolved once at construction (telemetry-handle rule): recording in the
+  /// noalloc accumulate path is a lock-free shard increment.
+  telemetry::Counter accumulate_calls_;
 };
 
 }  // namespace aegis::pmu

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <utility>
 
+#include "telemetry/registry.hpp"
+#include "telemetry/span_tracer.hpp"
 #include "trace/pca.hpp"
 #include "trace/trace.hpp"
 #include "util/stats.hpp"
@@ -41,8 +43,13 @@ WarmupReport ApplicationProfiler::warmup(const workload::Workload& application) 
   // are merged in group order, so the report is identical for any worker
   // count (and identical to a serial run).
   std::vector<std::vector<std::uint32_t>> surviving(group_count);
+  telemetry::Registry& tel = telemetry::resolve(config_.telemetry);
+  telemetry::ScopedSpan stage(tel.spans(), "profiler.warmup", "profiler", 0,
+                              group_count);
   util::ThreadPool pool(config_.num_threads);
   pool.parallel_for(group_count, [&](std::size_t g) {
+    telemetry::ScopedSpan span(tel.spans(), "profiler.warmup.group",
+                               "profiler", static_cast<std::uint32_t>(g));
     util::Rng rng(util::split_mix64(config_.seed ^ kWarmupSalt, g));
     std::vector<std::uint32_t> group;
     const std::uint32_t base = static_cast<std::uint32_t>(g * kGroup);
@@ -100,8 +107,13 @@ std::vector<EventRank> ApplicationProfiler::rank(
   const std::size_t group_count = (event_ids.size() + kGroup - 1) / kGroup;
   std::vector<std::vector<EventRank>> per_group(group_count);
 
+  telemetry::Registry& tel = telemetry::resolve(config_.telemetry);
+  telemetry::ScopedSpan stage(tel.spans(), "profiler.rank", "profiler", 0,
+                              group_count);
   util::ThreadPool pool(config_.num_threads);
   pool.parallel_for(group_count, [&](std::size_t g) {
+    telemetry::ScopedSpan span(tel.spans(), "profiler.rank.group", "profiler",
+                               static_cast<std::uint32_t>(g));
     util::Rng rng(util::split_mix64(config_.seed ^ kRankSalt, g));
     const std::size_t base = g * kGroup;
     std::vector<std::uint32_t> group(

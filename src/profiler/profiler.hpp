@@ -21,6 +21,10 @@
 #include "trace/gaussian.hpp"
 #include "workload/workload.hpp"
 
+namespace aegis::telemetry {
+class Registry;
+}
+
 namespace aegis::profiler {
 
 struct ProfilerConfig {
@@ -37,6 +41,9 @@ struct ProfilerConfig {
   /// its RNG stream from split_mix64(seed, group), so reports are
   /// bit-identical for every thread count.
   std::size_t num_threads = 0;
+  /// Span/metric sink for warm-up and ranking (null = telemetry::Registry::
+  /// global()). Purely observational; excluded from config fingerprints.
+  telemetry::Registry* telemetry = nullptr;
 };
 
 struct WarmupReport {

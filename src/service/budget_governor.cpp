@@ -1,11 +1,19 @@
 #include "service/budget_governor.hpp"
 
+#include <string>
+
+#include "telemetry/registry.hpp"
+
 namespace aegis::service {
 
 namespace {
 
 std::size_t releases_for(std::size_t slices, std::size_t granularity) {
   return (slices + granularity - 1) / granularity;
+}
+
+std::string tenant_metric(const char* base, std::uint64_t tenant_id) {
+  return std::string(base) + "{tenant=\"" + std::to_string(tenant_id) + "\"}";
 }
 
 }  // namespace
@@ -19,21 +27,39 @@ const char* to_string(Admission a) noexcept {
   return "?";
 }
 
-BudgetGovernor::BudgetGovernor(GovernorConfig config) : config_(config) {}
+BudgetGovernor::BudgetGovernor(GovernorConfig config)
+    : config_(config), telemetry_(&telemetry::resolve(config.telemetry)) {}
+
+BudgetGovernor::Tenant& BudgetGovernor::tenant_for(std::uint64_t tenant_id) {
+  auto [it, inserted] = tenants_.try_emplace(tenant_id);
+  Tenant& tenant = it->second;
+  if (inserted) {
+    tenant.epsilon_cap = config_.default_epsilon_cap;
+    // Registration takes the registry's level-50 lock while we hold the
+    // level-15 governor lock: ascending, so lock-order clean.
+    tenant.epsilon_gauge = telemetry_->metrics().gauge(
+        tenant_metric("aegis_tenant_epsilon_advanced", tenant_id));
+    tenant.remaining_gauge = telemetry_->metrics().gauge(
+        tenant_metric("aegis_tenant_epsilon_remaining", tenant_id));
+    tenant.remaining_gauge.set(tenant.epsilon_cap);
+  }
+  return tenant;
+}
 
 void BudgetGovernor::set_tenant_cap(std::uint64_t tenant_id,
                                     double epsilon_cap) {
   std::lock_guard lock(mu_);
-  tenants_[tenant_id].epsilon_cap = epsilon_cap;
+  Tenant& tenant = tenant_for(tenant_id);
+  tenant.epsilon_cap = epsilon_cap;
+  tenant.remaining_gauge.set(
+      tenant.accountant.remaining(epsilon_cap, config_.delta));
 }
 
 AdmissionDecision BudgetGovernor::request_window(std::uint64_t tenant_id,
                                                  std::size_t slices,
                                                  double per_slice_epsilon) {
   std::lock_guard lock(mu_);
-  auto [it, inserted] = tenants_.try_emplace(tenant_id);
-  Tenant& tenant = it->second;
-  if (inserted) tenant.epsilon_cap = config_.default_epsilon_cap;
+  Tenant& tenant = tenant_for(tenant_id);
 
   AdmissionDecision decision;
   if (slices == 0 || per_slice_epsilon <= 0.0) {
@@ -42,6 +68,7 @@ AdmissionDecision BudgetGovernor::request_window(std::uint64_t tenant_id,
     decision.outcome = Admission::kAdmit;
     decision.epsilon_after = tenant.accountant.advanced_epsilon(config_.delta);
     ++tenant.admitted;
+    record_decision(tenant_id, tenant, decision);
     return decision;
   }
 
@@ -60,6 +87,7 @@ AdmissionDecision BudgetGovernor::request_window(std::uint64_t tenant_id,
       } else {
         ++tenant.degraded;
       }
+      record_decision(tenant_id, tenant, decision);
       return decision;
     }
   }
@@ -69,7 +97,22 @@ AdmissionDecision BudgetGovernor::request_window(std::uint64_t tenant_id,
   decision.releases = 0;
   decision.epsilon_after = tenant.accountant.advanced_epsilon(config_.delta);
   ++tenant.refused;
+  record_decision(tenant_id, tenant, decision);
   return decision;
+}
+
+// Caller holds mu_ (level 15); timeline/gauge sinks are higher levels, so
+// the order is ascending. The ε timeline gets one event per decision and
+// the per-tenant gauges track the post-decision spend.
+void BudgetGovernor::record_decision(std::uint64_t tenant_id,
+                                     const Tenant& tenant,
+                                     const AdmissionDecision& decision) {
+  telemetry_->budget().record(
+      tenant_id, to_string(decision.outcome),
+      static_cast<std::uint32_t>(decision.granularity), decision.releases,
+      decision.epsilon_after, tenant.epsilon_cap);
+  tenant.epsilon_gauge.set(decision.epsilon_after);
+  tenant.remaining_gauge.set(tenant.epsilon_cap - decision.epsilon_after);
 }
 
 double BudgetGovernor::remaining(std::uint64_t tenant_id) const {
@@ -88,6 +131,10 @@ void BudgetGovernor::reset_tenant(std::uint64_t tenant_id) {
   it->second.admitted = 0;
   it->second.degraded = 0;
   it->second.refused = 0;
+  telemetry_->budget().record(tenant_id, "reset", 0, 0, 0.0,
+                              it->second.epsilon_cap);
+  it->second.epsilon_gauge.set(0.0);
+  it->second.remaining_gauge.set(it->second.epsilon_cap);
 }
 
 TenantBudgetStats BudgetGovernor::snapshot(std::uint64_t id,

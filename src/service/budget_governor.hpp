@@ -25,6 +25,11 @@
 
 #include "dp/accountant.hpp"
 #include "service/service_stats.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace aegis::telemetry {
+class Registry;
+}
 
 namespace aegis::service {
 
@@ -47,6 +52,10 @@ struct GovernorConfig {
   double default_epsilon_cap = 8.0;  // lifetime advanced-composition cap
   double delta = 1e-6;               // advanced-composition slack
   std::size_t max_granularity = 64;  // coarsest degrade step offered
+  /// Sink for the epsilon-spend timeline and per-tenant gauges (null =
+  /// telemetry::Registry::global()). TenantBudgetStats stays computed from
+  /// the governor's own accountants either way.
+  telemetry::Registry* telemetry = nullptr;
 };
 
 class BudgetGovernor {
@@ -81,11 +90,25 @@ class BudgetGovernor {
     std::size_t admitted = 0;
     std::size_t degraded = 0;
     std::size_t refused = 0;
+    // Labeled gauges registered when the tenant first appears; decisions
+    // then only touch lock-free handles (plus the timeline append).
+    telemetry::Gauge epsilon_gauge;
+    telemetry::Gauge remaining_gauge;
   };
+
+  /// Looks up or creates the tenant, registering its gauges on creation.
+  /// Caller holds mu_.
+  Tenant& tenant_for(std::uint64_t tenant_id);
+
+  /// Appends the decision to the ε timeline and refreshes the tenant's
+  /// gauges. Caller holds mu_.
+  void record_decision(std::uint64_t tenant_id, const Tenant& tenant,
+                       const AdmissionDecision& decision);
 
   TenantBudgetStats snapshot(std::uint64_t id, const Tenant& t) const;
 
   GovernorConfig config_;
+  telemetry::Registry* telemetry_;  // resolved (never null)
   // aegis-lint: lock-level(15, noblock)
   mutable std::mutex mu_;
   std::map<std::uint64_t, Tenant> tenants_;  // ordered for stable snapshots

@@ -3,14 +3,41 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/registry.hpp"
+#include "telemetry/span_tracer.hpp"
+
 namespace aegis::service {
+
+namespace {
+
+TemplateCacheConfig with_telemetry(TemplateCacheConfig config,
+                                   telemetry::Registry* reg) {
+  config.telemetry = reg;
+  return config;
+}
+
+GovernorConfig with_telemetry(GovernorConfig config,
+                              telemetry::Registry* reg) {
+  config.telemetry = reg;
+  return config;
+}
+
+}  // namespace
 
 ProtectionService::ProtectionService(ServiceConfig config)
     : config_(config),
-      cache_(config.cache),
-      governor_(config.governor),
-      manager_(config.num_threads, governor_),
-      queue_(std::max<std::size_t>(1, config.queue_capacity)) {
+      owned_telemetry_(config.telemetry == nullptr
+                           ? std::make_unique<telemetry::Registry>()
+                           : nullptr),
+      telemetry_(config.telemetry != nullptr ? config.telemetry
+                                             : owned_telemetry_.get()),
+      cache_(with_telemetry(config.cache, telemetry_)),
+      governor_(with_telemetry(config.governor, telemetry_)),
+      manager_(config.num_threads, governor_, telemetry_),
+      queue_(std::max<std::size_t>(1, config.queue_capacity)),
+      submitted_(
+          telemetry_->metrics().counter("aegis_sessions_submitted_total")),
+      queue_depth_(telemetry_->metrics().gauge("aegis_service_queue_depth")) {
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
@@ -22,6 +49,8 @@ std::size_t ProtectionService::register_template(
     const core::OfflineConfig& offline, dp::MechanismConfig mechanism,
     core::ObfuscatorBuildOptions options, std::uint64_t seed) {
   const TemplateKey key = make_template_key(engine.cpu(), application, offline);
+  telemetry::ScopedSpan span(telemetry_->spans(), "service.register_template",
+                             "service", 0, key.workload_fingerprint);
   // Always consult the cache so its lookup/hit/single-flight accounting
   // reflects every tenant registration, not just the first.
   auto analysis = cache_.get_or_analyze(key, engine.database(), [&] {
@@ -64,7 +93,6 @@ bool ProtectionService::submit(SessionSubmission submission) {
       throw std::out_of_range("ProtectionService: unknown template id");
     }
     ++pending_;
-    ++submitted_;
   }
   TimedSubmission timed{std::move(submission),
                         // aegis-lint: clock-ok(reporting-only: latency_seconds)
@@ -72,10 +100,13 @@ bool ProtectionService::submit(SessionSubmission submission) {
   if (!queue_.push(std::move(timed))) {
     std::lock_guard lock(mu_);
     --pending_;
-    --submitted_;
     idle_cv_.notify_all();
     return false;
   }
+  // Counted only after the push succeeds: monotonic counters cannot be
+  // rolled back the way the old mu_-guarded tally could.
+  submitted_.inc();
+  queue_depth_.set(static_cast<double>(queue_.size()));
   return true;
 }
 
@@ -83,6 +114,9 @@ void ProtectionService::dispatch_loop() {
   for (;;) {
     auto batch = queue_.pop_batch(std::max<std::size_t>(1, config_.batch_size));
     if (batch.empty()) return;  // closed and drained
+    queue_depth_.set(static_cast<double>(queue_.size()));
+    telemetry::ScopedSpan batch_span(telemetry_->spans(), "service.dispatch",
+                                     "service", 0, batch.size());
 
     // A batch may mix templates; group contiguously by template id so each
     // fleet call shares one ProtectionTemplate.
@@ -145,6 +179,8 @@ void ProtectionService::shutdown() {
 }
 
 ServiceStats ProtectionService::stats() const {
+  // Derived view: every field reads back from the telemetry registry (via
+  // the component accessors) or live structures; nothing is double-counted.
   ServiceStats stats;
   stats.cache = cache_.stats();
   stats.tenants = governor_.all_usage();
@@ -154,8 +190,8 @@ ServiceStats ProtectionService::stats() const {
   stats.sessions_refused = manager_.refused();
   stats.sessions_degraded = manager_.degraded();
   stats.queue_depth = queue_.size();
-  std::lock_guard lock(mu_);
-  stats.sessions_submitted = submitted_;
+  stats.sessions_submitted = submitted_.value();
+  queue_depth_.set(static_cast<double>(stats.queue_depth));
   return stats;
 }
 

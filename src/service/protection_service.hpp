@@ -24,6 +24,7 @@
 #include "service/bounded_queue.hpp"
 #include "service/session_manager.hpp"
 #include "service/template_cache.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace aegis::service {
 
@@ -36,6 +37,11 @@ struct ServiceConfig {
   std::size_t batch_size = 16;
   GovernorConfig governor;
   TemplateCacheConfig cache;
+  /// Shared telemetry sink for the whole service (metrics, phase spans,
+  /// ε timeline). Null = the service owns a private registry, so
+  /// per-instance stats stay exact; the cache/governor/manager sinks are
+  /// overridden to point at the resolved registry either way.
+  telemetry::Registry* telemetry = nullptr;
 };
 
 struct SessionSubmission {
@@ -93,6 +99,10 @@ class ProtectionService {
   TemplateCache& cache() noexcept { return cache_; }
   std::size_t num_threads() const noexcept { return manager_.num_threads(); }
 
+  /// The registry every component of this service records into (the
+  /// config-supplied one, or the service-owned private registry).
+  telemetry::Registry& telemetry() const noexcept { return *telemetry_; }
+
  private:
   struct TimedSubmission {
     SessionSubmission submission;
@@ -102,19 +112,23 @@ class ProtectionService {
   void dispatch_loop();
 
   ServiceConfig config_;
+  std::unique_ptr<telemetry::Registry> owned_telemetry_;
+  telemetry::Registry* telemetry_;  // resolved (never null)
   TemplateCache cache_;
   BudgetGovernor governor_;
   SessionManager manager_;
   BoundedQueue<TimedSubmission> queue_;
+  // Registry-backed service counters/gauges (handles resolved once).
+  telemetry::Counter submitted_;
+  telemetry::Gauge queue_depth_;
 
   // aegis-lint: lock-level(30, noblock)
-  mutable std::mutex mu_;  // guards templates_, completed_, pending_, stats
+  mutable std::mutex mu_;  // guards templates_, completed_, pending_
   std::condition_variable idle_cv_;
   std::vector<std::unique_ptr<ProtectionTemplate>> templates_;
   std::unordered_map<TemplateKey, std::size_t, TemplateKeyHash> template_ids_;
   std::vector<CompletedSession> completed_;
   std::size_t pending_ = 0;    // accepted but not yet finished
-  std::size_t submitted_ = 0;
 
   std::thread dispatcher_;
   bool stopped_ = false;

@@ -1,8 +1,10 @@
 // Observability snapshot for the Aegis protection service.
 //
-// Every counter is sampled atomically-enough for dashboards (a single
-// mutex-guarded copy inside ProtectionService::stats()); the struct itself
-// is a plain value so callers can diff snapshots across time.
+// Since the telemetry subsystem landed, these structs are DERIVED VIEWS:
+// the cache/session/service counters live in a telemetry::MetricsRegistry
+// (per-instance by default, shared when one is injected via the configs)
+// and stats() assembles this plain value from the handles. The API is
+// unchanged so callers can keep diffing snapshots across time.
 #pragma once
 
 #include <cstddef>
@@ -11,15 +13,22 @@
 
 namespace aegis::service {
 
-/// TemplateCache counters. `lookups = hits + misses`; `warm_starts` counts
-/// misses satisfied from the on-disk store instead of a fresh analysis, so
-/// `analyses_run = misses - warm_starts` (minus failed loads that fell
-/// back to analysis).
+/// TemplateCache counters. Invariants (every counter is exact, not sampled):
+///   * `lookups == hits + misses`;
+///   * `warm_starts` counts misses resolved AGAINST the on-disk store (a
+///     persisted file existed and a load was attempted);
+///   * `failed_loads` counts those attempts that failed to deserialize
+///     (stale/corrupt file) and fell back to a fresh analysis;
+///   * `analyses_run` counts offline-pipeline invocations, including ones
+///     that threw (the entry is evicted, but the pipeline did run).
+/// Hence every single-flight leader either loads successfully or analyzes:
+///   `analyses_run == misses - warm_starts + failed_loads`  (exactly).
 struct TemplateCacheStats {
   std::size_t lookups = 0;
   std::size_t hits = 0;         // served from memory (incl. in-flight joins)
   std::size_t misses = 0;       // this caller became the single-flight leader
-  std::size_t warm_starts = 0;  // leader satisfied the miss from disk
+  std::size_t warm_starts = 0;  // leader found a persisted file and loaded it
+  std::size_t failed_loads = 0; // ...but the load failed; analysis fallback
   std::size_t analyses_run = 0; // leader ran the offline pipeline
 
   double hit_rate() const noexcept {

@@ -1,5 +1,7 @@
 #include "service/session_manager.hpp"
 
+#include "telemetry/registry.hpp"
+#include "telemetry/span_tracer.hpp"
 #include "util/rng.hpp"
 
 namespace aegis::service {
@@ -15,6 +17,10 @@ enum SeedStream : std::uint64_t {
   kVisitStream = 3,
   kObfuscatorStream = 4,
 };
+
+// Virtual-clock scale for injection-window spans: one monitoring slice
+// renders as 1 µs in trace viewers. Purely presentational.
+constexpr std::uint64_t kSliceNs = 1000;
 
 }  // namespace
 
@@ -38,7 +44,8 @@ ProtectionTemplate make_protection_template(
 
 SessionResult run_protected_session(const ProtectionTemplate& tpl,
                                     const SessionRequest& request,
-                                    std::size_t granularity) {
+                                    std::size_t granularity,
+                                    telemetry::Registry* telemetry) {
   SessionResult result;
   result.tenant_id = request.tenant_id;
   result.granularity = granularity;
@@ -48,8 +55,25 @@ SessionResult run_protected_session(const ProtectionTemplate& tpl,
   obf::EventObfuscator obfuscator(tpl.engine->database(),
                                   tpl.engine->specification(),
                                   tpl.analysis->cover, config);
-  const sim::SliceAgent agent =
-      obf::coarsen_agent(obfuscator.session(), granularity);
+  sim::SliceAgent agent = obf::coarsen_agent(obfuscator.session(), granularity);
+  if (telemetry != nullptr) {
+    // Injection-window spans, stamped from the session's virtual clock (the
+    // slice index) rather than the TimeSource: each noise-refresh fire
+    // covers the granularity-wide window it protects. The wrapper draws no
+    // randomness, so traces stay bit-identical with telemetry attached.
+    telemetry::SpanTracer* tracer = &telemetry->spans();
+    const std::uint64_t tenant = request.tenant_id;
+    const std::size_t window = granularity == 0 ? 1 : granularity;
+    agent = [inner = std::move(agent), tracer, tenant,
+             window](sim::VirtualMachine& vm, std::size_t t) {
+      if (t % window == 0) {
+        tracer->record_complete("inject.window", "obf", t * kSliceNs,
+                                (t + window) * kSliceNs,
+                                static_cast<std::uint32_t>(tenant), tenant);
+      }
+      inner(vm, t);
+    };
+  }
 
   sim::VirtualMachine vm(tpl.vm, util::split_mix64(request.seed, kVmStream));
   sim::HostMonitor monitor(tpl.engine->database(),
@@ -62,8 +86,22 @@ SessionResult run_protected_session(const ProtectionTemplate& tpl,
 }
 
 SessionManager::SessionManager(std::size_t num_threads,
-                               BudgetGovernor& governor)
-    : pool_(num_threads), governor_(&governor) {}
+                               BudgetGovernor& governor,
+                               telemetry::Registry* telemetry)
+    : pool_(num_threads),
+      governor_(&governor),
+      owned_telemetry_(telemetry == nullptr
+                           ? std::make_unique<telemetry::Registry>()
+                           : nullptr),
+      telemetry_(telemetry != nullptr ? telemetry : owned_telemetry_.get()),
+      started_(telemetry_->metrics().counter("aegis_sessions_started_total")),
+      completed_(
+          telemetry_->metrics().counter("aegis_sessions_completed_total")),
+      refused_(telemetry_->metrics().counter("aegis_sessions_refused_total")),
+      degraded_(telemetry_->metrics().counter("aegis_sessions_degraded_total")),
+      active_(telemetry_->metrics().gauge("aegis_sessions_active")) {}
+
+SessionManager::~SessionManager() = default;
 
 std::vector<SessionResult> SessionManager::run_fleet(
     const ProtectionTemplate& tpl,
@@ -73,19 +111,23 @@ std::vector<SessionResult> SessionManager::run_fleet(
   // Phase 1 — admission, serial and in submission order: governor state is
   // shared per tenant, so decision order must not depend on scheduling.
   std::vector<std::size_t> granted(requests.size(), 0);
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    const SessionRequest& request = requests[i];
-    const AdmissionDecision decision = governor_->request_window(
-        request.tenant_id, request.slices, request.per_slice_epsilon);
-    results[i].tenant_id = request.tenant_id;
-    results[i].outcome = decision.outcome;
-    results[i].granularity = decision.granularity;
-    results[i].epsilon_after = decision.epsilon_after;
-    if (decision.outcome == Admission::kRefuse) {
-      ++refused_;
-    } else {
-      granted[i] = decision.granularity;
-      if (decision.outcome == Admission::kDegrade) ++degraded_;
+  {
+    telemetry::ScopedSpan admission(telemetry_->spans(), "fleet.admission",
+                                    "service", 0, requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const SessionRequest& request = requests[i];
+      const AdmissionDecision decision = governor_->request_window(
+          request.tenant_id, request.slices, request.per_slice_epsilon);
+      results[i].tenant_id = request.tenant_id;
+      results[i].outcome = decision.outcome;
+      results[i].granularity = decision.granularity;
+      results[i].epsilon_after = decision.epsilon_after;
+      if (decision.outcome == Admission::kRefuse) {
+        refused_.inc();
+      } else {
+        granted[i] = decision.granularity;
+        if (decision.outcome == Admission::kDegrade) degraded_.inc();
+      }
     }
   }
 
@@ -94,15 +136,18 @@ std::vector<SessionResult> SessionManager::run_fleet(
   // so results are bit-identical at every worker count.
   pool_.parallel_for(requests.size(), [&](std::size_t i) {
     if (granted[i] == 0) return;  // refused
-    ++started_;
-    ++active_;
+    started_.inc();
+    active_.add(1.0);
+    telemetry::ScopedSpan span(telemetry_->spans(), "fleet.session", "service",
+                               static_cast<std::uint32_t>(i),
+                               requests[i].tenant_id);
     const Admission outcome = results[i].outcome;
     const double epsilon_after = results[i].epsilon_after;
-    results[i] = run_protected_session(tpl, requests[i], granted[i]);
+    results[i] = run_protected_session(tpl, requests[i], granted[i], telemetry_);
     results[i].outcome = outcome;
     results[i].epsilon_after = epsilon_after;
-    --active_;
-    ++completed_;
+    active_.add(-1.0);
+    completed_.inc();
   });
   return results;
 }

@@ -17,13 +17,17 @@
 // make outcomes depend on scheduling.
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "core/aegis.hpp"
 #include "service/budget_governor.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/thread_pool.hpp"
+
+namespace aegis::telemetry {
+class Registry;
+}
 
 namespace aegis::service {
 
@@ -72,15 +76,23 @@ struct SessionResult {
 
 /// Standalone reference run of ONE session at a fixed granularity — the
 /// exact computation a fleet session performs, with no fleet state at all.
-/// The fleet-determinism tests compare against this.
+/// The fleet-determinism tests compare against this. When `telemetry` is
+/// non-null, each noise-refresh window (every `granularity`-th slice) is
+/// recorded as an "inject.window" span stamped from the session's VIRTUAL
+/// clock (slice index), so traces are deterministic and identical at any
+/// thread count; results are bit-identical with or without telemetry.
 SessionResult run_protected_session(const ProtectionTemplate& tpl,
                                     const SessionRequest& request,
-                                    std::size_t granularity = 1);
+                                    std::size_t granularity = 1,
+                                    telemetry::Registry* telemetry = nullptr);
 
 class SessionManager {
  public:
   /// num_threads: session-pool workers (0 = hardware concurrency).
-  SessionManager(std::size_t num_threads, BudgetGovernor& governor);
+  /// `telemetry` null = a private registry (per-instance counters).
+  SessionManager(std::size_t num_threads, BudgetGovernor& governor,
+                 telemetry::Registry* telemetry = nullptr);
+  ~SessionManager();
 
   /// Admits (in request order) and runs one fleet batch concurrently.
   /// results[i] corresponds to requests[i]; refused sessions carry an
@@ -89,23 +101,31 @@ class SessionManager {
       const ProtectionTemplate& tpl,
       const std::vector<SessionRequest>& requests);
 
-  std::size_t started() const noexcept { return started_; }
-  std::size_t completed() const noexcept { return completed_; }
-  std::size_t refused() const noexcept { return refused_; }
-  std::size_t degraded() const noexcept { return degraded_; }
+  std::size_t started() const noexcept { return started_.value(); }
+  std::size_t completed() const noexcept { return completed_.value(); }
+  std::size_t refused() const noexcept { return refused_.value(); }
+  std::size_t degraded() const noexcept { return degraded_.value(); }
   /// Sessions currently executing on the pool (an instantaneous gauge).
-  std::size_t active() const noexcept { return active_; }
+  std::size_t active() const noexcept {
+    return static_cast<std::size_t>(active_.value());
+  }
 
   std::size_t num_threads() const noexcept { return pool_.size(); }
+
+  telemetry::Registry& telemetry() const noexcept { return *telemetry_; }
 
  private:
   util::ThreadPool pool_;
   BudgetGovernor* governor_;
-  std::atomic<std::size_t> started_{0};
-  std::atomic<std::size_t> completed_{0};
-  std::atomic<std::size_t> refused_{0};
-  std::atomic<std::size_t> degraded_{0};
-  std::atomic<std::size_t> active_{0};
+  std::unique_ptr<telemetry::Registry> owned_telemetry_;
+  telemetry::Registry* telemetry_;
+  // Counters live in the registry; these handles are the only mutable
+  // session-manager state (lock-free, shared-safe).
+  telemetry::Counter started_;
+  telemetry::Counter completed_;
+  telemetry::Counter refused_;
+  telemetry::Counter degraded_;
+  telemetry::Gauge active_;
 };
 
 }  // namespace aegis::service

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "telemetry/registry.hpp"
 #include "util/hash.hpp"
 
 namespace aegis::service {
@@ -73,7 +74,22 @@ TemplateKey make_template_key(isa::CpuModel cpu,
 }
 
 TemplateCache::TemplateCache(TemplateCacheConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)),
+      owned_telemetry_(config_.telemetry == nullptr
+                           ? std::make_unique<telemetry::Registry>()
+                           : nullptr),
+      telemetry_(config_.telemetry != nullptr ? config_.telemetry
+                                              : owned_telemetry_.get()),
+      lookups_(telemetry_->metrics().counter("aegis_cache_lookups_total")),
+      hits_(telemetry_->metrics().counter("aegis_cache_hits_total")),
+      misses_(telemetry_->metrics().counter("aegis_cache_misses_total")),
+      warm_starts_(
+          telemetry_->metrics().counter("aegis_cache_warm_starts_total")),
+      failed_loads_(
+          telemetry_->metrics().counter("aegis_cache_failed_loads_total")),
+      analyses_(telemetry_->metrics().counter("aegis_cache_analyses_total")) {}
+
+TemplateCache::~TemplateCache() = default;
 
 std::string TemplateCache::disk_path(const TemplateKey& key) const {
   if (config_.cache_dir.empty()) return {};
@@ -90,19 +106,22 @@ std::shared_ptr<const core::OfflineResult> TemplateCache::get_or_analyze(
     const AnalyzeFn& analyze) {
   std::shared_ptr<Entry> entry;
   bool leader = false;
+  lookups_.inc();
   {
     std::lock_guard lock(mu_);
-    ++stats_.lookups;
     auto it = entries_.find(key);
     if (it == entries_.end()) {
       entry = std::make_shared<Entry>();
       entries_.emplace(key, entry);
       leader = true;
-      ++stats_.misses;
     } else {
       entry = it->second;
-      ++stats_.hits;
     }
+  }
+  if (leader) {
+    misses_.inc();
+  } else {
+    hits_.inc();
   }
 
   if (!leader) {
@@ -120,21 +139,26 @@ std::shared_ptr<const core::OfflineResult> TemplateCache::get_or_analyze(
   // on OTHER keys are never serialized behind this analysis.
   std::shared_ptr<const core::OfflineResult> result;
   std::string error;
-  bool warm = false;
   const std::string path = disk_path(key);
   if (!path.empty()) {
     std::ifstream is(path);
     if (is) {
+      // A persisted file exists: this miss resolves against the disk store.
+      warm_starts_.inc();
       try {
         result = std::make_shared<const core::OfflineResult>(
             core::load_offline_result(is, db));
-        warm = true;
       } catch (const std::exception&) {
         result.reset();  // stale/corrupt file: fall through to analysis
+        failed_loads_.inc();
       }
     }
   }
   if (!result) {
+    // Counted even when analyze() throws: the pipeline ran, the entry just
+    // gets evicted below. Keeps `analyses_run == misses - warm_starts +
+    // failed_loads` exact in every case.
+    analyses_.inc();
     try {
       result = std::make_shared<const core::OfflineResult>(analyze());
     } catch (const std::exception& e) {
@@ -150,18 +174,10 @@ std::shared_ptr<const core::OfflineResult> TemplateCache::get_or_analyze(
     }
   }
 
-  {
+  if (!result) {
+    // Evict the failed entry so the next caller retries the analysis.
     std::lock_guard lock(mu_);
-    if (result) {
-      if (warm) {
-        ++stats_.warm_starts;
-      } else {
-        ++stats_.analyses_run;
-      }
-    } else {
-      // Evict the failed entry so the next caller retries the analysis.
-      entries_.erase(key);
-    }
+    entries_.erase(key);
   }
   {
     std::lock_guard lock(entry->mu);
@@ -178,8 +194,14 @@ std::shared_ptr<const core::OfflineResult> TemplateCache::get_or_analyze(
 }
 
 TemplateCacheStats TemplateCache::stats() const {
-  std::lock_guard lock(mu_);
-  return stats_;
+  TemplateCacheStats s;
+  s.lookups = lookups_.value();
+  s.hits = hits_.value();
+  s.misses = misses_.value();
+  s.warm_starts = warm_starts_.value();
+  s.failed_loads = failed_loads_.value();
+  s.analyses_run = analyses_.value();
+  return s;
 }
 
 std::size_t TemplateCache::size() const {

@@ -24,7 +24,12 @@
 
 #include "core/serialize.hpp"
 #include "service/service_stats.hpp"
+#include "telemetry/metrics.hpp"
 #include "workload/workload.hpp"
+
+namespace aegis::telemetry {
+class Registry;
+}
 
 namespace aegis::service {
 
@@ -61,6 +66,10 @@ struct TemplateCacheConfig {
   /// directory must already exist; files are named tpl-<vendor>-<family>-
   /// <workload-fp>-<config-hash>.aegis.
   std::string cache_dir;
+  /// Metric sink. Null = the cache creates a PRIVATE registry so stats()
+  /// stays per-instance exact; inject one to aggregate across components.
+  /// Observational only — never part of hash_offline_config.
+  telemetry::Registry* telemetry = nullptr;
 };
 
 class TemplateCache {
@@ -68,6 +77,7 @@ class TemplateCache {
   using AnalyzeFn = std::function<core::OfflineResult()>;
 
   explicit TemplateCache(TemplateCacheConfig config = {});
+  ~TemplateCache();
 
   /// Returns the template for `key`, running `analyze` at most once per
   /// key across all concurrent callers (single-flight). Resolution order
@@ -82,7 +92,13 @@ class TemplateCache {
   /// Path the given key persists to ("" when the cache is memory-only).
   std::string disk_path(const TemplateKey& key) const;
 
+  /// Derived view over the registry counters (see TemplateCacheStats docs
+  /// for the exact invariants).
   TemplateCacheStats stats() const;
+
+  /// Registry receiving this cache's counters (the injected one, or the
+  /// internally owned fallback).
+  telemetry::Registry& telemetry() const noexcept { return *telemetry_; }
 
   /// Cached entries currently resident in memory.
   std::size_t size() const;
@@ -99,11 +115,19 @@ class TemplateCache {
   };
 
   TemplateCacheConfig config_;
+  std::unique_ptr<telemetry::Registry> owned_telemetry_;
+  telemetry::Registry* telemetry_;
+  // Handles resolved once at construction; stats() reads them back.
+  telemetry::Counter lookups_;
+  telemetry::Counter hits_;
+  telemetry::Counter misses_;
+  telemetry::Counter warm_starts_;
+  telemetry::Counter failed_loads_;
+  telemetry::Counter analyses_;
   // aegis-lint: lock-level(10, noblock)
-  mutable std::mutex mu_;  // guards entries_ + stats_
+  mutable std::mutex mu_;  // guards entries_
   std::unordered_map<TemplateKey, std::shared_ptr<Entry>, TemplateKeyHash>
       entries_;
-  TemplateCacheStats stats_;
 };
 
 }  // namespace aegis::service

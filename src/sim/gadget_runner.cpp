@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "sim/executor.hpp"
+#include "telemetry/registry.hpp"
 
 namespace aegis::sim {
 
@@ -47,7 +48,11 @@ const InstructionBlock kEpilog = make_epilog();
 
 GadgetRunner::GadgetRunner(const pmu::EventDatabase& db,
                            const isa::IsaSpecification& spec, std::uint64_t seed)
-    : spec_(&spec), rng_(seed), counters_(db, rng_.next_u64()) {
+    : spec_(&spec),
+      rng_(seed),
+      counters_(db, rng_.next_u64()),
+      executions_(telemetry::Registry::global().metrics().counter(
+          "aegis_gadget_executions_total")) {
   // isolcpus + core pinning: almost no external interference.
   config_.interrupt_rate = 0.002;
 }
@@ -79,6 +84,7 @@ const InstructionBlock& GadgetRunner::variant_block(std::uint32_t uid,
 // aegis-lint: noalloc
 std::span<const double> GadgetRunner::execute_once(
     std::span<const std::uint32_t> variant_uids, double unroll) {
+  executions_.inc();
   // Prolog runs before the first RDPMC.
   (void)execute_block(kProlog, uarch_);
 

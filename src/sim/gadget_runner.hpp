@@ -28,6 +28,7 @@
 #include "isa/spec.hpp"
 #include "pmu/counter_file.hpp"
 #include "sim/virtual_machine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace aegis::sim {
 
@@ -79,6 +80,9 @@ class GadgetRunner {
   std::unordered_map<std::uint32_t, CachedBlock> block_cache_;
   std::array<double, pmu::EventDatabase::kNumCounters> before_{};
   std::array<double, pmu::EventDatabase::kNumCounters> delta_{};
+  /// Resolved once at construction (telemetry-handle rule); incrementing in
+  /// execute_once stays allocation-free.
+  telemetry::Counter executions_;
 };
 
 }  // namespace aegis::sim

@@ -1,0 +1,37 @@
+#include "telemetry/budget_timeline.hpp"
+
+namespace aegis::telemetry {
+
+void BudgetTimeline::set_time_source(TimeSource* time_source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  time_ = time_source;
+}
+
+void BudgetTimeline::record(std::uint64_t tenant_id, std::string_view outcome,
+                            std::uint32_t granularity, std::uint64_t releases,
+                            double epsilon_after, double epsilon_cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BudgetEvent e;
+  e.seq = next_seq_++;
+  e.t_ns = time_ != nullptr ? time_->now_ns() : 0;
+  e.tenant_id = tenant_id;
+  e.outcome.assign(outcome);
+  e.granularity = granularity;
+  e.releases = releases;
+  e.epsilon_after = epsilon_after;
+  e.epsilon_cap = epsilon_cap;
+  events_.push_back(std::move(e));
+}
+
+std::vector<BudgetEvent> BudgetTimeline::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void BudgetTimeline::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace aegis::telemetry

@@ -1,0 +1,64 @@
+// Per-tenant ε-spend timeline.
+//
+// The BudgetGovernor's ServiceStats view answers "where is tenant T now";
+// this timeline answers "how did it get there": every admission decision
+// (admit / degrade / refuse) and budget reset is appended as an event
+// carrying the post-decision advanced-composition ε. Exporters turn it into
+// chrome://tracing counter tracks and a JSON series for aegis_top.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/time_source.hpp"
+
+namespace aegis::telemetry {
+
+struct BudgetEvent {
+  /// Process-order sequence number (stable tiebreak for equal timestamps).
+  std::uint64_t seq = 0;
+  std::uint64_t t_ns = 0;
+  std::uint64_t tenant_id = 0;
+  /// "admit" | "degrade" | "refuse" | "reset".
+  std::string outcome;
+  /// Granularity granted for this window (0 for refuse/reset).
+  std::uint32_t granularity = 0;
+  /// Releases charged by this decision (0 for refuse/reset).
+  std::uint64_t releases = 0;
+  /// Advanced-composition ε after the decision was applied.
+  double epsilon_after = 0.0;
+  double epsilon_cap = 0.0;
+};
+
+class BudgetTimeline {
+ public:
+  explicit BudgetTimeline(TimeSource* time_source) : time_(time_source) {}
+  BudgetTimeline(const BudgetTimeline&) = delete;
+  BudgetTimeline& operator=(const BudgetTimeline&) = delete;
+
+  void set_time_source(TimeSource* time_source);
+
+  /// Stamps seq + t_ns and appends. Allocates; callers hold no data-plane
+  /// lock below level 57 when recording (governor's level-15 lock is fine:
+  /// lock order is ascending).
+  void record(std::uint64_t tenant_id, std::string_view outcome,
+              std::uint32_t granularity, std::uint64_t releases,
+              double epsilon_after, double epsilon_cap);
+
+  /// Events in recording order (seq ascending).
+  std::vector<BudgetEvent> events() const;
+
+  void clear();
+
+ private:
+  // aegis-lint: lock-level(57, noblock)
+  mutable std::mutex mu_;
+  TimeSource* time_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<BudgetEvent> events_;
+};
+
+}  // namespace aegis::telemetry

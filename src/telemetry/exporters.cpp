@@ -1,0 +1,184 @@
+#include "telemetry/exporters.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace aegis::telemetry {
+
+namespace {
+
+/// Fixed-format double: enough digits to round-trip the values we emit while
+/// staying locale-independent and byte-stable across platforms.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return std::string(buf);
+}
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return std::string(buf);
+}
+
+/// Metric base name: the part before any {label} suffix.
+std::string_view base_name(std::string_view name) {
+  const auto brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+void type_line_once(std::string_view name, std::string_view type,
+                    std::set<std::string>& seen, std::ostream& os) {
+  const std::string base(base_name(name));
+  if (seen.insert(base).second) {
+    os << "# TYPE " << base << ' ' << type << '\n';
+  }
+}
+
+/// JSON string escape for the restricted names/outcomes we emit.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus(const MetricsSnapshot& snap, std::ostream& os) {
+  std::set<std::string> typed;
+  for (const auto& c : snap.counters) {
+    type_line_once(c.name, "counter", typed, os);
+    os << c.name << ' ' << fmt_u64(c.value) << '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    type_line_once(g.name, "gauge", typed, os);
+    os << g.name << ' ' << fmt_double(g.value) << '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    type_line_once(h.name, "histogram", typed, os);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      os << base_name(h.name) << "_bucket{le=\"" << fmt_double(h.bounds[i])
+         << "\"} " << fmt_u64(cumulative) << '\n';
+    }
+    os << base_name(h.name) << "_bucket{le=\"+Inf\"} " << fmt_u64(h.count)
+       << '\n';
+    os << base_name(h.name) << "_sum " << fmt_double(h.sum) << '\n';
+    os << base_name(h.name) << "_count " << fmt_u64(h.count) << '\n';
+  }
+}
+
+void write_json_snapshot(const Registry& reg, std::ostream& os) {
+  const MetricsSnapshot snap = reg.metrics().snapshot();
+  const std::vector<BudgetEvent> events = reg.budget().events();
+
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \""
+       << json_escape(snap.counters[i].name)
+       << "\": " << fmt_u64(snap.counters[i].value);
+  }
+  os << (snap.counters.empty() ? "},\n" : "\n  },\n");
+
+  os << "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \""
+       << json_escape(snap.gauges[i].name)
+       << "\": " << fmt_double(snap.gauges[i].value);
+  }
+  os << (snap.gauges.empty() ? "},\n" : "\n  },\n");
+
+  os << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(h.name)
+       << "\": {\"bounds\": [";
+    for (std::size_t j = 0; j < h.bounds.size(); ++j) {
+      os << (j == 0 ? "" : ", ") << fmt_double(h.bounds[j]);
+    }
+    os << "], \"buckets\": [";
+    for (std::size_t j = 0; j < h.buckets.size(); ++j) {
+      os << (j == 0 ? "" : ", ") << fmt_u64(h.buckets[j]);
+    }
+    os << "], \"count\": " << fmt_u64(h.count)
+       << ", \"sum\": " << fmt_double(h.sum) << '}';
+  }
+  os << (snap.histograms.empty() ? "},\n" : "\n  },\n");
+
+  os << "  \"budget_timeline\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"seq\": " << fmt_u64(e.seq)
+       << ", \"t_ns\": " << fmt_u64(e.t_ns)
+       << ", \"tenant\": " << fmt_u64(e.tenant_id) << ", \"outcome\": \""
+       << json_escape(e.outcome) << "\", \"granularity\": " << e.granularity
+       << ", \"releases\": " << fmt_u64(e.releases)
+       << ", \"epsilon_after\": " << fmt_double(e.epsilon_after)
+       << ", \"epsilon_cap\": " << fmt_double(e.epsilon_cap) << '}';
+  }
+  os << (events.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+}
+
+void write_trace_json(const Registry& reg, std::ostream& os) {
+  const std::vector<Span> spans = reg.spans().completed();
+  const std::vector<BudgetEvent> events = reg.budget().events();
+
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& s : spans) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    // trace_event ts/dur are microseconds (doubles, so sub-µs survives).
+    os << "  {\"name\": \"" << json_escape(s.name) << "\", \"cat\": \""
+       << json_escape(s.category) << "\", \"ph\": \"X\", \"ts\": "
+       << fmt_double(static_cast<double>(s.begin_ns) / 1000.0)
+       << ", \"dur\": "
+       << fmt_double(static_cast<double>(s.end_ns - s.begin_ns) / 1000.0)
+       << ", \"pid\": 1, \"tid\": " << s.track << ", \"args\": {\"id\": "
+       << fmt_u64(s.id) << ", \"parent\": " << fmt_u64(s.parent)
+       << ", \"arg\": " << fmt_u64(s.arg) << "}}";
+  }
+  for (const auto& e : events) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "  {\"name\": \"epsilon tenant " << fmt_u64(e.tenant_id)
+       << "\", \"cat\": \"budget\", \"ph\": \"C\", \"ts\": "
+       << fmt_double(static_cast<double>(e.t_ns) / 1000.0)
+       << ", \"pid\": 1, \"tid\": 0, \"args\": {\"epsilon\": "
+       << fmt_double(e.epsilon_after) << ", \"remaining\": "
+       << fmt_double(e.epsilon_cap - e.epsilon_after) << "}}";
+  }
+  os << (first ? "]" : "\n]") << ", \"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace aegis::telemetry

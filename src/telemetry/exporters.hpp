@@ -1,0 +1,34 @@
+// Exporters: Prometheus text exposition, JSON snapshot (aegis_top input),
+// and chrome://tracing trace_event JSON.
+//
+// All three are deterministic given deterministic inputs: metrics iterate in
+// name order, spans in (begin_ns, id) order, budget events in seq order, and
+// doubles print via a fixed %.10g format — the exporter golden tests pin the
+// bytes.
+#pragma once
+
+#include <ostream>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/registry.hpp"
+
+namespace aegis::telemetry {
+
+/// Prometheus text format. Counters print as integers, gauges as %.10g;
+/// histograms expand to cumulative `_bucket{le="..."}` rows plus `_sum` and
+/// `_count`. A `# TYPE` line is emitted once per metric base name (the part
+/// before any `{label}` suffix).
+void write_prometheus(const MetricsSnapshot& snap, std::ostream& os);
+
+/// One JSON object: {"counters": {...}, "gauges": {...},
+/// "histograms": {...}, "budget_timeline": [...]}. This is the wire format
+/// tools/aegis_top consumes.
+void write_json_snapshot(const Registry& reg, std::ostream& os);
+
+/// chrome://tracing / Perfetto trace_event JSON: each completed span becomes
+/// a `"ph":"X"` complete event (ts/dur in microseconds, pid 1, tid = track),
+/// and each budget event becomes a `"ph":"C"` counter sample on an
+/// "epsilon tenant N" track so ε burn-down renders as a stacked area chart.
+void write_trace_json(const Registry& reg, std::ostream& os);
+
+}  // namespace aegis::telemetry

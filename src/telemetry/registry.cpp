@@ -1,0 +1,25 @@
+#include "telemetry/registry.hpp"
+
+namespace aegis::telemetry {
+
+Registry::Registry()
+    : owned_time_(std::make_unique<TickTimeSource>()),
+      time_(owned_time_.get()),
+      spans_(time_),
+      budget_(time_) {}
+
+Registry::Registry(TimeSource* time_source)
+    : time_(time_source), spans_(time_), budget_(time_) {}
+
+void Registry::set_time_source(TimeSource* time_source) {
+  time_ = time_source;
+  spans_.set_time_source(time_source);
+  budget_.set_time_source(time_source);
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace aegis::telemetry

@@ -1,0 +1,60 @@
+// Telemetry hub: one MetricsRegistry + SpanTracer + BudgetTimeline sharing a
+// TimeSource.
+//
+// Ownership model:
+//   * Library hot paths (GadgetRunner, CounterRegisterFile, NoiseInjector,
+//     measure_path) record into Registry::global() — a process-wide instance
+//     with the deterministic TickTimeSource — so instrumentation works with
+//     zero plumbing and zero behavioral effect.
+//   * Service-layer objects accept an optional Registry* via their configs.
+//     When null they create a PRIVATE registry, keeping per-instance stats
+//     exact (tests construct several caches/services in one process).
+//     Benches/daemons inject one shared Registry to get a unified trace.
+#pragma once
+
+#include <memory>
+
+#include "telemetry/budget_timeline.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span_tracer.hpp"
+#include "telemetry/time_source.hpp"
+
+namespace aegis::telemetry {
+
+class Registry {
+ public:
+  /// Uses an internally owned deterministic TickTimeSource.
+  Registry();
+  /// Uses the caller's TimeSource (not owned; must outlive the registry).
+  explicit Registry(TimeSource* time_source);
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  SpanTracer& spans() noexcept { return spans_; }
+  const SpanTracer& spans() const noexcept { return spans_; }
+  BudgetTimeline& budget() noexcept { return budget_; }
+  const BudgetTimeline& budget() const noexcept { return budget_; }
+  TimeSource& time_source() noexcept { return *time_; }
+
+  /// Rewires tracer + timeline to a new source (not owned).
+  void set_time_source(TimeSource* time_source);
+
+  /// Process-wide registry used by components with no injection point.
+  static Registry& global();
+
+ private:
+  std::unique_ptr<TimeSource> owned_time_;
+  TimeSource* time_;
+  MetricsRegistry metrics_;
+  SpanTracer spans_;
+  BudgetTimeline budget_;
+};
+
+/// `reg ? *reg : Registry::global()` — the idiom for optional config plumbing.
+inline Registry& resolve(Registry* reg) {
+  return reg != nullptr ? *reg : Registry::global();
+}
+
+}  // namespace aegis::telemetry

@@ -1,0 +1,100 @@
+#include "telemetry/span_tracer.hpp"
+
+#include <algorithm>
+
+namespace aegis::telemetry {
+
+namespace {
+
+/// Innermost open ScopedSpan per thread, for parent inference.
+thread_local std::vector<std::uint64_t> t_span_stack;
+
+}  // namespace
+
+void SpanTracer::set_time_source(TimeSource* time_source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  time_ = time_source;
+}
+
+std::uint64_t SpanTracer::begin(std::string_view name,
+                                std::string_view category, std::uint32_t track,
+                                std::uint64_t arg, std::uint64_t parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Span s;
+  s.id = next_id_++;
+  s.parent = parent;
+  s.name.assign(name);
+  s.category.assign(category);
+  s.begin_ns = time_ != nullptr ? time_->now_ns() : 0;
+  s.track = track;
+  s.arg = arg;
+  const std::uint64_t id = s.id;
+  open_.emplace(id, std::move(s));
+  return id;
+}
+
+void SpanTracer::end(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  it->second.end_ns = time_ != nullptr ? time_->now_ns() : 0;
+  if (it->second.end_ns < it->second.begin_ns) {
+    it->second.end_ns = it->second.begin_ns;
+  }
+  completed_.push_back(std::move(it->second));
+  open_.erase(it);
+}
+
+void SpanTracer::record_complete(std::string_view name,
+                                 std::string_view category,
+                                 std::uint64_t begin_ns, std::uint64_t end_ns,
+                                 std::uint32_t track, std::uint64_t arg,
+                                 std::uint64_t parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Span s;
+  s.id = next_id_++;
+  s.parent = parent;
+  s.name.assign(name);
+  s.category.assign(category);
+  s.begin_ns = begin_ns;
+  s.end_ns = end_ns < begin_ns ? begin_ns : end_ns;
+  s.track = track;
+  s.arg = arg;
+  completed_.push_back(std::move(s));
+}
+
+std::vector<Span> SpanTracer::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> out = completed_;
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    if (a.begin_ns != b.begin_ns) return a.begin_ns < b.begin_ns;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+void SpanTracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_.clear();
+  completed_.clear();
+  next_id_ = 1;
+}
+
+ScopedSpan::ScopedSpan(SpanTracer& tracer, std::string_view name,
+                       std::string_view category, std::uint32_t track,
+                       std::uint64_t arg)
+    : tracer_(&tracer) {
+  const std::uint64_t parent =
+      t_span_stack.empty() ? 0 : t_span_stack.back();
+  id_ = tracer_->begin(name, category, track, arg, parent);
+  t_span_stack.push_back(id_);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!t_span_stack.empty() && t_span_stack.back() == id_) {
+    t_span_stack.pop_back();
+  }
+  tracer_->end(id_);
+}
+
+}  // namespace aegis::telemetry

@@ -1,0 +1,94 @@
+// Span-based phase tracer.
+//
+// A span is a named interval with a parent link, a track (rendered as a
+// thread row in chrome://tracing) and one free-form integer argument.
+// Timestamps come from the attached TimeSource, so traces are deterministic
+// under TickTimeSource/ManualTimeSource and real-time under WallTimeSource.
+//
+// Recording takes a short mutex (level 55, above every data-plane lock) and
+// appends to a vector — fine for phase-granularity events (campaign stages,
+// per-shard work items, admission windows), NOT for per-gadget-execution
+// granularity; that is what counters are for.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/time_source.hpp"
+
+namespace aegis::telemetry {
+
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = no parent
+  std::string name;
+  std::string category;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  /// Rendered as the "thread" row in trace viewers; shard/worker index.
+  std::uint32_t track = 0;
+  /// One free-form argument (tenant id, batch size, shard count, ...).
+  std::uint64_t arg = 0;
+};
+
+class SpanTracer {
+ public:
+  explicit SpanTracer(TimeSource* time_source) : time_(time_source) {}
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  void set_time_source(TimeSource* time_source);
+
+  /// Opens a span stamped with the current time; returns its id (never 0).
+  std::uint64_t begin(std::string_view name, std::string_view category,
+                      std::uint32_t track = 0, std::uint64_t arg = 0,
+                      std::uint64_t parent = 0);
+
+  /// Closes an open span; unknown ids are ignored.
+  void end(std::uint64_t id);
+
+  /// Records an already-timed interval (e.g. stamped from the simulator's
+  /// virtual clock) without consulting the TimeSource.
+  void record_complete(std::string_view name, std::string_view category,
+                       std::uint64_t begin_ns, std::uint64_t end_ns,
+                       std::uint32_t track = 0, std::uint64_t arg = 0,
+                       std::uint64_t parent = 0);
+
+  /// Completed spans sorted by (begin_ns, id) — deterministic given a
+  /// deterministic TimeSource.
+  std::vector<Span> completed() const;
+
+  void clear();
+
+ private:
+  // aegis-lint: lock-level(55, noblock)
+  mutable std::mutex mu_;
+  TimeSource* time_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Span> open_;
+  std::vector<Span> completed_;
+};
+
+/// RAII span with automatic parent inference: nested ScopedSpans on the same
+/// thread link to the innermost enclosing one via a thread-local stack.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanTracer& tracer, std::string_view name,
+             std::string_view category, std::uint32_t track = 0,
+             std::uint64_t arg = 0);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  SpanTracer* tracer_;
+  std::uint64_t id_;
+};
+
+}  // namespace aegis::telemetry

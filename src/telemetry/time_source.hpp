@@ -1,0 +1,99 @@
+// Injectable clocks for the telemetry plane.
+//
+// Aegis bans wall-clock reads outside reporting-only sites (aegis-lint
+// banned-clock): results must be a pure function of config seeds. Telemetry
+// timestamps therefore flow through a TimeSource the embedder picks:
+//   * TickTimeSource   — default. A monotonic atomic tick per read; spans
+//     get deterministic ordinal timestamps with no wall-clock dependency.
+//   * ManualTimeSource — test clock, advanced explicitly; exporter golden
+//     tests pin byte-stable output with it.
+//   * CallbackTimeSource — adapts an external monotonic counter, e.g. the
+//     simulator's virtual clock (vm.slices_run() * slice_ns) without a
+//     telemetry -> sim dependency.
+//   * WallTimeSource   — steady_clock for benches and the service daemon,
+//     where trace durations should mean real time. Reporting-only by
+//     construction: nothing downstream of telemetry feeds results.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace aegis::telemetry {
+
+class TimeSource {
+ public:
+  virtual ~TimeSource() = default;
+  /// Monotonic (per source) timestamp in nanoseconds.
+  virtual std::uint64_t now_ns() noexcept = 0;
+};
+
+/// Deterministic default: each read advances a process-lifetime tick. The
+/// quantum keeps distinct reads visibly apart in trace viewers.
+class TickTimeSource final : public TimeSource {
+ public:
+  explicit TickTimeSource(std::uint64_t quantum_ns = 1000) noexcept
+      : quantum_ns_(quantum_ns) {}
+  std::uint64_t now_ns() noexcept override {
+    return ticks_.fetch_add(1, std::memory_order_relaxed) * quantum_ns_;
+  }
+
+ private:
+  std::atomic<std::uint64_t> ticks_{0};
+  std::uint64_t quantum_ns_;
+};
+
+/// Test clock: time moves only when the test says so.
+class ManualTimeSource final : public TimeSource {
+ public:
+  std::uint64_t now_ns() noexcept override {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+  void set_ns(std::uint64_t t) noexcept {
+    now_ns_.store(t, std::memory_order_relaxed);
+  }
+  void advance_ns(std::uint64_t dt) noexcept {
+    now_ns_.fetch_add(dt, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_ns_{0};
+};
+
+/// Adapter over an external monotonic counter (e.g. a VirtualMachine's
+/// virtual clock). The callback must be safe to call from any thread that
+/// records telemetry.
+class CallbackTimeSource final : public TimeSource {
+ public:
+  explicit CallbackTimeSource(std::function<std::uint64_t()> now_ns)
+      : now_ns_(std::move(now_ns)) {}
+  std::uint64_t now_ns() noexcept override {
+    return now_ns_ ? now_ns_() : 0;
+  }
+
+ private:
+  std::function<std::uint64_t()> now_ns_;
+};
+
+/// Wall clock for benches/daemons. Timestamps are relative to construction
+/// so traces start near zero.
+class WallTimeSource final : public TimeSource {
+ public:
+  WallTimeSource() noexcept
+      // aegis-lint: clock-ok(reporting-only: telemetry trace timestamps never feed results)
+      : epoch_(std::chrono::steady_clock::now()) {}
+  std::uint64_t now_ns() noexcept override {
+    // aegis-lint: clock-ok(reporting-only: telemetry trace timestamps never feed results)
+    const auto now = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace aegis::telemetry

@@ -4,11 +4,13 @@
 #include <chrono>
 #include <deque>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 #include <vector>
 
 #include "attack/wfa.hpp"
 #include "service/protection_service.hpp"
+#include "telemetry/registry.hpp"
 #include "util/rng.hpp"
 
 namespace aegis::service {
@@ -180,6 +182,69 @@ TEST(TemplateCacheTest, WarmStartsFromDiskWithoutReanalysis) {
   EXPECT_EQ(stats.analyses_run, 0u);
 }
 
+TEST(TemplateCacheTest, CorruptDiskFileCountsFailedLoadAndReanalyzes) {
+  auto& f = fixture();
+  const std::string dir = fresh_dir("corrupt");
+  const TemplateKey key =
+      make_template_key(f.aegis.cpu(), *f.secrets[0], f.config);
+
+  {
+    TemplateCache writer({dir});
+    (void)writer.get_or_analyze(key, f.aegis.database(),
+                                [&] { return *f.analysis; });
+    // Truncate the persisted template: the next instance finds the file,
+    // attempts the load, fails, and falls back to a fresh analysis.
+    std::ofstream corrupt(writer.disk_path(key), std::ios::trunc);
+    corrupt << "not a template";
+  }
+
+  TemplateCache cold({dir});
+  const auto result = cold.get_or_analyze(key, f.aegis.database(),
+                                          [&] { return *f.analysis; });
+  EXPECT_EQ(result->cover.gadgets, f.analysis->cover.gadgets);
+  const TemplateCacheStats stats = cold.stats();
+  EXPECT_EQ(stats.lookups, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.warm_starts, 1u);   // the load was attempted...
+  EXPECT_EQ(stats.failed_loads, 1u);  // ...and failed
+  EXPECT_EQ(stats.analyses_run, 1u);
+  // The documented identity, exactly:
+  EXPECT_EQ(stats.analyses_run,
+            stats.misses - stats.warm_starts + stats.failed_loads);
+}
+
+TEST(TemplateCacheTest, StatsIdentityHoldsAcrossColdWarmAndFailedPaths) {
+  auto& f = fixture();
+  const std::string dir = fresh_dir("identity");
+  const TemplateKey key =
+      make_template_key(f.aegis.cpu(), *f.secrets[0], f.config);
+
+  TemplateCache cache({dir});
+  (void)cache.get_or_analyze(key, f.aegis.database(),
+                             [&] { return *f.analysis; });  // cold miss
+  (void)cache.get_or_analyze(key, f.aegis.database(),
+                             [&] { return *f.analysis; });  // hit
+  // A second key whose analysis throws: still a miss + an analysis run.
+  core::OfflineConfig other = f.config;
+  other.fuzz_top_events += 1;
+  const TemplateKey key2 = make_template_key(f.aegis.cpu(), *f.secrets[0], other);
+  EXPECT_THROW((void)cache.get_or_analyze(
+                   key2, f.aegis.database(),
+                   []() -> core::OfflineResult {
+                     throw std::runtime_error("injected failure");
+                   }),
+               std::runtime_error);
+
+  const TemplateCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.warm_starts, 0u);
+  EXPECT_EQ(stats.failed_loads, 0u);
+  EXPECT_EQ(stats.analyses_run, 2u);  // thrown analyses count: they ran
+  EXPECT_EQ(stats.analyses_run,
+            stats.misses - stats.warm_starts + stats.failed_loads);
+}
+
 TEST(TemplateCacheTest, FailedAnalysisPropagatesAndAllowsRetry) {
   auto& f = fixture();
   TemplateCache cache;
@@ -234,6 +299,71 @@ TEST(SessionFleet, SixteenTenantsBitIdenticalToStandaloneAcrossThreadCounts) {
     EXPECT_EQ(manager.completed(), kTenants);
     EXPECT_EQ(manager.refused(), 0u);
   }
+}
+
+TEST(SessionFleet, TelemetryAttachmentDoesNotPerturbResults) {
+  auto& f = fixture();
+  const SessionRequest req = f.request(3);
+
+  const SessionResult bare = run_protected_session(f.tpl, req, 2, nullptr);
+  telemetry::Registry registry;
+  const SessionResult traced = run_protected_session(f.tpl, req, 2, &registry);
+
+  // Bit-identical results: telemetry draws no randomness and no sim state.
+  ASSERT_EQ(traced.trace.samples, bare.trace.samples);
+  EXPECT_EQ(traced.trace.busy_cycles, bare.trace.busy_cycles);
+  EXPECT_EQ(traced.injected_repetitions, bare.injected_repetitions);
+
+  // Every noise-refresh window was recorded from the VIRTUAL clock: one
+  // span per granularity-2 window, stamped in slice-index nanoseconds.
+  const auto spans = registry.spans().completed();
+  ASSERT_EQ(spans.size(), (req.slices + 1) / 2);
+  EXPECT_EQ(spans[0].name, "inject.window");
+  EXPECT_EQ(spans[0].begin_ns, 0u);
+  EXPECT_EQ(spans[0].end_ns, 2000u);  // 2 slices x 1000 ns/slice
+  EXPECT_EQ(spans[0].arg, req.tenant_id);
+}
+
+TEST(SessionFleet, SharedRegistryCollectsFleetCountersAndBudgetTimeline) {
+  auto& f = fixture();
+  constexpr std::size_t kTenants = 4;
+  std::vector<SessionRequest> requests;
+  for (std::size_t t = 0; t < kTenants; ++t) requests.push_back(f.request(t));
+
+  telemetry::Registry registry;
+  GovernorConfig gov_config;
+  gov_config.telemetry = &registry;
+  BudgetGovernor governor(gov_config);
+  SessionManager manager(2, governor, &registry);
+  (void)manager.run_fleet(f.tpl, requests);
+
+  const telemetry::MetricsSnapshot snap = registry.metrics().snapshot();
+  auto counter_value = [&](std::string_view name) -> std::uint64_t {
+    for (const auto& c : snap.counters) {
+      if (c.name == name) return c.value;
+    }
+    return 0;
+  };
+  EXPECT_EQ(counter_value("aegis_sessions_started_total"), kTenants);
+  EXPECT_EQ(counter_value("aegis_sessions_completed_total"), kTenants);
+
+  // One ε-timeline event per admission decision, in submission order.
+  const auto events = registry.budget().events();
+  ASSERT_EQ(events.size(), kTenants);
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    EXPECT_EQ(events[t].tenant_id, t);
+    EXPECT_EQ(events[t].outcome, "admit");
+    EXPECT_GT(events[t].epsilon_after, 0.0);
+  }
+
+  // The fleet phases traced: one admission span + one span per session.
+  std::size_t admission = 0, sessions = 0;
+  for (const auto& s : registry.spans().completed()) {
+    if (s.name == "fleet.admission") ++admission;
+    if (s.name == "fleet.session") ++sessions;
+  }
+  EXPECT_EQ(admission, 1u);
+  EXPECT_EQ(sessions, kTenants);
 }
 
 TEST(SessionFleet, TenantTraceIndependentOfFleetComposition) {

@@ -1,0 +1,408 @@
+// Telemetry subsystem tests: histogram bucket semantics, snapshot merge
+// determinism, byte-stable exporter golden files under a fixed TimeSource,
+// span parentage, the ε timeline, the JSON reader, and a threaded registry
+// stress intended for the TSan config of the CI matrix.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "telemetry/exporters.hpp"
+#include "telemetry/json_reader.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span_tracer.hpp"
+#include "telemetry/time_source.hpp"
+
+namespace aegis::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics
+
+TEST(Metrics, CounterHandleAccumulatesAcrossCopies) {
+  MetricsRegistry reg;
+  Counter a = reg.counter("c_total");
+  Counter b = reg.counter("c_total");  // idempotent: same cell
+  a.inc();
+  b.inc(4);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(b.value(), 5u);
+}
+
+TEST(Metrics, NullHandlesAreSafeNoOps) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.inc();
+  g.set(3.0);
+  g.add(1.0);
+  h.observe(2.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge g = reg.gauge("g");
+  g.set(2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(Metrics, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  MetricsRegistry reg;
+  const std::array<double, 3> bounds = {1.0, 10.0, 100.0};
+  Histogram h = reg.histogram("h", bounds);
+  // Prometheus `le` semantics: a value equal to a bound lands IN that
+  // bucket; strictly greater spills to the next.
+  h.observe(0.5);    // bucket 0 (le 1)
+  h.observe(1.0);    // bucket 0 (le 1) — boundary is inclusive
+  h.observe(1.0001); // bucket 1 (le 10)
+  h.observe(10.0);   // bucket 1
+  h.observe(100.0);  // bucket 2 (le 100)
+  h.observe(100.5);  // bucket 3 (+Inf overflow)
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSample& s = snap.histograms[0];
+  ASSERT_EQ(s.buckets.size(), 4u);  // bounds + overflow
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[1], 2u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.count, 6u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 1.0001 + 10.0 + 100.0 + 100.5);
+}
+
+TEST(Metrics, HistogramRejectsNonIncreasingBounds) {
+  MetricsRegistry reg;
+  const std::array<double, 3> bad = {1.0, 1.0, 2.0};
+  EXPECT_THROW(reg.histogram("bad", bad), std::invalid_argument);
+}
+
+TEST(Metrics, FirstHistogramBoundsWin) {
+  MetricsRegistry reg;
+  const std::array<double, 2> first = {1.0, 2.0};
+  const std::array<double, 1> second = {5.0};
+  reg.histogram("h", first);
+  Histogram again = reg.histogram("h", second);
+  again.observe(1.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].bounds, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Metrics, SnapshotIsSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("zz");
+  reg.counter("aa");
+  reg.counter("mm");
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "aa");
+  EXPECT_EQ(snap.counters[1].name, "mm");
+  EXPECT_EQ(snap.counters[2].name, "zz");
+}
+
+TEST(Metrics, MergeSumsCountersAndMatchingHistograms) {
+  MetricsRegistry ra, rb;
+  const std::array<double, 2> bounds = {1.0, 2.0};
+  ra.counter("shared").inc(3);
+  rb.counter("shared").inc(4);
+  ra.counter("only_a").inc(1);
+  rb.counter("only_b").inc(2);
+  ra.gauge("g").set(1.0);
+  rb.gauge("g").set(9.0);
+  ra.histogram("h", bounds).observe(0.5);
+  rb.histogram("h", bounds).observe(1.5);
+
+  const MetricsSnapshot merged = merge_snapshots(ra.snapshot(), rb.snapshot());
+  ASSERT_EQ(merged.counters.size(), 3u);
+  EXPECT_EQ(merged.counters[0].name, "only_a");
+  EXPECT_EQ(merged.counters[1].name, "only_b");
+  EXPECT_EQ(merged.counters[2].name, "shared");
+  EXPECT_EQ(merged.counters[2].value, 7u);
+  ASSERT_EQ(merged.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged.gauges[0].value, 9.0);  // b wins
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  EXPECT_EQ(merged.histograms[0].count, 2u);
+  EXPECT_EQ(merged.histograms[0].buckets[0], 1u);
+  EXPECT_EQ(merged.histograms[0].buckets[1], 1u);
+}
+
+TEST(Metrics, MergeIsDeterministic) {
+  MetricsRegistry ra, rb;
+  ra.counter("x").inc(1);
+  rb.counter("y").inc(2);
+  const MetricsSnapshot m1 = merge_snapshots(ra.snapshot(), rb.snapshot());
+  const MetricsSnapshot m2 = merge_snapshots(ra.snapshot(), rb.snapshot());
+  ASSERT_EQ(m1.counters.size(), m2.counters.size());
+  for (std::size_t i = 0; i < m1.counters.size(); ++i) {
+    EXPECT_EQ(m1.counters[i].name, m2.counters[i].name);
+    EXPECT_EQ(m1.counters[i].value, m2.counters[i].value);
+  }
+}
+
+// TSan target: many threads hammering one counter/gauge/histogram while a
+// reader snapshots concurrently. Correctness check: the final counter total
+// equals the number of increments (shards never lose writes).
+TEST(Metrics, ThreadedRegistryStress) {
+  MetricsRegistry reg;
+  Counter c = reg.counter("stress_total");
+  Gauge g = reg.gauge("stress_gauge");
+  const std::array<double, 3> bounds = {10.0, 100.0, 1000.0};
+  Histogram h = reg.histogram("stress_hist", bounds);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        g.add(1.0);
+        h.observe(static_cast<double>((w * kIters + i) % 2000));
+        if (i % 4096 == 0) (void)reg.snapshot();  // concurrent reader
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads) * kIters);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+
+TEST(Spans, ScopedSpanInfersParentOnOneThread) {
+  ManualTimeSource clock;
+  SpanTracer tracer(&clock);
+  {
+    ScopedSpan outer(tracer, "outer", "test");
+    clock.advance_ns(100);
+    { ScopedSpan inner(tracer, "inner", "test"); clock.advance_ns(50); }
+    clock.advance_ns(25);
+  }
+  const std::vector<Span> spans = tracer.completed();
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by (begin_ns, id): outer begins at 0, inner at 100.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[1].begin_ns, 100u);
+  EXPECT_EQ(spans[1].end_ns, 150u);
+  EXPECT_EQ(spans[0].end_ns, 175u);
+}
+
+TEST(Spans, RecordCompleteBypassesTheClock) {
+  ManualTimeSource clock;
+  clock.set_ns(999999);
+  SpanTracer tracer(&clock);
+  tracer.record_complete("virtual", "sim", 1000, 3000, 7, 42);
+  const std::vector<Span> spans = tracer.completed();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].begin_ns, 1000u);
+  EXPECT_EQ(spans[0].end_ns, 3000u);
+  EXPECT_EQ(spans[0].track, 7u);
+  EXPECT_EQ(spans[0].arg, 42u);
+}
+
+TEST(Spans, EndOfUnknownIdIsIgnored) {
+  ManualTimeSource clock;
+  SpanTracer tracer(&clock);
+  tracer.end(12345);
+  EXPECT_TRUE(tracer.completed().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Exporter golden files — byte-stable under a fixed TimeSource.
+
+/// One deterministic registry used by all three exporter golden tests.
+void populate_golden(Registry& reg, ManualTimeSource& clock) {
+  reg.metrics().counter("aegis_demo_total").inc(3);
+  reg.metrics().gauge("aegis_demo_depth").set(2.5);
+  const std::array<double, 2> bounds = {1.0, 10.0};
+  Histogram h = reg.metrics().histogram("aegis_demo_reps", bounds);
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+
+  clock.set_ns(1000);
+  const std::uint64_t id = reg.spans().begin("phase", "test", 1, 9);
+  clock.set_ns(4000);
+  reg.spans().end(id);
+  reg.spans().record_complete("window", "sim", 2000, 2500, 3, 7);
+
+  reg.budget().record(5, "admit", 1, 60, 2.25, 8.0);
+}
+
+TEST(Exporters, PrometheusGolden) {
+  ManualTimeSource clock;
+  Registry reg(&clock);
+  populate_golden(reg, clock);
+  std::ostringstream os;
+  write_prometheus(reg.metrics().snapshot(), os);
+  EXPECT_EQ(os.str(),
+            "# TYPE aegis_demo_total counter\n"
+            "aegis_demo_total 3\n"
+            "# TYPE aegis_demo_depth gauge\n"
+            "aegis_demo_depth 2.5\n"
+            "# TYPE aegis_demo_reps histogram\n"
+            "aegis_demo_reps_bucket{le=\"1\"} 1\n"
+            "aegis_demo_reps_bucket{le=\"10\"} 2\n"
+            "aegis_demo_reps_bucket{le=\"+Inf\"} 3\n"
+            "aegis_demo_reps_sum 55.5\n"
+            "aegis_demo_reps_count 3\n");
+}
+
+TEST(Exporters, JsonSnapshotGolden) {
+  ManualTimeSource clock;
+  Registry reg(&clock);
+  populate_golden(reg, clock);
+  std::ostringstream os;
+  write_json_snapshot(reg, os);
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"aegis_demo_total\": 3\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"aegis_demo_depth\": 2.5\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"aegis_demo_reps\": {\"bounds\": [1, 10], \"buckets\": "
+            "[1, 1, 1], \"count\": 3, \"sum\": 55.5}\n"
+            "  },\n"
+            "  \"budget_timeline\": [\n"
+            "    {\"seq\": 0, \"t_ns\": 4000, \"tenant\": 5, \"outcome\": "
+            "\"admit\", \"granularity\": 1, \"releases\": 60, "
+            "\"epsilon_after\": 2.25, \"epsilon_cap\": 8}\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(Exporters, TraceJsonGolden) {
+  ManualTimeSource clock;
+  Registry reg(&clock);
+  populate_golden(reg, clock);
+  std::ostringstream os;
+  write_trace_json(reg, os);
+  EXPECT_EQ(os.str(),
+            "{\"traceEvents\": [\n"
+            "  {\"name\": \"phase\", \"cat\": \"test\", \"ph\": \"X\", "
+            "\"ts\": 1, \"dur\": 3, \"pid\": 1, \"tid\": 1, \"args\": "
+            "{\"id\": 1, \"parent\": 0, \"arg\": 9}},\n"
+            "  {\"name\": \"window\", \"cat\": \"sim\", \"ph\": \"X\", "
+            "\"ts\": 2, \"dur\": 0.5, \"pid\": 1, \"tid\": 3, \"args\": "
+            "{\"id\": 2, \"parent\": 0, \"arg\": 7}},\n"
+            "  {\"name\": \"epsilon tenant 5\", \"cat\": \"budget\", "
+            "\"ph\": \"C\", \"ts\": 4, \"pid\": 1, \"tid\": 0, \"args\": "
+            "{\"epsilon\": 2.25, \"remaining\": 5.75}}\n"
+            "], \"displayTimeUnit\": \"ms\"}\n");
+}
+
+TEST(Exporters, GoldenOutputIsByteStableAcrossRuns) {
+  auto render = [] {
+    ManualTimeSource clock;
+    Registry reg(&clock);
+    populate_golden(reg, clock);
+    std::ostringstream prom, snap, trace;
+    write_prometheus(reg.metrics().snapshot(), prom);
+    write_json_snapshot(reg, snap);
+    write_trace_json(reg, trace);
+    return prom.str() + snap.str() + trace.str();
+  };
+  EXPECT_EQ(render(), render());
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader
+
+TEST(JsonReader, RoundTripsASnapshot) {
+  ManualTimeSource clock;
+  Registry reg(&clock);
+  populate_golden(reg, clock);
+  std::ostringstream os;
+  write_json_snapshot(reg, os);
+
+  const JsonValue doc = parse_json(os.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("counters").at("aegis_demo_total").as_u64(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("aegis_demo_depth").number, 2.5);
+  const JsonValue& hist = doc.at("histograms").at("aegis_demo_reps");
+  ASSERT_TRUE(hist.at("buckets").is_array());
+  EXPECT_EQ(hist.at("buckets").array.size(), 3u);
+  const JsonValue& timeline = doc.at("budget_timeline");
+  ASSERT_EQ(timeline.array.size(), 1u);
+  EXPECT_EQ(timeline.array[0].at("outcome").string, "admit");
+  EXPECT_DOUBLE_EQ(timeline.array[0].at("epsilon_cap").number, 8.0);
+}
+
+TEST(JsonReader, MissingKeyYieldsSharedNull) {
+  const JsonValue doc = parse_json("{\"a\": 1}");
+  EXPECT_TRUE(doc.at("missing").is_null());
+  EXPECT_EQ(doc.at("missing").as_u64(), 0u);
+}
+
+TEST(JsonReader, ParsesEscapesAndNesting) {
+  const JsonValue doc =
+      parse_json("{\"s\": \"a\\\"b\\\\c\\n\", \"arr\": [true, false, null, "
+                 "-2.5e1], \"o\": {\"k\": 1}}");
+  EXPECT_EQ(doc.at("s").string, "a\"b\\c\n");
+  ASSERT_EQ(doc.at("arr").array.size(), 4u);
+  EXPECT_TRUE(doc.at("arr").array[0].boolean);
+  EXPECT_TRUE(doc.at("arr").array[2].is_null());
+  EXPECT_DOUBLE_EQ(doc.at("arr").array[3].number, -25.0);
+  EXPECT_EQ(doc.at("o").at("k").as_u64(), 1u);
+}
+
+TEST(JsonReader, ThrowsOnMalformedInput) {
+  EXPECT_THROW(parse_json("{"), JsonParseError);
+  EXPECT_THROW(parse_json("{\"a\": }"), JsonParseError);
+  EXPECT_THROW(parse_json("[1, 2,]"), JsonParseError);
+  EXPECT_THROW(parse_json("{} trailing"), JsonParseError);
+  EXPECT_THROW(parse_json(""), JsonParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Registry plumbing
+
+TEST(Registry, ResolveFallsBackToGlobal) {
+  Registry local;
+  EXPECT_EQ(&resolve(&local), &local);
+  EXPECT_EQ(&resolve(nullptr), &Registry::global());
+}
+
+TEST(Registry, GlobalIsStable) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+TEST(Registry, SetTimeSourceRewiresSpansAndBudget) {
+  Registry reg;  // starts on the internal TickTimeSource
+  ManualTimeSource manual;
+  manual.set_ns(777);
+  reg.set_time_source(&manual);
+  const std::uint64_t id = reg.spans().begin("s", "t");
+  reg.spans().end(id);
+  reg.budget().record(1, "admit", 1, 1, 0.5, 8.0);
+  const auto spans = reg.spans().completed();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].begin_ns, 777u);
+  const auto events = reg.budget().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].t_ns, 777u);
+}
+
+}  // namespace
+}  // namespace aegis::telemetry

@@ -428,11 +428,72 @@ TEST(BlockingInLock, SuppressedWithReason) {
 }
 
 // ---------------------------------------------------------------------------
+// telemetry-handle
+
+TEST(TelemetryHandle, ByNameLookupInNoallocRegionFailsTheGate) {
+  const auto fs = run(
+      "// aegis-lint: noalloc\n"
+      "std::span<const double> GadgetRunner::execute_once(\n"
+      "    std::span<const std::uint32_t> uids, double unroll) {\n"
+      "  telemetry::Registry::global().metrics().counter(\n"
+      "      \"aegis_gadget_executions_total\").inc();\n"
+      "  return read_all(uids);\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(fs, "telemetry-handle")) << messages(fs);
+}
+
+TEST(TelemetryHandle, AllThreeLookupKindsAreFlagged) {
+  const auto fs = run(
+      "// aegis-lint: noalloc-begin\n"
+      "reg.counter(\"a_total\").inc();\n"
+      "reg.gauge(\"a_depth\").set(1.0);\n"
+      "reg.histogram(\"a_reps\", bounds).observe(3.0);\n"
+      "// aegis-lint: noalloc-end\n");
+  std::size_t count = 0;
+  for (const Finding& f : fs) {
+    if (f.rule == "telemetry-handle") ++count;
+  }
+  EXPECT_EQ(count, 3u) << messages(fs);
+}
+
+TEST(TelemetryHandle, RecordingThroughAResolvedHandleIsFine) {
+  const auto fs = run(
+      "// aegis-lint: noalloc\n"
+      "void NoiseInjector::inject(double reps) {\n"
+      "  injections_.inc();\n"
+      "  injected_reps_.observe(reps);\n"
+      "}\n");
+  EXPECT_TRUE(fs.empty()) << messages(fs);
+}
+
+TEST(TelemetryHandle, RegistrationOutsideTheRegionIsUnchecked) {
+  // The constructor (handle resolution site) is not a noalloc region; the
+  // hot path records through the member handle. This is the required idiom.
+  const auto fs = run(
+      "GadgetRunner::GadgetRunner()\n"
+      "    : executions_(telemetry::Registry::global().metrics().counter(\n"
+      "          \"aegis_gadget_executions_total\")) {}\n"
+      "// aegis-lint: noalloc\n"
+      "void GadgetRunner::execute_once() { executions_.inc(); }\n");
+  EXPECT_TRUE(fs.empty()) << messages(fs);
+}
+
+TEST(TelemetryHandle, SuppressedWithReason) {
+  const auto fs = run(
+      "// aegis-lint: noalloc\n"
+      "void f() {\n"
+      "  // aegis-lint: telemetry-ok(cold slow-path branch, measured)\n"
+      "  reg.counter(\"a_total\").inc();\n"
+      "}\n");
+  EXPECT_TRUE(fs.empty()) << messages(fs);
+}
+
+// ---------------------------------------------------------------------------
 // Catalog sanity
 
 TEST(Catalog, EverySuppressibleRuleIsListed) {
   const auto catalog = rule_catalog();
-  EXPECT_GE(catalog.size(), 6u);
+  EXPECT_GE(catalog.size(), 8u);
   for (const RuleInfo& r : catalog) {
     EXPECT_FALSE(r.name.empty());
     EXPECT_FALSE(r.suppress_tag.empty());

@@ -297,9 +297,11 @@ std::vector<TokenRegion> noalloc_regions(const LexOutput& file,
   return regions;
 }
 
-void rule_noalloc(const LexOutput& file, std::vector<Finding>& out) {
+void rule_noalloc(const LexOutput& file,
+                  const std::vector<TokenRegion>& regions,
+                  std::vector<Finding>& out) {
   const Tokens& t = file.tokens;
-  for (const TokenRegion& r : noalloc_regions(file, out)) {
+  for (const TokenRegion& r : regions) {
     for (std::size_t i = r.begin; i < r.end; ++i) {
       if (t[i].kind != TokenKind::kIdent) continue;
       const std::string& w = t[i].text;
@@ -341,6 +343,41 @@ void rule_noalloc(const LexOutput& file, std::vector<Finding>& out) {
                                 "alloc-ok"});
         }
       }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// telemetry-handle
+
+const std::set<std::string, std::less<>> kRegistryLookups = {
+    "counter", "gauge", "histogram"};
+
+/// Inside a noalloc region, `counter("name")` / `gauge("name")` /
+/// `histogram("name", ...)` is a by-name registry lookup: it builds a
+/// std::string key and may take the registry lock — both banned on hot
+/// paths. Handles must be resolved once (constructor or function-local
+/// static) and recorded through; recording ops (`inc`, `observe`, `set`,
+/// `add`) take no string and never trip this rule.
+void rule_telemetry_handle(const LexOutput& file,
+                           const std::vector<TokenRegion>& regions,
+                           std::vector<Finding>& out) {
+  const Tokens& t = file.tokens;
+  for (const TokenRegion& r : regions) {
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      if (t[i].kind != TokenKind::kIdent ||
+          kRegistryLookups.count(t[i].text) == 0) {
+        continue;
+      }
+      if (i + 2 >= t.size() || !is_punct(t[i + 1], '(')) continue;
+      if (t[i + 2].kind != TokenKind::kString) continue;
+      out.push_back(Finding{
+          "telemetry-handle", t[i].line,
+          "'" + t[i].text +
+              "(\"...\")' resolves a metric by name inside a noalloc "
+              "region (string key + registry lock); resolve the handle "
+              "once at construction and record through it",
+          "telemetry-ok"});
     }
   }
 }
@@ -569,6 +606,9 @@ std::vector<RuleInfo> rule_catalog() {
       {"noalloc", "alloc-ok",
        "no allocation inside '// aegis-lint: noalloc' functions or "
        "noalloc-begin/-end regions"},
+      {"telemetry-handle", "telemetry-ok",
+       "no by-name metric lookup (counter/gauge/histogram(\"...\")) inside "
+       "noalloc regions; resolve handles once and record through them"},
       {"lock-order", "lock-ok",
        "mutexes with '// aegis-lint: lock-level(N)' must nest in strictly "
        "increasing level order"},
@@ -592,7 +632,11 @@ std::vector<Finding> run_rules(const LexOutput& file, const LexOutput* companion
   }
   rule_unordered_iter(file.tokens, decls, out);
 
-  rule_noalloc(file, out);
+  // Both region-scoped rules share one resolution pass (and its misplaced-
+  // marker findings are emitted exactly once).
+  const std::vector<TokenRegion> regions = noalloc_regions(file, out);
+  rule_noalloc(file, regions, out);
+  rule_telemetry_handle(file, regions, out);
   rule_locks(file, companion, out);
 
   std::stable_sort(out.begin(), out.end(),

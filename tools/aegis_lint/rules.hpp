@@ -21,6 +21,11 @@
 //                      push_back/emplace*/resize/reserve/..., no by-value
 //                      allocating container declarations.
 //                                                  suppress: alloc-ok(...)
+//   telemetry-handle   inside the same noalloc regions: no by-name metric
+//                      lookup (`counter("...")`/`gauge("...")`/
+//                      `histogram("...")`) — a string key plus the registry
+//                      lock. Resolve telemetry handles once at construction
+//                      and record through them.  suppress: telemetry-ok(...)
 //   lock-order         mutexes declared `// aegis-lint: lock-level(N[,
 //                      noblock])` must be acquired in strictly increasing
 //                      level order when nested.      suppress: lock-ok(...)

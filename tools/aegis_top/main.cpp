@@ -1,0 +1,184 @@
+// aegis_top: text dashboard over a telemetry JSON snapshot.
+//
+// Reads the file written by telemetry::write_json_snapshot (e.g.
+// `bench_service --stats FILE` or any daemon embedding the registry) and
+// renders the service at a glance: session counters, queue depth, template
+// cache effectiveness, and a per-tenant privacy-budget table derived from
+// the ε-spend timeline.
+//
+//   aegis_top SNAPSHOT.json             render once
+//   aegis_top SNAPSHOT.json --watch N   re-read and re-render every N seconds
+//
+// Exits non-zero on a missing or malformed snapshot. Lives in tools/ (not
+// linted, not part of the library): presentation only, no simulation state.
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/json_reader.hpp"
+
+namespace {
+
+using aegis::telemetry::JsonValue;
+
+struct TenantRow {
+  std::uint64_t tenant_id = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t refused = 0;
+  double epsilon_after = 0.0;
+  double epsilon_cap = 0.0;
+  std::string last_outcome;
+};
+
+std::uint64_t counter(const JsonValue& snap, const char* name) {
+  return snap.at("counters").at(name).as_u64();
+}
+
+double gauge(const JsonValue& snap, const char* name) {
+  return snap.at("gauges").at(name).number;
+}
+
+/// Folds the ε timeline into one row per tenant: outcome tallies plus the
+/// budget position after the latest event (events arrive in seq order).
+std::map<std::uint64_t, TenantRow> tenant_rows(const JsonValue& snap) {
+  std::map<std::uint64_t, TenantRow> rows;
+  for (const JsonValue& e : snap.at("budget_timeline").array) {
+    const std::uint64_t id = e.at("tenant").as_u64();
+    TenantRow& row = rows[id];
+    row.tenant_id = id;
+    const std::string& outcome = e.at("outcome").string;
+    if (outcome == "admit") ++row.admitted;
+    if (outcome == "degrade") ++row.degraded;
+    if (outcome == "refuse") ++row.refused;
+    row.epsilon_after = e.at("epsilon_after").number;
+    row.epsilon_cap = e.at("epsilon_cap").number;
+    row.last_outcome = outcome;
+  }
+  return rows;
+}
+
+void render(const JsonValue& snap, std::ostream& os) {
+  const std::uint64_t submitted = counter(snap, "aegis_sessions_submitted_total");
+  const std::uint64_t started = counter(snap, "aegis_sessions_started_total");
+  const std::uint64_t completed = counter(snap, "aegis_sessions_completed_total");
+  const std::uint64_t refused = counter(snap, "aegis_sessions_refused_total");
+  const std::uint64_t degraded = counter(snap, "aegis_sessions_degraded_total");
+  const double active = gauge(snap, "aegis_sessions_active");
+  const double queue_depth = gauge(snap, "aegis_service_queue_depth");
+
+  const std::uint64_t lookups = counter(snap, "aegis_cache_lookups_total");
+  const std::uint64_t hits = counter(snap, "aegis_cache_hits_total");
+  const std::uint64_t misses = counter(snap, "aegis_cache_misses_total");
+  const std::uint64_t warm = counter(snap, "aegis_cache_warm_starts_total");
+  const std::uint64_t failed = counter(snap, "aegis_cache_failed_loads_total");
+  const std::uint64_t analyses = counter(snap, "aegis_cache_analyses_total");
+  const double hit_rate =
+      lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+
+  char line[256];
+  os << "aegis_top — protection service\n";
+  os << "==============================\n";
+  std::snprintf(line, sizeof(line),
+                "sessions   submitted %" PRIu64 "  started %" PRIu64
+                "  completed %" PRIu64 "  active %.0f\n",
+                submitted, started, completed, active);
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "admission  degraded %" PRIu64 "  refused %" PRIu64
+                "  queue depth %.0f\n",
+                degraded, refused, queue_depth);
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "cache      hit rate %.3f (%" PRIu64 "/%" PRIu64
+                ")  misses %" PRIu64 "  warm %" PRIu64 "  failed loads %" PRIu64
+                "  analyses %" PRIu64 "\n",
+                hit_rate, hits, lookups, misses, warm, failed, analyses);
+  os << line;
+
+  const auto rows = tenant_rows(snap);
+  if (rows.empty()) {
+    os << "\n(no budget timeline events)\n";
+    return;
+  }
+  os << "\ntenant   admit  degrade  refuse   eps spent    eps remaining  last\n";
+  os << "------   -----  -------  ------   ---------    -------------  ----\n";
+  for (const auto& [id, row] : rows) {
+    std::snprintf(line, sizeof(line),
+                  "%6" PRIu64 "   %5" PRIu64 "  %7" PRIu64 "  %6" PRIu64
+                  "   %9.4f    %13.4f  %s\n",
+                  id, row.admitted, row.degraded, row.refused,
+                  row.epsilon_after, row.epsilon_cap - row.epsilon_after,
+                  row.last_outcome.c_str());
+    os << line;
+  }
+}
+
+int render_file(const std::string& path, bool clear_screen) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "aegis_top: cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream text;
+  text << is.rdbuf();
+  JsonValue snap;
+  try {
+    snap = aegis::telemetry::parse_json(text.str());
+  } catch (const std::exception& e) {
+    std::cerr << "aegis_top: bad snapshot " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+  if (!snap.is_object()) {
+    std::cerr << "aegis_top: snapshot root is not an object\n";
+    return 1;
+  }
+  if (clear_screen) std::cout << "\033[2J\033[H";
+  render(snap, std::cout);
+  std::cout.flush();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  long watch_seconds = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--watch") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "aegis_top: --watch needs a seconds argument\n";
+        return 2;
+      }
+      watch_seconds = std::atol(argv[++i]);
+      if (watch_seconds <= 0) {
+        std::cerr << "aegis_top: --watch interval must be positive\n";
+        return 2;
+      }
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      std::cerr << "aegis_top: unexpected argument " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: aegis_top SNAPSHOT.json [--watch SECONDS]\n";
+    return 2;
+  }
+  if (watch_seconds == 0) return render_file(path, /*clear_screen=*/false);
+  for (;;) {
+    const int rc = render_file(path, /*clear_screen=*/true);
+    if (rc != 0) return rc;
+    std::this_thread::sleep_for(std::chrono::seconds(watch_seconds));
+  }
+}

@@ -1,0 +1,123 @@
+// Security-evaluation frontier driver (src/seceval).
+//
+// Runs the (attacker x defense x epsilon) matrix and emits the frontier
+// artifact pair:
+//
+//   bench_security [--json FILE] [--report FILE]   full matrix (the nightly
+//                                 frontier; committed as BENCH_security.json
+//                                 and REPORT_security.md)
+//   bench_security --smoke ...    the PR-CI subset (seceval::smoke_matrix).
+//                                 Cell seeds derive from the cell SPEC, so
+//                                 smoke values are bit-identical to the same
+//                                 cells in the full matrix — the directional
+//                                 gate (scripts/bench_compare.py --security)
+//                                 diffs them against the committed baseline.
+//
+// The committed baseline is generated at AEGIS_SCALE=1; run the gate at the
+// same scale. AEGIS_THREADS sets the cell-shard worker count (0 = hardware
+// concurrency) and never changes the emitted bytes.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "seceval/seceval.hpp"
+
+namespace aegis::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a file argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--report") {
+      report_path = next();
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  const double scale = []() {
+    if (const char* env = std::getenv("AEGIS_SCALE")) {
+      const double s = std::atof(env);
+      if (s > 0) return s;
+    }
+    return 1.0;
+  }();
+
+  seceval::HarnessConfig config;
+  config.num_threads = threads_from_env();
+  config.scale.sites = scaled(config.scale.sites, scale, 4);
+  config.scale.traces_per_secret =
+      scaled(config.scale.traces_per_secret, scale, 4);
+  config.scale.slices = scaled(config.scale.slices, scale, 40);
+  config.scale.epochs = scaled(config.scale.epochs, scale, 4);
+  config.scale.visits_per_secret =
+      scaled(config.scale.visits_per_secret, scale, 2);
+
+  print_header(smoke ? "bench_security --smoke" : "bench_security");
+  const std::vector<seceval::CellSpec> cells =
+      smoke ? seceval::smoke_matrix() : seceval::full_matrix();
+  std::cout << cells.size() << " cells, scale " << scale << "\n";
+
+  const auto start = std::chrono::steady_clock::now();
+  const seceval::SecurityHarness harness(config);
+  const seceval::FrontierResult frontier = harness.run(cells);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (frontier.cells.size() != cells.size()) {
+    std::cerr << "FAIL: expected " << cells.size() << " cells, got "
+              << frontier.cells.size() << "\n";
+    return 1;
+  }
+  for (const seceval::CellResult& cell : frontier.cells) {
+    if (!(cell.attack_accuracy >= 0.0 && cell.attack_accuracy <= 1.0)) {
+      std::cerr << "FAIL: accuracy out of range for "
+                << seceval::to_string(cell.spec.attacker) << "/"
+                << seceval::to_string(cell.spec.defense) << "\n";
+      return 1;
+    }
+    if (cell.noise_draws == 0) {
+      std::cerr << "FAIL: defense injected no noise for "
+                << seceval::to_string(cell.spec.defense) << "\n";
+      return 1;
+    }
+  }
+
+  seceval::write_frontier_report(frontier, harness.config(), std::cout);
+  std::cout << "\nwall time: " << wall << " s\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    seceval::write_frontier_json(frontier, harness.config(), out);
+    std::cout << "wrote " << json_path << "\n";
+  }
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    seceval::write_frontier_report(frontier, harness.config(), out);
+    std::cout << "wrote " << report_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aegis::bench
+
+int main(int argc, char** argv) { return aegis::bench::run(argc, argv); }

@@ -4,6 +4,8 @@
 Usage:
     scripts/bench_compare.py BASELINE_hotpath.json FRESH_hotpath.json \
                              BASELINE_service.json FRESH_service.json
+    scripts/bench_compare.py --security BASELINE_security.json \
+                             FRESH_security.json
 
 Headline metrics (everything else in the JSON is informational):
   hotpath   accumulate_4_events.batched_ns            lower is better
@@ -18,6 +20,17 @@ The tolerance is deliberately loose: shared CI runners jitter, and only a
 real hot-path or throughput cliff should block a merge. Improvements are
 reported but never fail. Exit status: 0 ok, 1 regression, 2 usage/IO error.
 
+--security mode diffs BENCH_security.json frontiers instead. The metric is
+directional per cell keyed by (attacker, defense, epsilon): fresh attack
+accuracy may not RISE more than 2 points absolute over the committed
+baseline (override with AEGIS_SECURITY_TOLERANCE, a fraction of 1.0, e.g.
+0.02). Accuracy drops are improvements and never fail. Every fresh cell
+must exist in the baseline — the smoke subset is a strict subset of the
+committed full frontier, so an unmatched cell means the matrix drifted and
+the gate would otherwise pass vacuously. The harness is bit-deterministic,
+so unlike the perf gates this needs no jitter allowance; the tolerance
+only absorbs intentional small reshapes of shared attack fixtures.
+
 Stdlib only — no pip installs in CI.
 """
 
@@ -27,6 +40,7 @@ import sys
 
 
 DEFAULT_TOLERANCE = 0.15
+DEFAULT_SECURITY_TOLERANCE = 0.02  # 2 accuracy points, absolute
 
 
 class MetricError(Exception):
@@ -101,6 +115,75 @@ def tolerance():
     return value
 
 
+def security_tolerance():
+    raw = os.environ.get("AEGIS_SECURITY_TOLERANCE", "")
+    if not raw:
+        return DEFAULT_SECURITY_TOLERANCE
+    try:
+        value = float(raw)
+    except ValueError:
+        print(f"bench_compare: bad AEGIS_SECURITY_TOLERANCE {raw!r}",
+              file=sys.stderr)
+        sys.exit(2)
+    if value < 0:
+        print("bench_compare: AEGIS_SECURITY_TOLERANCE must be >= 0",
+              file=sys.stderr)
+        sys.exit(2)
+    return value
+
+
+def frontier_cells(doc, path):
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        print(f"bench_compare: {path} has no 'cells' array", file=sys.stderr)
+        sys.exit(2)
+    table = {}
+    for cell in cells:
+        try:
+            key = (cell["attacker"], cell["defense"], float(cell["epsilon"]))
+            accuracy = float(cell["attack_accuracy"])
+        except (TypeError, KeyError, ValueError) as e:
+            print(f"bench_compare: malformed cell in {path}: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+        if key in table:
+            print(f"bench_compare: duplicate cell {key} in {path}",
+                  file=sys.stderr)
+            sys.exit(2)
+        table[key] = accuracy
+    return table
+
+
+def compare_security(base_path, fresh_path):
+    """Directional per-cell gate: attack accuracy may drop, not rise."""
+    baseline = frontier_cells(load(base_path), base_path)
+    fresh = frontier_cells(load(fresh_path), fresh_path)
+    tol = security_tolerance()
+    regressions = 0
+    for key in sorted(fresh):
+        attacker, defense, epsilon = key
+        label = f"security {attacker} vs {defense} @ eps={epsilon:g}"
+        if key not in baseline:
+            # A cell with no committed counterpart cannot be gated; treat it
+            # as a hard failure so matrix drift re-baselines deliberately.
+            print(f"FAIL  {label}: cell missing from baseline {base_path}")
+            regressions += 1
+            continue
+        base, new = baseline[key], fresh[key]
+        delta = new - base
+        verdict = "FAIL" if delta > tol else ("  ok" if delta >= 0 else "good")
+        print(f"{verdict}  {label}: accuracy {base:.4f} -> {new:.4f} "
+              f"({'+' if delta >= 0 else ''}{delta * 100:.2f} pts, "
+              f"tolerance +{tol * 100:.0f} pts)")
+        if delta > tol:
+            regressions += 1
+    skipped = len(baseline) - sum(1 for k in fresh if k in baseline)
+    if skipped:
+        print(f"note  {skipped} baseline cell(s) not exercised by this run "
+              f"(smoke subset)")
+    return regressions
+
+
 def compare(metrics, baseline, fresh, tol):
     """Returns the number of regressions, printing one line per metric."""
     regressions = 0
@@ -133,6 +216,14 @@ def compare(metrics, baseline, fresh, tol):
 
 
 def main(argv):
+    if len(argv) == 4 and argv[1] == "--security":
+        regressions = compare_security(argv[2], argv[3])
+        if regressions:
+            print(f"bench_compare: {regressions} security cell(s) regressed",
+                  file=sys.stderr)
+            return 1
+        print("bench_compare: no security cell rose above tolerance")
+        return 0
     if len(argv) != 5:
         print(__doc__.strip(), file=sys.stderr)
         return 2

@@ -6,7 +6,9 @@
 # campaign engine; the UBSan pass guards the arithmetic-heavy PMU/DP
 # kernels. A dedicated lint stage builds and runs aegis-lint explicitly so
 # a broken lint build fails the check rather than silently skipping the
-# gate, and runs clang-tidy when available.
+# gate, and runs clang-tidy when available. A seceval stage runs the smoke
+# security frontier and fails if any attack accuracy rose over the
+# committed BENCH_security.json baseline.
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   sanitizer passes run only the concurrency-relevant suites
@@ -67,8 +69,24 @@ run_lint() {
   fi
 }
 
+# Security regression gate: run the PR-CI smoke subset of the attack/defense
+# frontier and diff it against the committed baseline. The harness is
+# bit-deterministic, so any cell whose attack accuracy rises more than
+# 2 points absolute is a real security regression, not jitter.
+run_seceval() {
+  local dir="build"
+  echo "=== seceval: smoke frontier + security gate ==="
+  cmake --build "${dir}" -j "${JOBS}" --target bench_security >/dev/null
+  "${dir}/bench/bench_security" --smoke \
+    --json /tmp/aegis_seceval_smoke.json \
+    --report /tmp/aegis_seceval_smoke.md >/dev/null
+  python3 scripts/bench_compare.py --security \
+    BENCH_security.json /tmp/aegis_seceval_smoke.json
+}
+
 run_lint
 run_suite "default" build ""
+run_seceval
 run_suite "tsan" build-tsan thread
 run_suite "asan" build-asan address
 run_suite "ubsan" build-ubsan undefined

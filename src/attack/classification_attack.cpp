@@ -9,9 +9,13 @@ ClassificationAttack::ClassificationAttack(const pmu::EventDatabase& db,
     : db_(&db), config_(std::move(config)) {}
 
 std::vector<double> ClassificationAttack::featurize(const trace::Trace& t) const {
-  std::vector<double> f = config_.sort_windows
-                              ? t.sorted_window_features(config_.feature_windows)
-                              : t.window_features(config_.feature_windows);
+  // Padded pooling: attacker-stepped sampling (SlicePlanner) makes trace
+  // length vary per run, but the classifier's input dimension is fixed at
+  // training time.
+  std::vector<double> f =
+      config_.sort_windows
+          ? t.sorted_window_features(config_.feature_windows, /*pad=*/true)
+          : t.window_features(config_.feature_windows, /*pad=*/true);
   if (standardizer_.fitted()) standardizer_.apply(f);
   return f;
 }
@@ -22,14 +26,17 @@ std::vector<ml::EpochStats> ClassificationAttack::train(
   const trace::TraceSet all =
       collect_traces(*db_, secrets, config_.collection, template_agent);
 
-  util::Rng rng(config_.collection.seed ^ 0x5A11ULL);
+  // Pure (seed, trace id) split: reproducible from the seed alone, immune
+  // to RNG draw history and container iteration order (regression-tested in
+  // trace_test's SplitByIdIsPureFunctionOfSeedAndId).
   trace::TraceSet train_set, val_set;
-  all.split(config_.train_fraction, rng, train_set, val_set);
+  all.split_by_id(config_.train_fraction, config_.collection.seed ^ 0x5A11ULL,
+                  train_set, val_set);
 
   auto raw_features = [this](const trace::Trace& t) {
     return config_.sort_windows
-               ? t.sorted_window_features(config_.feature_windows)
-               : t.window_features(config_.feature_windows);
+               ? t.sorted_window_features(config_.feature_windows, /*pad=*/true)
+               : t.window_features(config_.feature_windows, /*pad=*/true);
   };
   ml::FeatureMatrix X_train, X_val;
   for (const auto& t : train_set.traces) X_train.push_back(raw_features(t));

@@ -9,8 +9,12 @@ trace::Trace collect_one(const pmu::EventDatabase& db,
   sim::VirtualMachine vm(config.vm, visit_seed ^ 0xF00DULL);
   sim::HostMonitor monitor(db, visit_seed ^ 0xBEEFULL);
   const sim::MonitorResult result =
-      monitor.monitor(vm, secret.visit(visit_seed), config.event_ids,
-                      secret.trace_slices(), agent);
+      config.stepper
+          ? monitor.monitor_stepped(vm, secret.visit(visit_seed),
+                                    config.event_ids, secret.trace_slices(),
+                                    config.stepper(), agent)
+          : monitor.monitor(vm, secret.visit(visit_seed), config.event_ids,
+                            secret.trace_slices(), agent);
   trace::Trace t;
   t.samples = result.samples;
   return t;

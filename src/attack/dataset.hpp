@@ -19,11 +19,20 @@ namespace aegis::attack {
 /// workload execution. Null = undefended VM.
 using AgentFactory = std::function<sim::SliceAgent()>;
 
+/// Builds a fresh slice planner (see sim::SlicePlanner) for one workload
+/// execution. Stateful planners (running-mean burst detectors) need fresh
+/// state per run, so the sampler takes a factory, not a planner. Null =
+/// passive fixed-cadence sampling.
+using PlannerFactory = std::function<sim::SlicePlanner()>;
+
 struct CollectionConfig {
   std::vector<std::uint32_t> event_ids;  // monitored events (4 in the paper)
   std::size_t traces_per_secret = 30;
   std::uint64_t seed = 42;
   sim::VmConfig vm;
+  /// Attacker-chosen sampling boundaries (SEV-Step-style). Null keeps the
+  /// paper's passive 1 ms cadence and is bit-identical to the plain monitor.
+  PlannerFactory stepper;
 };
 
 /// Runs every secret's workload `traces_per_secret` times and records the

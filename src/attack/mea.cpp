@@ -53,9 +53,9 @@ std::vector<ml::EpochStats> MeaAttack::train(const AgentFactory& template_agent)
   frame_standardizer_.fit(all_frames);
   for (auto& seq : sequences) frame_standardizer_.apply_all(seq.frames);
 
-  std::vector<std::size_t> order(sequences.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  rng.shuffle(order);
+  // Pure (seed, sequence id) split — see trace::split_order_by_id.
+  const std::vector<std::size_t> order =
+      trace::split_order_by_id(sequences.size(), config_.seed ^ 0x5A11ULL);
   const std::size_t n_train = static_cast<std::size_t>(
       config_.train_fraction * static_cast<double>(order.size()));
   std::vector<ml::FrameSequence> train_set, val_set;

@@ -1,0 +1,29 @@
+#include "attack/slice_step.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace aegis::attack {
+
+PlannerFactory make_burst_planner(BurstStepPolicy policy) {
+  return [policy]() -> sim::SlicePlanner {
+    // Shared state outlives the returned closure's copies; one planner
+    // instance serves exactly one monitored run.
+    auto sum = std::make_shared<double>(0.0);
+    auto count = std::make_shared<std::size_t>(0);
+    return [policy, sum, count](std::size_t /*sample*/,
+                                const std::vector<double>& last) {
+      const std::size_t fine = std::max<std::size_t>(policy.fine_step, 1);
+      if (last.empty()) return fine;  // no signal yet: start fine
+      const std::size_t e = std::min(policy.watch_event, last.size() - 1);
+      const double delta = last[e];
+      *sum += delta;
+      ++*count;
+      const double mean = *sum / static_cast<double>(*count);
+      const bool burst = delta > policy.burst_factor * mean;
+      return burst ? fine : std::max<std::size_t>(policy.coarse_step, 1);
+    };
+  };
+}
+
+}  // namespace aegis::attack

@@ -1,0 +1,29 @@
+// Slice-stepping attacker policy (SEV-Step spirit): instead of passively
+// consuming fixed 1 ms sampling windows, the malicious hypervisor places
+// the counter reads itself — single-stepping through activity bursts to
+// keep their fine structure, and coalescing quiet stretches where a finer
+// cadence only buys noise. The policy plugs into the trace sampler through
+// CollectionConfig::stepper, so every existing attack pipeline can run in
+// stepped mode without code changes.
+#pragma once
+
+#include "attack/dataset.hpp"
+
+namespace aegis::attack {
+
+/// Burst-adaptive stepping policy. The planner watches one monitored event
+/// and keeps a running mean of its per-sample deltas; a delta above
+/// `burst_factor * mean` marks a burst.
+struct BurstStepPolicy {
+  std::size_t fine_step = 1;    // base slices per sample inside a burst
+  std::size_t coarse_step = 4;  // base slices per sample when quiet
+  double burst_factor = 1.0;    // burst iff watched delta > factor * mean
+  std::size_t watch_event = 0;  // index into the monitored event group
+};
+
+/// Planner factory for CollectionConfig::stepper. Each collected run gets a
+/// fresh planner (fresh running mean), so traces are independent and the
+/// collection stays a pure function of its seeds.
+PlannerFactory make_burst_planner(BurstStepPolicy policy);
+
+}  // namespace aegis::attack

@@ -166,6 +166,8 @@ std::unique_ptr<obf::EventObfuscator> Aegis::make_obfuscator(
   config.clip_norm = options.clip_sigma;
   config.weighted_segment = std::move(segment);
   config.single_stream = options.single_noise_stream;
+  config.rotate = options.rotate;
+  config.rotation = options.rotation;
   config.seed = seed;
   return std::make_unique<obf::EventObfuscator>(db_, spec_, analysis.cover,
                                                 config);

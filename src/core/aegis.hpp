@@ -16,6 +16,7 @@
 #include "core/config.hpp"
 #include "fuzzer/set_cover.hpp"
 #include "isa/spec.hpp"
+#include "obf/rotating_plan.hpp"
 #include "pmu/event_database.hpp"
 
 namespace aegis::core {
@@ -34,6 +35,10 @@ struct ObfuscatorBuildOptions {
   /// root of the pooling window, so the default partially compensates.
   /// Raising it strengthens privacy at proportional overhead cost.
   double pooling_factor = 2.0;
+  /// Dynamic defense: rotate the injected plan over a deterministic
+  /// schedule (Obelix-style; see obf/rotating_plan.hpp). ε-neutral.
+  bool rotate = false;
+  obf::RotatingPlanConfig rotation;
 };
 
 struct OfflineResult {

@@ -44,6 +44,10 @@ MlpClassifier::MlpClassifier(std::size_t input_dim, std::size_t num_classes,
 
 void MlpClassifier::forward(const std::vector<double>& x,
                             std::vector<std::vector<double>>& activations) const {
+  if (x.size() != input_dim_) {
+    // Out-of-bounds reads in the mat-vec below would otherwise be silent.
+    throw std::invalid_argument("Mlp::forward: input dimension mismatch");
+  }
   activations.assign(layers_.size() + 1, {});
   activations[0] = x;
   for (std::size_t l = 0; l < layers_.size(); ++l) {

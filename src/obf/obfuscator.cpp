@@ -81,19 +81,41 @@ sim::SliceAgent EventObfuscator::session() {
 
   auto controller = std::make_shared<KernelController>(
       *db_, config_.reference_event, config_.reference_sigma);
-  auto injector =
-      config_.weighted_segment.empty()
-          ? std::make_shared<NoiseInjector>(*spec_, cover_, config_.unit_reps,
-                                            config_.clip_norm)
-          : std::make_shared<NoiseInjector>(*spec_, config_.weighted_segment,
-                                            config_.unit_reps,
-                                            config_.clip_norm);
+  const std::vector<WeightedGadget> base_segment =
+      config_.weighted_segment.empty() ? [&] {
+        std::vector<WeightedGadget> unit;
+        unit.reserve(cover_.gadgets.size());
+        for (const auto& g : cover_.gadgets) unit.push_back({g, 1.0});
+        return unit;
+      }()
+                                       : config_.weighted_segment;
+
+  // Fixed plan: one injector for the whole session. Rotating plan: one
+  // injector per variant; the schedule picks which one realizes slice t's
+  // noise. Every variant keeps the base gadget list, so the stream count —
+  // and with it the number of DP releases — is identical either way.
+  auto injectors =
+      std::make_shared<std::vector<std::unique_ptr<NoiseInjector>>>();
+  std::shared_ptr<RotatingPlan> plan;
+  if (config_.rotate) {
+    RotatingPlanConfig rotation = config_.rotation;
+    rotation.seed = session_seeds_.next_u64() ^ rotation.seed;
+    plan = std::make_shared<RotatingPlan>(base_segment, rotation);
+    for (std::size_t v = 0; v < plan->variants(); ++v) {
+      injectors->push_back(std::make_unique<NoiseInjector>(
+          *spec_, plan->segment(v), config_.unit_reps, config_.clip_norm));
+    }
+  } else {
+    injectors->push_back(std::make_unique<NoiseInjector>(
+        *spec_, base_segment, config_.unit_reps, config_.clip_norm));
+  }
+
   // One independent noise stream per gadget: a single stream would put all
   // injected counts on one fixed direction in event space, which a
   // defense-aware attacker could project out (see NoiseInjector::
   // inject_mixture).
   const std::size_t streams =
-      config_.single_stream ? 1 : injector->gadget_count();
+      config_.single_stream ? 1 : injectors->front()->gadget_count();
   auto calculators = std::make_shared<std::vector<NoiseCalculator>>();
   for (std::size_t g = 0; g < streams; ++g) {
     dp::MechanismConfig per_gadget = mech;
@@ -101,26 +123,30 @@ sim::SliceAgent EventObfuscator::session() {
     calculators->emplace_back(per_gadget);
   }
   std::shared_ptr<double> total_reps = total_reps_;
+  std::shared_ptr<std::uint64_t> total_draws = total_draws_;
 
-  return [calculators, controller, injector, total_reps](
+  return [calculators, controller, injectors, plan, total_reps, total_draws](
              sim::VirtualMachine& vm, std::size_t t) {
-    (void)t;
     // Kernel module: RDPMC the protected series (previous slice) and send
     // it to the daemon over the netlink channel.
     controller->sample(vm);
     const double x_t = controller->dequeue();
-    // Userspace daemon: compute per-gadget noise and inject.
-    const double before = injector->total_repetitions();
+    // Userspace daemon: compute per-gadget noise and inject through the
+    // slice's scheduled plan variant (index 0 when not rotating).
+    NoiseInjector& injector =
+        *(*injectors)[plan ? plan->variant_at(t) : 0];
+    const double before = injector.total_repetitions();
     if (calculators->size() == 1) {
-      injector->inject(vm, (*calculators)[0].noise_for(x_t));
+      injector.inject(vm, (*calculators)[0].noise_for(x_t));
     } else {
       std::vector<double> noise(calculators->size());
       for (std::size_t g = 0; g < noise.size(); ++g) {
         noise[g] = (*calculators)[g].noise_for(x_t);
       }
-      injector->inject_mixture(vm, noise);
+      injector.inject_mixture(vm, noise);
     }
-    *total_reps += injector->total_repetitions() - before;
+    *total_draws += calculators->size();
+    *total_reps += injector.total_repetitions() - before;
   };
 }
 

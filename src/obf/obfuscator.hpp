@@ -24,6 +24,7 @@
 #include "obf/injector.hpp"
 #include "obf/kernel_controller.hpp"
 #include "obf/noise_calculator.hpp"
+#include "obf/rotating_plan.hpp"
 #include "sim/host_monitor.hpp"
 #include "workload/workload.hpp"
 
@@ -43,6 +44,11 @@ struct ObfuscatorConfig {
   /// event space, which a defense-aware attacker can project out — kept
   /// only for the design-ablation bench.
   bool single_stream = false;
+  /// Dynamic defense: morph the injected plan over a deterministic schedule
+  /// (see obf/rotating_plan.hpp). ε-neutral: rotation never changes the
+  /// number of DP releases, only which gadget weights realize them.
+  bool rotate = false;
+  RotatingPlanConfig rotation;
   std::uint64_t seed = 1;
 };
 
@@ -87,6 +93,10 @@ class EventObfuscator {
   double total_injected_repetitions() const noexcept;
   /// Injected counts as seen on the reference event.
   double total_injected_reference_counts() const noexcept;
+  /// Cumulative DP mechanism invocations across all sessions — what the
+  /// privacy accountant charges. Rotation must leave this identical to the
+  /// fixed plan's (tests/obf_test RotationIsPrivacyNeutral).
+  std::uint64_t total_noise_draws() const noexcept { return *total_draws_; }
   std::size_t sessions_started() const noexcept { return sessions_; }
 
   const fuzzer::GadgetCover& cover() const noexcept { return cover_; }
@@ -102,6 +112,8 @@ class EventObfuscator {
   std::size_t sessions_ = 0;
   // Shared across sessions for cumulative accounting.
   std::shared_ptr<double> total_reps_ = std::make_shared<double>(0.0);
+  std::shared_ptr<std::uint64_t> total_draws_ =
+      std::make_shared<std::uint64_t>(0);
   double reference_delta_ = 1.0;
 };
 

@@ -1,0 +1,45 @@
+#include "obf/rotating_plan.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace aegis::obf {
+
+RotatingPlan::RotatingPlan(std::vector<WeightedGadget> base,
+                           RotatingPlanConfig config)
+    : config_(config) {
+  if (base.empty()) {
+    throw std::invalid_argument("RotatingPlan: empty base segment");
+  }
+  if (config_.variants == 0) config_.variants = 1;
+  if (config_.period == 0) config_.period = 1;
+
+  // A seed-derived phase offset decorrelates the boosted subsets from the
+  // base segment's gadget order without changing the gadget list.
+  util::Rng rng(config_.seed);
+  const std::size_t phase = static_cast<std::size_t>(
+      rng.uniform_index(static_cast<std::uint64_t>(base.size())));
+
+  segments_.reserve(config_.variants);
+  for (std::size_t v = 0; v < config_.variants; ++v) {
+    std::vector<WeightedGadget> variant = base;
+    for (std::size_t g = 0; g < variant.size(); ++g) {
+      if ((g + phase + v) % config_.variants == 0) {
+        variant[g].weight *= config_.boost;
+      }
+    }
+    segments_.push_back(std::move(variant));
+  }
+
+  schedule_.resize(segments_.size());
+  std::iota(schedule_.begin(), schedule_.end(), 0);
+  rng.shuffle(schedule_);
+}
+
+std::size_t RotatingPlan::variant_at(std::size_t slice) const noexcept {
+  return schedule_[(slice / config_.period) % schedule_.size()];
+}
+
+}  // namespace aegis::obf

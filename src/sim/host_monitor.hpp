@@ -26,6 +26,16 @@ using BlockSource = std::function<std::vector<InstructionBlock>(std::size_t)>;
 /// flow; the hypervisor cannot tell agent blocks from workload blocks.
 using SliceAgent = std::function<void(VirtualMachine&, std::size_t)>;
 
+/// Attacker-controlled slice boundaries (SEV-Step-style single stepping):
+/// before recording sample s, the planner is shown the previously recorded
+/// per-event delta (empty for s = 0) and returns how many base scheduling
+/// slices to coalesce into the next sample (clamped to >= 1). The victim
+/// still executes base slices — only the hypervisor's read cadence changes,
+/// which is exactly the attacker's power: interrupt-driven stepping picks
+/// WHERE the counter reads land instead of passively consuming 1 ms windows.
+using SlicePlanner =
+    std::function<std::size_t(std::size_t, const std::vector<double>&)>;
+
 struct MonitorResult {
   /// samples[t][e] = count delta of programmed event e during slice t.
   std::vector<std::vector<double>> samples;
@@ -43,6 +53,19 @@ class HostMonitor {
   MonitorResult monitor(VirtualMachine& vm, const BlockSource& source,
                         const std::vector<std::uint32_t>& event_ids,
                         std::size_t slices, const SliceAgent& agent = nullptr);
+
+  /// Monitors `vm` for `base_slices` scheduling intervals, but lets
+  /// `planner` choose the sampling boundaries: each recorded sample covers
+  /// the planner's chosen number of consecutive base slices (trailing base
+  /// slices past the budget are truncated). With a null planner (or one
+  /// that always answers 1) this is bit-identical to monitor(). The agent,
+  /// when present, still fires once per BASE slice — defense cadence is the
+  /// guest's, not the attacker's.
+  MonitorResult monitor_stepped(VirtualMachine& vm, const BlockSource& source,
+                                const std::vector<std::uint32_t>& event_ids,
+                                std::size_t base_slices,
+                                const SlicePlanner& planner,
+                                const SliceAgent& agent = nullptr);
 
   /// Total (cumulative) counts over a run, for warm-up profiling where only
   /// aggregate activity matters.

@@ -20,11 +20,12 @@ double Trace::event_total(std::size_t e) const noexcept {
   return total;
 }
 
-std::vector<double> Trace::window_features(std::size_t windows) const {
+std::vector<double> Trace::window_features(std::size_t windows,
+                                           bool pad) const {
   const std::size_t T = slices();
   const std::size_t E = events();
   if (windows == 0 || T == 0) return {};
-  if (windows > T) windows = T;
+  if (windows > T && !pad) windows = T;
   std::vector<double> features(E * windows, 0.0);
   std::vector<double> counts(windows, 0.0);
   for (std::size_t t = 0; t < T; ++t) {
@@ -43,8 +44,9 @@ std::vector<double> Trace::window_features(std::size_t windows) const {
   return features;
 }
 
-std::vector<double> Trace::sorted_window_features(std::size_t windows) const {
-  std::vector<double> features = window_features(windows);
+std::vector<double> Trace::sorted_window_features(std::size_t windows,
+                                                  bool pad) const {
+  std::vector<double> features = window_features(windows, pad);
   const std::size_t E = events();
   if (E == 0) return features;
   const std::size_t w = features.size() / E;
@@ -61,6 +63,35 @@ void TraceSet::split(double train_fraction, util::Rng& rng, TraceSet& train,
   std::vector<std::size_t> order(traces.size());
   std::iota(order.begin(), order.end(), 0);
   rng.shuffle(order);
+  const std::size_t n_train =
+      static_cast<std::size_t>(train_fraction * static_cast<double>(order.size()));
+  train = TraceSet{};
+  validation = TraceSet{};
+  train.num_classes = num_classes;
+  validation.num_classes = num_classes;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    TraceSet& dst = i < n_train ? train : validation;
+    dst.traces.push_back(traces[order[i]]);
+    dst.labels.push_back(labels[order[i]]);
+  }
+}
+
+std::vector<std::size_t> split_order_by_id(std::size_t n, std::uint64_t seed) {
+  std::vector<std::pair<std::uint64_t, std::size_t>> keyed;
+  keyed.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keyed.emplace_back(util::split_mix64(seed, i), i);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (const auto& [key, i] : keyed) order.push_back(i);
+  return order;
+}
+
+void TraceSet::split_by_id(double train_fraction, std::uint64_t seed,
+                           TraceSet& train, TraceSet& validation) const {
+  const std::vector<std::size_t> order = split_order_by_id(traces.size(), seed);
   const std::size_t n_train =
       static_cast<std::size_t>(train_fraction * static_cast<double>(order.size()));
   train = TraceSet{};

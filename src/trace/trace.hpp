@@ -31,13 +31,20 @@ struct Trace {
   /// `windows` equal chunks and averages each event within a chunk,
   /// yielding an events() * windows feature vector. This is the temporal
   /// pooling the paper's CNN front-end effectively performs.
-  std::vector<double> window_features(std::size_t windows) const;
+  /// By default a trace shorter than `windows` shrinks the vector to
+  /// events() * T; with `pad` the dimension is always events() * windows
+  /// and windows that received no sample stay zero. Classifiers need
+  /// `pad` when trace length varies per run (attacker-stepped sampling),
+  /// because their input dimension is fixed at training time.
+  std::vector<double> window_features(std::size_t windows,
+                                      bool pad = false) const;
 
   /// Like window_features, but each event's windows are sorted descending —
   /// an order-statistic view that is invariant to *when* activity bursts
   /// occur. This supplies the translation invariance the paper's CNN gets
   /// from convolution; transient workloads (keystrokes) need it.
-  std::vector<double> sorted_window_features(std::size_t windows) const;
+  std::vector<double> sorted_window_features(std::size_t windows,
+                                             bool pad = false) const;
 };
 
 struct TraceSet {
@@ -50,7 +57,22 @@ struct TraceSet {
   /// Random split preserving nothing fancy (the paper splits 70/30).
   void split(double train_fraction, util::Rng& rng, TraceSet& train,
              TraceSet& validation) const;
+
+  /// Deterministic split keyed purely on (seed, trace id): trace i ranks by
+  /// split_mix64(seed, i) and the lowest-keyed 70% (say) train. Unlike the
+  /// Rng overload the assignment is a pure function of the seed and each
+  /// trace's stable index — independent of container iteration order, of
+  /// how many draws the caller's RNG made before the split, and of thread
+  /// count — so training sets are reproducible from the seed alone.
+  void split_by_id(double train_fraction, std::uint64_t seed, TraceSet& train,
+                   TraceSet& validation) const;
 };
+
+/// Index order underlying split_by_id: [0, n) sorted ascending by
+/// (split_mix64(seed, i), i). The first floor(train_fraction * n) indices
+/// of this order form the training split. Shared with the sequence attacks
+/// (MEA/KEA), which split frame sequences rather than TraceSets.
+std::vector<std::size_t> split_order_by_id(std::size_t n, std::uint64_t seed);
 
 /// Per-dimension z-score normalizer fitted on training features and applied
 /// to both splits (never fit on validation).

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "trace/gaussian.hpp"
@@ -69,6 +70,25 @@ TEST(Trace, WindowCountClampedToSlices) {
   EXPECT_EQ(t.window_features(10).size(), 2u);
 }
 
+TEST(Trace, PaddedWindowFeaturesKeepFixedDimension) {
+  // Attacker-stepped sampling produces variable-length traces; classifiers
+  // need a dimension that depends only on `windows`, never on T.
+  Trace shorter, longer;
+  shorter.samples = {{1.0}, {3.0}};
+  longer.samples.assign(12, {2.0});
+  EXPECT_EQ(shorter.window_features(4, /*pad=*/true).size(), 4u);
+  EXPECT_EQ(longer.window_features(4, /*pad=*/true).size(), 4u);
+  // Samples land at w = t * windows / T; untouched windows stay zero.
+  const auto f = shorter.window_features(4, /*pad=*/true);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[1], 0.0);
+  EXPECT_DOUBLE_EQ(f[2], 3.0);
+  EXPECT_DOUBLE_EQ(f[3], 0.0);
+  // With T >= windows, pad changes nothing.
+  EXPECT_EQ(longer.window_features(4, /*pad=*/true),
+            longer.window_features(4));
+}
+
 TEST(Trace, SortedWindowFeaturesAreBurstPositionInvariant) {
   Trace early, late;
   early.samples.assign(20, {0.0});
@@ -92,6 +112,77 @@ TEST(TraceSet, SplitPreservesAllSamples) {
   EXPECT_EQ(train.size(), 7u);
   EXPECT_EQ(val.size(), 3u);
   EXPECT_EQ(train.num_classes, 2);
+}
+
+TEST(TraceSet, SplitByIdPreservesAllSamplesAndIsDisjoint) {
+  TraceSet set;
+  set.num_classes = 2;
+  for (int i = 0; i < 10; ++i) {
+    set.traces.push_back(make_trace(3, 1, i));
+    set.labels.push_back(i % 2);
+  }
+  TraceSet train, val;
+  set.split_by_id(0.7, 5, train, val);
+  EXPECT_EQ(train.size(), 7u);
+  EXPECT_EQ(val.size(), 3u);
+  EXPECT_EQ(train.num_classes, 2);
+  // Every trace lands in exactly one half (identity = its base value).
+  std::vector<double> seen;
+  for (const auto& t : train.traces) seen.push_back(t.samples[0][0]);
+  for (const auto& t : val.traces) seen.push_back(t.samples[0][0]);
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(seen[i], i);
+}
+
+TEST(TraceSet, SplitByIdIsPureFunctionOfSeedAndId) {
+  // Regression: the split must not depend on ambient RNG state or call
+  // order — two calls with the same seed produce identical halves, and a
+  // different seed produces a different assignment.
+  TraceSet set;
+  set.num_classes = 4;
+  for (int i = 0; i < 16; ++i) {
+    set.traces.push_back(make_trace(2, 1, i));
+    set.labels.push_back(i % 4);
+  }
+  TraceSet train_a, val_a, train_b, val_b;
+  set.split_by_id(0.75, 42, train_a, val_a);
+  set.split_by_id(0.75, 42, train_b, val_b);
+  ASSERT_EQ(train_a.size(), train_b.size());
+  for (std::size_t i = 0; i < train_a.size(); ++i) {
+    EXPECT_EQ(train_a.traces[i].samples, train_b.traces[i].samples);
+    EXPECT_EQ(train_a.labels[i], train_b.labels[i]);
+  }
+  TraceSet train_c, val_c;
+  set.split_by_id(0.75, 43, train_c, val_c);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < train_a.size(); ++i) {
+    if (train_a.traces[i].samples != train_c.traces[i].samples) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Trace, SplitOrderByIdIsDeterministicPermutation) {
+  const std::vector<std::size_t> a = split_order_by_id(20, 7);
+  const std::vector<std::size_t> b = split_order_by_id(20, 7);
+  EXPECT_EQ(a, b);
+  std::vector<std::size_t> sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(sorted[i], i);
+  EXPECT_NE(split_order_by_id(20, 8), a);
+}
+
+TEST(Trace, SplitOrderByIdRanksIdsIndependentlyOfSetSize) {
+  // Each id's rank key is split_mix64(seed, id): adding traces to the set
+  // must not reshuffle the relative order of the ids already present.
+  const std::vector<std::size_t> small = split_order_by_id(10, 11);
+  const std::vector<std::size_t> large = split_order_by_id(14, 11);
+  std::vector<std::size_t> restricted;
+  for (std::size_t id : large) {
+    if (id < 10) restricted.push_back(id);
+  }
+  EXPECT_EQ(restricted, small);
 }
 
 TEST(Standardizer, NormalizesTrainDistribution) {

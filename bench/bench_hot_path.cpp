@@ -20,6 +20,7 @@
 #include "bench_common.hpp"
 #include "pmu/counter_file.hpp"
 #include "pmu/event_database.hpp"
+#include "pmu/simd_dispatch.hpp"
 #include "sim/gadget_runner.hpp"
 
 namespace aegis::bench {
@@ -27,6 +28,7 @@ namespace {
 
 using pmu::AccumulateEngine;
 using pmu::CounterRegisterFile;
+namespace simd = pmu::simd;
 
 double g_sink = 0.0;  // defeats dead-code elimination across timed loops
 
@@ -127,22 +129,35 @@ double sweep_events_per_sec(const pmu::EventDatabase& db,
   return static_cast<double>(db.size()) / secs;
 }
 
-void emit(std::ostream& out, double acc4_ref, double acc4_bat,
-          double sweep_ref, double sweep_bat, double exec_ns,
-          double sweep_eps_ref, double sweep_eps_bat) {
-  char buf[1536];
+void emit(std::ostream& out, double acc4_ref, double acc4_scalar,
+          double acc4_bat, double sweep_ref, double sweep_scalar,
+          double sweep_bat, double exec_ns, double sweep_eps_ref,
+          double sweep_eps_bat) {
+  // The engine/cpu fields record WHICH kernel produced the batched numbers,
+  // so a regression diff across machines (or an AEGIS_FORCE_SCALAR run)
+  // is attributable instead of mysterious.
+  const simd::CpuFeatures cpu = simd::detect_cpu_features();
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "{\n"
       "  \"bench\": \"hotpath\",\n"
       "  \"cpu_model\": \"AmdEpyc7252\",\n"
+      "  \"engine\": \"%s\",\n"
+      "  \"cpu\": {\n"
+      "    \"avx2\": %s,\n"
+      "    \"avx512\": %s,\n"
+      "    \"force_scalar\": %s\n"
+      "  },\n"
       "  \"accumulate_4_events\": {\n"
       "    \"reference_ns\": %.2f,\n"
+      "    \"scalar_ns\": %.2f,\n"
       "    \"batched_ns\": %.2f,\n"
       "    \"speedup\": %.2f\n"
       "  },\n"
       "  \"accumulate_sweep_1903_events\": {\n"
       "    \"reference_ns\": %.2f,\n"
+      "    \"scalar_ns\": %.2f,\n"
       "    \"batched_ns\": %.2f,\n"
       "    \"speedup\": %.2f\n"
       "  },\n"
@@ -155,7 +170,10 @@ void emit(std::ostream& out, double acc4_ref, double acc4_bat,
       "    \"speedup\": %.2f\n"
       "  }\n"
       "}\n",
-      acc4_ref, acc4_bat, acc4_ref / acc4_bat, sweep_ref, sweep_bat,
+      simd::to_string(simd::best_isa()), cpu.avx2 ? "true" : "false",
+      cpu.avx512 ? "true" : "false",
+      simd::force_scalar_env() ? "true" : "false", acc4_ref, acc4_scalar,
+      acc4_bat, acc4_ref / acc4_bat, sweep_ref, sweep_scalar, sweep_bat,
       sweep_ref / sweep_bat, exec_ns, sweep_eps_ref, sweep_eps_bat,
       sweep_eps_bat / sweep_eps_ref);
   out << buf;
@@ -177,15 +195,24 @@ int run(int argc, char** argv) {
   std::vector<std::uint32_t> all_ids;
   for (std::uint32_t id = 0; id < db.size(); ++id) all_ids.push_back(id);
 
+  std::cerr << "bench_hot_path: engine " << simd::to_string(simd::best_isa())
+            << " (avx2=" << simd::detect_cpu_features().avx2
+            << " avx512=" << simd::detect_cpu_features().avx512
+            << " force_scalar=" << simd::force_scalar_env() << ")\n";
+
   std::cerr << "bench_hot_path: accumulate (4 events)...\n";
   const double acc4_ref =
       accumulate_ns(db, four, AccumulateEngine::kReference, iters, reps);
+  const double acc4_scalar =
+      accumulate_ns(db, four, AccumulateEngine::kScalar, iters, reps);
   const double acc4_bat =
       accumulate_ns(db, four, AccumulateEngine::kBatched, iters, reps);
 
   std::cerr << "bench_hot_path: accumulate (1903-event sweep mode)...\n";
   const double sweep_ref = accumulate_ns(
       db, all_ids, AccumulateEngine::kReference, sweep_iters, reps);
+  const double sweep_scalar = accumulate_ns(
+      db, all_ids, AccumulateEngine::kScalar, sweep_iters, reps);
   const double sweep_bat =
       accumulate_ns(db, all_ids, AccumulateEngine::kBatched, sweep_iters, reps);
 
@@ -205,12 +232,12 @@ int run(int argc, char** argv) {
       std::cerr << "bench_hot_path: cannot open " << argv[1] << "\n";
       return 1;
     }
-    emit(out, acc4_ref, acc4_bat, sweep_ref, sweep_bat, exec_ns, eps_ref,
-         eps_bat);
+    emit(out, acc4_ref, acc4_scalar, acc4_bat, sweep_ref, sweep_scalar,
+         sweep_bat, exec_ns, eps_ref, eps_bat);
     std::cerr << "bench_hot_path: wrote " << argv[1] << "\n";
   } else {
-    emit(std::cout, acc4_ref, acc4_bat, sweep_ref, sweep_bat, exec_ns, eps_ref,
-         eps_bat);
+    emit(std::cout, acc4_ref, acc4_scalar, acc4_bat, sweep_ref, sweep_scalar,
+         sweep_bat, exec_ns, eps_ref, eps_bat);
   }
   if (g_sink == -1.0) std::cerr << "";  // keep the sink observable
   return 0;

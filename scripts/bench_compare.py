@@ -4,8 +4,16 @@
 Usage:
     scripts/bench_compare.py BASELINE_hotpath.json FRESH_hotpath.json \
                              BASELINE_service.json FRESH_service.json
+    scripts/bench_compare.py --hotpath BASELINE_hotpath.json \
+                             FRESH_hotpath.json
+    scripts/bench_compare.py --service BASELINE_service.json \
+                             FRESH_service.json
     scripts/bench_compare.py --security BASELINE_security.json \
                              FRESH_security.json
+
+The 4-argument form gates hotpath + service together (the CI perf leg);
+--hotpath / --service gate one artifact each (--hotpath is what
+scripts/check.sh runs locally, where the service bench is too slow).
 
 Headline metrics (everything else in the JSON is informational):
   hotpath   accumulate_4_events.batched_ns            lower is better
@@ -13,6 +21,12 @@ Headline metrics (everything else in the JSON is informational):
             execute_once.steady_state_ns              lower is better
             profiler_sweep.batched_events_per_sec     higher is better
   service   max over sweep of throughput_sessions_per_sec   higher is better
+
+When both sides of a hotpath comparison record the SIMD engine that
+produced them (the "engine" field), a mismatch is reported as a note:
+cross-engine deltas are attributable to dispatch, not to a code
+regression, but the numbers still gate — an accidental scalar fallback on
+a machine that used to run AVX2 IS a regression worth failing on.
 
 A metric regresses when it is worse than the baseline by more than the
 tolerance (default 15%, override with AEGIS_BENCH_TOLERANCE, a fraction).
@@ -184,6 +198,14 @@ def compare_security(base_path, fresh_path):
     return regressions
 
 
+def note_engine_mismatch(baseline, fresh):
+    base_engine = baseline.get("engine")
+    fresh_engine = fresh.get("engine")
+    if base_engine and fresh_engine and base_engine != fresh_engine:
+        print(f"note  engine changed: baseline ran {base_engine!r}, fresh "
+              f"ran {fresh_engine!r} — deltas include the dispatch change")
+
+
 def compare(metrics, baseline, fresh, tol):
     """Returns the number of regressions, printing one line per metric."""
     regressions = 0
@@ -215,6 +237,15 @@ def compare(metrics, baseline, fresh, tol):
     return regressions
 
 
+def finish(regressions, tol):
+    if regressions:
+        print(f"bench_compare: {regressions} metric(s) regressed beyond "
+              f"{tol * 100:.0f}%", file=sys.stderr)
+        return 1
+    print("bench_compare: all headline metrics within tolerance")
+    return 0
+
+
 def main(argv):
     if len(argv) == 4 and argv[1] == "--security":
         regressions = compare_security(argv[2], argv[3])
@@ -224,20 +255,26 @@ def main(argv):
             return 1
         print("bench_compare: no security cell rose above tolerance")
         return 0
+    if len(argv) == 4 and argv[1] == "--hotpath":
+        baseline, fresh = load(argv[2]), load(argv[3])
+        note_engine_mismatch(baseline, fresh)
+        tol = tolerance()
+        return finish(compare(HOTPATH_METRICS, baseline, fresh, tol), tol)
+    if len(argv) == 4 and argv[1] == "--service":
+        tol = tolerance()
+        return finish(
+            compare(SERVICE_METRICS, load(argv[2]), load(argv[3]), tol), tol)
     if len(argv) != 5:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     base_hot, fresh_hot, base_svc, fresh_svc = argv[1:5]
     tol = tolerance()
+    baseline_hot, fresh_hot_doc = load(base_hot), load(fresh_hot)
+    note_engine_mismatch(baseline_hot, fresh_hot_doc)
     regressions = 0
-    regressions += compare(HOTPATH_METRICS, load(base_hot), load(fresh_hot), tol)
+    regressions += compare(HOTPATH_METRICS, baseline_hot, fresh_hot_doc, tol)
     regressions += compare(SERVICE_METRICS, load(base_svc), load(fresh_svc), tol)
-    if regressions:
-        print(f"bench_compare: {regressions} metric(s) regressed beyond "
-              f"{tol * 100:.0f}%", file=sys.stderr)
-        return 1
-    print("bench_compare: all headline metrics within tolerance")
-    return 0
+    return finish(regressions, tol)
 
 
 if __name__ == "__main__":

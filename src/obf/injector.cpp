@@ -62,12 +62,15 @@ NoiseInjector::NoiseInjector(const isa::IsaSpecification& spec,
   // Submissions are split into bounded chunks so one injection cannot
   // monopolize a slice's cycle budget in a single unsplittable block.
   per_gadget_max_reps_.reserve(per_gadget_.size());
+  per_gadget_full_chunk_.reserve(per_gadget_.size());
   for (const sim::InstructionBlock& block : per_gadget_) {
     const double uops_per_rep = std::max(block.uops, 1.0);
     per_gadget_max_reps_.push_back(std::max(1.0, kMaxChunkUops / uops_per_rep));
+    per_gadget_full_chunk_.push_back(block.scaled(per_gadget_max_reps_.back()));
   }
   segment_max_reps_per_chunk_ =
       std::max(1.0, kMaxChunkUops / std::max(segment_.uops, 1.0));
+  segment_full_chunk_ = segment_.scaled(segment_max_reps_per_chunk_);
 }
 
 // aegis-lint: noalloc
@@ -83,11 +86,17 @@ double NoiseInjector::inject_mixture(sim::VirtualMachine& vm,
     if (reps <= 0.0) continue;
     reps_total += reps;
     const double max_reps = per_gadget_max_reps_[g];
+    // Full chunks submit the precomputed block; this yields the identical
+    // submission sequence as scaling every chunk (the last chunk, including
+    // the remaining == max_reps case, is block.scaled(remaining) either way
+    // and full chunks are by definition scaled(max_reps)).
     double remaining = reps;
-    while (remaining > 0.0) {
-      const double chunk = std::min(remaining, max_reps);
-      vm.submit(per_gadget_[g].scaled(chunk));
-      remaining -= chunk;
+    while (remaining > max_reps) {
+      vm.submit(per_gadget_full_chunk_[g]);
+      remaining -= max_reps;
+    }
+    if (remaining > 0.0) {
+      vm.submit(per_gadget_[g].scaled(remaining));
     }
   }
   const double mean_reps =
@@ -105,11 +114,14 @@ double NoiseInjector::inject(sim::VirtualMachine& vm, double noise_norm) {
   const double clipped = std::clamp(noise_norm, 0.0, clip_norm_);
   const double reps = clipped * unit_reps_;
   if (reps <= 0.0) return 0.0;
+  // Same chunk sequence as scaling each chunk per call; see inject_mixture.
   double remaining = reps;
-  while (remaining > 0.0) {
-    const double chunk = std::min(remaining, segment_max_reps_per_chunk_);
-    vm.submit(segment_.scaled(chunk));
-    remaining -= chunk;
+  while (remaining > segment_max_reps_per_chunk_) {
+    vm.submit(segment_full_chunk_);
+    remaining -= segment_max_reps_per_chunk_;
+  }
+  if (remaining > 0.0) {
+    vm.submit(segment_.scaled(remaining));
   }
   total_reps_ += reps;
   injections_.inc();

@@ -62,11 +62,16 @@ class NoiseInjector {
  private:
   sim::InstructionBlock segment_;   // one execution of all cover gadgets
   std::vector<sim::InstructionBlock> per_gadget_;  // weighted, per gadget
-  // Chunking bounds precomputed at construction: inject runs on the
-  // protected VM's per-slice execution path, so per-call divisions over
-  // immutable segment shapes were hoisted out of it.
+  // Chunking bounds AND the full-sized chunk blocks precomputed at
+  // construction: inject runs on the protected VM's per-slice execution
+  // path, so per-call divisions over immutable segment shapes — and the
+  // scaled() block materialization for every full chunk, which dominates
+  // large injections — were hoisted out of it. Only the final partial
+  // chunk still scales per call.
   double segment_max_reps_per_chunk_ = 1.0;
+  sim::InstructionBlock segment_full_chunk_;  // segment_.scaled(max chunk)
   std::vector<double> per_gadget_max_reps_;
+  std::vector<sim::InstructionBlock> per_gadget_full_chunk_;
   double unit_reps_ = 1.0;
   double clip_norm_ = 0.0;
   std::size_t gadget_count_ = 0;

@@ -12,6 +12,26 @@ namespace {
 
 std::atomic<AccumulateEngine> g_default_engine{AccumulateEngine::kBatched};
 
+/// What a requested engine runs as after the once-per-program dispatch:
+/// unsupported pins (CPU without the ISA, or AEGIS_FORCE_SCALAR=1) degrade
+/// to scalar rather than crash, and resolved_isa() reports the truth.
+simd::SimdIsa resolve_isa(AccumulateEngine engine) noexcept {
+  switch (engine) {
+    case AccumulateEngine::kBatched:
+      return simd::best_isa();
+    case AccumulateEngine::kAvx2:
+      return simd::supported(simd::SimdIsa::kAvx2) ? simd::SimdIsa::kAvx2
+                                                   : simd::SimdIsa::kScalar;
+    case AccumulateEngine::kAvx512:
+      return simd::supported(simd::SimdIsa::kAvx512) ? simd::SimdIsa::kAvx512
+                                                     : simd::SimdIsa::kScalar;
+    case AccumulateEngine::kScalar:
+    case AccumulateEngine::kReference:
+      break;
+  }
+  return simd::SimdIsa::kScalar;
+}
+
 }  // namespace
 
 void CounterRegisterFile::set_default_engine(AccumulateEngine engine) noexcept {
@@ -28,7 +48,19 @@ CounterRegisterFile::CounterRegisterFile(const EventDatabase& db,
       rng_(noise_seed),
       engine_(default_engine()),
       accumulate_calls_(telemetry::Registry::global().metrics().counter(
-          "aegis_pmu_accumulate_total")) {}
+          "aegis_pmu_accumulate_total")),
+      engine_isa_gauge_(telemetry::Registry::global().metrics().gauge(
+          "aegis_pmu_engine_isa")) {
+  resolve_dispatch();
+}
+
+void CounterRegisterFile::resolve_dispatch() noexcept {
+  resolved_isa_ = resolve_isa(engine_);
+  group_kernel_ = resolved_isa_ == simd::SimdIsa::kScalar
+                      ? nullptr
+                      : simd::expected_group_kernel(resolved_isa_);
+  engine_isa_gauge_.set(static_cast<double>(resolved_isa_));
+}
 
 void CounterRegisterFile::program(std::vector<std::uint32_t> event_ids) {
   for (std::uint32_t id : event_ids) {
@@ -47,6 +79,7 @@ void CounterRegisterFile::program(std::vector<std::uint32_t> event_ids) {
   }
   active_group_ = 0;
   total_slices_ = 0;
+  resolve_dispatch();
 }
 
 void CounterRegisterFile::reset() noexcept {
@@ -86,10 +119,10 @@ std::size_t CounterRegisterFile::slot_of(std::uint32_t event_id) const {
 // aegis-lint: noalloc
 void CounterRegisterFile::accumulate(const ExecutionStats& stats) {
   accumulate_calls_.inc();
-  if (engine_ == AccumulateEngine::kBatched) {
-    accumulate_batched(stats);
-  } else {
+  if (engine_ == AccumulateEngine::kReference) {
     accumulate_reference(stats);
+  } else {
+    accumulate_batched(stats);
   }
 }
 
@@ -99,6 +132,27 @@ void CounterRegisterFile::accumulate_batched(const ExecutionStats& stats) {
   if (first >= last) return;
   double features[kStatsFeatureDim];
   flatten_stats(stats, features);
+  if (group_kernel_ != nullptr) {
+    // SIMD fast path: one kernel call computes the active group's 4
+    // expected counts from the blocked-sparse layout (bit-identical to the
+    // dense loop below); the noise draws then run in the identical per-slot
+    // order so the RNG stream is untouched by the engine choice.
+    alignas(32) double lanes[ResponseMatrix::kLanes];
+    const ResponseMatrix::GroupView view = matrix_.group_view(active_group_);
+    group_kernel_(view.lane_coeff, view.col_feat, view.cols, features, lanes);
+    for (std::size_t i = first; i < last; ++i) {
+      const double raw = lanes[i - first];
+      const double expected = raw < 0.0 ? 0.0 : raw;  // expected()'s clamp
+      double noisy = expected;
+      const float noise_rel = matrix_.noise_rel(i);
+      if (noise_rel > 0.0f && expected > 0.0) {
+        noisy += rng_.normal(0.0, noise_rel * expected);
+      }
+      if (noisy < 0.0) noisy = 0.0;
+      slots_[i].count += noisy;
+    }
+    return;
+  }
   for (std::size_t i = first; i < last; ++i) {
     const double expected = matrix_.expected(i, features);
     double noisy = expected;
@@ -130,10 +184,10 @@ void CounterRegisterFile::accumulate_reference(const ExecutionStats& stats) {
 }
 
 void CounterRegisterFile::end_slice() {
-  if (engine_ == AccumulateEngine::kBatched) {
-    end_slice_batched();
-  } else {
+  if (engine_ == AccumulateEngine::kReference) {
     end_slice_reference();
+  } else {
+    end_slice_batched();
   }
   ++total_slices_;
   if (multiplexed()) {
@@ -144,6 +198,13 @@ void CounterRegisterFile::end_slice() {
 // aegis-lint: noalloc
 void CounterRegisterFile::end_slice_batched() {
   const auto [first, last] = active_range();
+  if (first >= last) return;
+  if (!matrix_.group_has_slice_noise(active_group_)) {
+    // Noise-free group (precomputed at program() time): the sampler's
+    // end-of-slice work collapses to the active-slice bookkeeping.
+    for (std::size_t i = first; i < last; ++i) ++slots_[i].active_slices;
+    return;
+  }
   for (std::size_t i = first; i < last; ++i) {
     double background = 0.0;
     const float host_background = matrix_.host_background(i);

@@ -11,12 +11,27 @@
 // program() time, into a dense row-major double matrix so that accumulate
 // becomes a small mat-vec against one flattened feature vector.
 //
+// On top of the dense rows, program() builds a group-blocked column-sparse
+// layout for the SIMD engines (see DESIGN.md "SIMD kernels & superblock
+// fusion"): rows are blocked into groups of kLanes = 4 — exactly the
+// hardware counter groups accumulate touches — padded with zero rows to the
+// lane width and 64-byte aligned. Per group only the ascending union of
+// feature columns with a nonzero coefficient in ANY lane is kept, each
+// stored as 4 packed lane coefficients. Pruning exact-zero columns and
+// padding with zero lanes are both bit-exact no-ops (see
+// simd_dispatch.hpp), so kernels vectorize ACROSS rows while each lane
+// retains the scalar per-row term order. Event responses are archetype-
+// sparse (most rows have 1-3 nonzero coefficients), so the per-group union
+// is typically ~4-8 of the 34 columns — the short-row fast path the 4-event
+// attack configuration runs entirely inside one group.
+//
 // Contract: expected(row, features) performs bit-identical arithmetic to
 // EventResponse::expected_count on the same ExecutionStats record — the
 // same terms, in the same order, at the same (double) precision — so the
 // batched engine is a drop-in replacement for the retained reference
-// implementation. tests/hotpath_test.cpp proves the equivalence end to end
-// (fuzzing shard + profiler ranking, bit-identical counters).
+// implementation, and every SIMD kernel is bit-identical to expected().
+// tests/hotpath_test.cpp proves the equivalence end to end (fuzzing shard +
+// profiler ranking, bit-identical counters, per-group kernel sweeps).
 #pragma once
 
 #include <cstdint>
@@ -36,20 +51,45 @@ inline constexpr std::size_t kStatsFeatureDim = isa::kNumInstructionClasses + 9;
 /// scalars in EventResponse::expected_count's term order (uops, l1_misses,
 /// llc_misses, l1_writes, branch_mispredicts, mem_reads, mem_writes,
 /// cycles, interrupts). Changing this order breaks the bit-identity
-/// contract with the reference implementation.
+/// contract with the reference implementation (pinned by the
+/// FlattenStatsGoldenLayout test).
 void flatten_stats(const ExecutionStats& s, double* out) noexcept;
 
 class ResponseMatrix {
  public:
+  /// Rows per group block == hardware counters per multiplex group == SIMD
+  /// lanes per kernel call.
+  static constexpr std::size_t kLanes = EventDatabase::kNumCounters;
+
+  /// One group of the blocked column-sparse layout: `cols` sparse columns,
+  /// each 4 packed lane coefficients at coeff[4*c .. 4*c+3] responding to
+  /// feature col_feat[c]. Column order is ascending feature index.
+  struct GroupView {
+    const double* lane_coeff = nullptr;  // 32-byte aligned, 4 doubles/column
+    const std::uint32_t* col_feat = nullptr;
+    std::size_t cols = 0;
+  };
+
   /// Flattens the EventResponse of each id into one dense coefficient row
-  /// (and caches the per-row noise terms used by end_slice). Validates ids
-  /// against the database exactly like the reference path (throws
-  /// std::out_of_range on unknown ids).
+  /// (and caches the per-row noise terms used by end_slice), then builds
+  /// the aligned group-blocked sparse layout. Validates ids against the
+  /// database exactly like the reference path (throws std::out_of_range on
+  /// unknown ids).
   void program(const EventDatabase& db, std::span<const std::uint32_t> ids);
 
   void clear() noexcept;
 
   std::size_t rows() const noexcept { return noise_.size(); }
+  std::size_t groups() const noexcept {
+    return group_off_.empty() ? 0 : group_off_.size() - 1;
+  }
+
+  // aegis-lint: noalloc
+  GroupView group_view(std::size_t group) const noexcept {
+    const std::uint32_t begin = group_off_[group];
+    return GroupView{lane_coeff_ + std::size_t{begin} * kLanes,
+                     col_feat_.data() + begin, group_off_[group + 1] - begin};
+  }
 
   /// Expected (noise-free) count of row `row` for a feature vector produced
   /// by flatten_stats. Bit-identical to EventResponse::expected_count.
@@ -69,6 +109,13 @@ class ResponseMatrix {
     return noise_[row].background;
   }
 
+  /// True when any row of `group` draws end-of-slice noise (host background
+  /// or absolute measurement noise). Groups of pure guest-visible events
+  /// without absolute noise skip the per-row draw tests entirely.
+  bool group_has_slice_noise(std::size_t group) const noexcept {
+    return slice_noise_[group] != 0;
+  }
+
  private:
   struct RowNoise {
     float rel = 0.0f;
@@ -76,8 +123,19 @@ class ResponseMatrix {
     float background = 0.0f;
   };
 
+  void build_group_blocks();
+
   std::vector<double> coeff_;   // rows() x kStatsFeatureDim, row-major
   std::vector<RowNoise> noise_;
+
+  // Group-blocked column-sparse layout (built by program, consumed by the
+  // SIMD kernels through group_view). lane_coeff_ points at the first
+  // 64-byte-aligned double inside lane_store_.
+  std::vector<double> lane_store_;
+  const double* lane_coeff_ = nullptr;
+  std::vector<std::uint32_t> col_feat_;
+  std::vector<std::uint32_t> group_off_;  // groups()+1 column offsets
+  std::vector<std::uint8_t> slice_noise_;  // per group: any abs/bg noise
 };
 
 }  // namespace aegis::pmu

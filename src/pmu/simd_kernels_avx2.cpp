@@ -1,0 +1,59 @@
+// AVX2 kernel for the group-blocked column-sparse expected-count layout.
+//
+// Compiled as its own translation unit with -mavx2 -ffp-contract=off (see
+// src/CMakeLists.txt): the rest of the library stays at the portable
+// baseline, and no FMA contraction can reassociate the per-lane add chain.
+// Only exact per-lane operations are used — one _mm256_mul_pd and one
+// dependent _mm256_add_pd per retained column — so each lane performs the
+// scalar reference accumulation bit for bit (IEEE-754 ops are exactly
+// rounded lane-wise; vectorizing ACROSS rows changes nothing about any
+// single row's term order).
+//
+// Callable only through simd::expected_group_kernel after a supported()
+// check resolved at program() time (dispatch-once rule).
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace aegis::pmu::simd {
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__AVX2__)
+
+bool have_avx2_support() noexcept {
+  return __builtin_cpu_supports("avx2") != 0;
+}
+
+void expected_group_avx2(const double* lane_coeff, const std::uint32_t* col_feat,
+                         std::size_t cols, const double* features,
+                         double* out_lanes) {
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t c = 0; c < cols; ++c) {
+    const __m256d lane = _mm256_load_pd(lane_coeff + 4 * c);
+    const __m256d f = _mm256_broadcast_sd(features + col_feat[c]);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(lane, f));
+  }
+  _mm256_storeu_pd(out_lanes, acc);
+}
+
+#else  // non-x86 or a toolchain without AVX2: never selected by dispatch.
+
+bool have_avx2_support() noexcept { return false; }
+
+void expected_group_avx2(const double* lane_coeff, const std::uint32_t* col_feat,
+                         std::size_t cols, const double* features,
+                         double* out_lanes) {
+  // Defensive fallback with the identical accumulation order.
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double f = features[col_feat[c]];
+    for (int l = 0; l < 4; ++l) acc[l] += lane_coeff[4 * c + l] * f;
+  }
+  for (int l = 0; l < 4; ++l) out_lanes[l] = acc[l];
+}
+
+#endif
+
+}  // namespace aegis::pmu::simd

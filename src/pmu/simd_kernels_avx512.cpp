@@ -1,0 +1,79 @@
+// AVX-512 kernel for the group-blocked column-sparse expected-count layout.
+//
+// Compiled with -mavx512f -mavx512vl -mavx512dq -ffp-contract=off in its
+// own translation unit (src/CMakeLists.txt). The main loop consumes sparse
+// columns in PAIRS: one 512-bit load covers two packed 4-lane columns, one
+// 512-bit multiply forms both products (multiplies are order-free — each is
+// individually exactly rounded), and the two 256-bit halves are then added
+// into the accumulator SEQUENTIALLY, low column first. Per lane that is
+// still `acc = (acc + c0*f0) + c1*f1` in ascending column order — the
+// scalar reference chain, bit for bit. The odd tail column uses the same
+// 256-bit mul/add as the AVX2 kernel. No FMA anywhere.
+//
+// Callable only through simd::expected_group_kernel after a supported()
+// check resolved at program() time (dispatch-once rule).
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+// GCC's unmasked AVX-512 cast/insert/extract intrinsics are built on
+// self-initialized "undefined" registers (__Y = __Y in avx512fintrin.h),
+// which -Wmaybe-uninitialized flags at -O3. That is the headers' idiom for
+// "don't care" bits, not a real read of uninitialized data in this TU.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#include <immintrin.h>
+#endif
+
+namespace aegis::pmu::simd {
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__AVX512F__) && \
+    defined(__AVX512VL__) && defined(__AVX512DQ__)
+
+bool have_avx512_support() noexcept {
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0;
+}
+
+void expected_group_avx512(const double* lane_coeff,
+                           const std::uint32_t* col_feat, std::size_t cols,
+                           const double* features, double* out_lanes) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t c = 0;
+  for (; c + 2 <= cols; c += 2) {
+    const __m512d lanes = _mm512_loadu_pd(lane_coeff + 4 * c);
+    const __m256d f0 = _mm256_broadcast_sd(features + col_feat[c]);
+    const __m256d f1 = _mm256_broadcast_sd(features + col_feat[c + 1]);
+    const __m512d f01 =
+        _mm512_insertf64x4(_mm512_castpd256_pd512(f0), f1, 1);
+    const __m512d prod = _mm512_mul_pd(lanes, f01);
+    acc = _mm256_add_pd(acc, _mm512_castpd512_pd256(prod));
+    acc = _mm256_add_pd(acc, _mm512_extractf64x4_pd(prod, 1));
+  }
+  if (c < cols) {
+    const __m256d lane = _mm256_load_pd(lane_coeff + 4 * c);
+    const __m256d f = _mm256_broadcast_sd(features + col_feat[c]);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(lane, f));
+  }
+  _mm256_storeu_pd(out_lanes, acc);
+}
+
+#else  // non-x86 or a toolchain without AVX-512: never selected by dispatch.
+
+bool have_avx512_support() noexcept { return false; }
+
+void expected_group_avx512(const double* lane_coeff,
+                           const std::uint32_t* col_feat, std::size_t cols,
+                           const double* features, double* out_lanes) {
+  // Defensive fallback with the identical accumulation order.
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double f = features[col_feat[c]];
+    for (int l = 0; l < 4; ++l) acc[l] += lane_coeff[4 * c + l] * f;
+  }
+  for (int l = 0; l < 4; ++l) out_lanes[l] = acc[l];
+}
+
+#endif
+
+}  // namespace aegis::pmu::simd

@@ -1,9 +1,10 @@
 #include "sim/gadget_runner.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
-#include "sim/executor.hpp"
 #include "telemetry/registry.hpp"
+#include "util/hash.hpp"
 
 namespace aegis::sim {
 
@@ -39,10 +40,16 @@ InstructionBlock make_epilog() {
   return b;
 }
 
-// The prolog/epilog never change between executions; building them per
-// call was pure hot-loop overhead.
-const InstructionBlock kProlog = make_prolog();
-const InstructionBlock kEpilog = make_epilog();
+// The prolog/epilog never change between executions; compiled once, their
+// state-independent terms never recompute.
+const CompiledBlock kProlog = compile_block(make_prolog());
+const CompiledBlock kEpilog = compile_block(make_epilog());
+
+bool same_sequence(const std::vector<std::uint32_t>& cached,
+                   std::span<const std::uint32_t> requested) noexcept {
+  return cached.size() == requested.size() &&
+         std::equal(cached.begin(), cached.end(), requested.begin());
+}
 
 }  // namespace
 
@@ -63,43 +70,85 @@ void GadgetRunner::program(std::vector<std::uint32_t> event_ids) {
         "GadgetRunner: at most 4 events can be measured concurrently");
   }
   counters_.program(std::move(event_ids));
+  const std::vector<std::uint32_t>& ids = counters_.programmed();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    std::size_t j = 0;
+    while (ids[j] != ids[i]) ++j;  // first occurrence, like read_raw
+    slot_idx_[i] = j;
+  }
 }
 
-const InstructionBlock& GadgetRunner::variant_block(std::uint32_t uid,
-                                                    double unroll) {
-  const auto it = block_cache_.find(uid);
-  if (it != block_cache_.end() && it->second.unroll == unroll) {
-    return it->second.block;
+void GadgetRunner::rebuild(Superblock& sb,
+                           std::span<const std::uint32_t> variant_uids,
+                           double unroll) {
+  // Validate the whole sequence before touching the cache entry: a
+  // sequence with an illegal variant must throw on every call and leave no
+  // partially-built superblock behind.
+  for (std::uint32_t uid : variant_uids) {
+    const isa::InstructionVariant& v = spec_->by_uid(uid);
+    if (!v.legal()) {
+      throw std::invalid_argument("GadgetRunner: illegal variant " +
+                                  v.mnemonic);
+    }
   }
-  const isa::InstructionVariant& v = spec_->by_uid(uid);
-  if (!v.legal()) {
-    throw std::invalid_argument("GadgetRunner: illegal variant " + v.mnemonic);
+  sb.uids.assign(variant_uids.begin(), variant_uids.end());
+  sb.unroll = unroll;
+  while (sb.blocks.size() < variant_uids.size()) {
+    sb.blocks.push_back(arena_.push());
   }
-  CachedBlock& entry = it != block_cache_.end() ? it->second : block_cache_[uid];
-  entry.unroll = unroll;
-  entry.block = InstructionBlock::from_variant(v, unroll, kGadgetDataRegion);
-  return entry.block;
+  sb.blocks.resize(variant_uids.size());
+  for (std::size_t i = 0; i < variant_uids.size(); ++i) {
+    *sb.blocks[i] = compile_block(InstructionBlock::from_variant(
+        spec_->by_uid(variant_uids[i]), unroll, kGadgetDataRegion));
+  }
+}
+
+const GadgetRunner::Superblock& GadgetRunner::superblock(
+    std::span<const std::uint32_t> variant_uids, double unroll) {
+  if (mru0_ != nullptr && mru0_->unroll == unroll &&
+      same_sequence(mru0_->uids, variant_uids)) {
+    return *mru0_;
+  }
+  if (mru1_ != nullptr && mru1_->unroll == unroll &&
+      same_sequence(mru1_->uids, variant_uids)) {
+    std::swap(mru0_, mru1_);
+    return *mru0_;
+  }
+  const std::uint64_t key =
+      util::fnv1a(variant_uids.data(), variant_uids.size_bytes());
+  const auto it = superblocks_.find(key);
+  // Pointers/references into an unordered_map survive rehashing, so the
+  // MRU pointers and arena-backed block pointers both stay valid as the
+  // cache grows.
+  Superblock& sb = it != superblocks_.end() ? it->second : superblocks_[key];
+  if (!same_sequence(sb.uids, variant_uids) || sb.unroll != unroll) {
+    rebuild(sb, variant_uids, unroll);
+  }
+  mru1_ = mru0_;
+  mru0_ = &sb;
+  return sb;
 }
 
 // aegis-lint: noalloc
 std::span<const double> GadgetRunner::execute_once(
     std::span<const std::uint32_t> variant_uids, double unroll) {
+  // Cache hits resolve via the MRU compare / hash probe with zero
+  // allocation; only a first-seen (uids, unroll) builds.
+  const Superblock& sb = superblock(variant_uids, unroll);
   executions_.inc();
   // Prolog runs before the first RDPMC.
-  (void)execute_block(kProlog, uarch_);
+  (void)execute_compiled(kProlog, uarch_);
 
-  const std::vector<std::uint32_t>& ids = counters_.programmed();
-  const std::size_t n = ids.size();
+  const std::size_t n = counters_.programmed().size();
   for (std::size_t i = 0; i < n; ++i) {
-    before_[i] = counters_.read_raw(ids[i]);
+    before_[i] = counters_.read_raw_slot(slot_idx_[i]);
   }
 
   // Measured window: the generated instruction sequence. A rare interrupt
   // can still land inside (the residual C2 noise the fuzzer's repetition
   // machinery has to average out).
-  for (std::uint32_t uid : variant_uids) {
-    pmu::ExecutionStats stats =
-        execute_block(variant_block(uid, unroll), uarch_);
+  for (const CompiledBlock* block : sb.blocks) {
+    pmu::ExecutionStats stats = execute_compiled(*block, uarch_);
     if (rng_.bernoulli(config_.interrupt_rate)) {
       stats.interrupts += 1.0;
       stats.cycles += config_.interrupt_cycles;
@@ -109,10 +158,10 @@ std::span<const double> GadgetRunner::execute_once(
   }
 
   for (std::size_t i = 0; i < n; ++i) {
-    delta_[i] = counters_.read_raw(ids[i]) - before_[i];
+    delta_[i] = counters_.read_raw_slot(slot_idx_[i]) - before_[i];
   }
 
-  (void)execute_block(kEpilog, uarch_);
+  (void)execute_compiled(kEpilog, uarch_);
   return std::span<const double>(delta_.data(), n);
 }
 

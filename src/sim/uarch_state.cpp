@@ -6,7 +6,19 @@
 namespace aegis::sim {
 
 MicroArchState::RegionState& MicroArchState::state_of(RegionId region) {
-  return regions_[region];
+  for (auto& [id, st] : regions_) {
+    if (id == region) return st;
+  }
+  regions_.emplace_back(region, RegionState{});
+  return regions_.back().second;
+}
+
+const MicroArchState::RegionState* MicroArchState::find(
+    RegionId region) const noexcept {
+  for (const auto& [id, st] : regions_) {
+    if (id == region) return &st;
+  }
+  return nullptr;
 }
 
 void MicroArchState::evict_pressure(RegionId keep, double bytes) {
@@ -14,7 +26,6 @@ void MicroArchState::evict_pressure(RegionId keep, double bytes) {
   // proportion to the capacity fraction consumed.
   const double l1_pressure = std::min(1.0, bytes / kL1Bytes);
   const double llc_pressure = std::min(1.0, bytes / kLlcBytes);
-  // aegis-lint: ordered-ok(independent per-region scaling; order has no effect)
   for (auto& [id, st] : regions_) {
     if (id == keep) continue;
     st.l1_frac *= (1.0 - l1_pressure);
@@ -57,7 +68,6 @@ void MicroArchState::flush(RegionId region, double bytes) {
 }
 
 void MicroArchState::flush_all() noexcept {
-  // aegis-lint: ordered-ok(independent per-region reset; order has no effect)
   for (auto& [id, st] : regions_) {
     st.l1_frac = 0.0;
     st.llc_frac = 0.0;
@@ -65,8 +75,8 @@ void MicroArchState::flush_all() noexcept {
 }
 
 double MicroArchState::predictor_warmth(RegionId region) const noexcept {
-  auto it = regions_.find(region);
-  return it == regions_.end() ? 0.0 : it->second.warmth;
+  const RegionState* st = find(region);
+  return st == nullptr ? 0.0 : st->warmth;
 }
 
 double MicroArchState::run_branches(RegionId region, double branches,
@@ -81,13 +91,13 @@ double MicroArchState::run_branches(RegionId region, double branches,
 }
 
 double MicroArchState::l1_residency(RegionId region) const noexcept {
-  auto it = regions_.find(region);
-  return it == regions_.end() ? 0.0 : it->second.l1_frac;
+  const RegionState* st = find(region);
+  return st == nullptr ? 0.0 : st->l1_frac;
 }
 
 double MicroArchState::llc_residency(RegionId region) const noexcept {
-  auto it = regions_.find(region);
-  return it == regions_.end() ? 0.0 : it->second.llc_frac;
+  const RegionState* st = find(region);
+  return st == nullptr ? 0.0 : st->llc_frac;
 }
 
 }  // namespace aegis::sim

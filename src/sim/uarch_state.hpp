@@ -9,10 +9,17 @@
 //     confirmation must reject.
 // The model is deliberately coarse (fractional residency per region, not
 // per-line LRU): precise geometry is irrelevant, persistence is not.
+//
+// Region state lives in a flat first-touch-ordered vector, not a hash map:
+// the hot paths (GadgetRunner touches 2 regions, a VM's workloads a
+// handful) do a short linear scan over one cache line instead of a hashed
+// probe, the eviction/flush sweeps iterate contiguously, and iteration
+// order is deterministic by construction.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "sim/instruction_block.hpp"
 
@@ -57,9 +64,10 @@ class MicroArchState {
   };
 
   RegionState& state_of(RegionId region);
+  const RegionState* find(RegionId region) const noexcept;
   void evict_pressure(RegionId keep, double bytes);
 
-  std::unordered_map<RegionId, RegionState> regions_;
+  std::vector<std::pair<RegionId, RegionState>> regions_;  // first-touch order
 };
 
 }  // namespace aegis::sim

@@ -1,0 +1,57 @@
+// Chunked bump arena with stable addresses.
+//
+// GadgetRunner's superblock cache hands out pointers into cold-path-built
+// compiled blocks that the noalloc measurement loop then dereferences for
+// millions of calls. A std::vector would invalidate those pointers on
+// growth; per-object unique_ptrs would cost one heap allocation each. The
+// arena allocates fixed-size chunks and bump-allocates objects inside
+// them: addresses never move, and N objects cost ceil(N/ChunkSize) heap
+// allocations, all on the cold build path.
+//
+// Deliberately minimal: objects are default-constructed, live until the
+// arena dies, and are never individually destroyed early. That fits the
+// cache-for-process-lifetime usage; it is not a general allocator.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace aegis::util {
+
+template <typename T, std::size_t ChunkSize = 16>
+class Arena {
+  static_assert(ChunkSize > 0);
+
+ public:
+  /// Default-constructs one more T and returns its stable address.
+  T* push() {
+    if (used_ == ChunkSize || chunks_.empty()) {
+      chunks_.push_back(std::make_unique<Chunk>());
+      used_ = 0;
+    }
+    return &chunks_.back()->items[used_++];
+  }
+
+  /// Objects ever allocated (they all stay live until clear()/destruction).
+  std::size_t size() const noexcept {
+    if (chunks_.empty()) return 0;
+    return (chunks_.size() - 1) * ChunkSize + used_;
+  }
+
+  /// Destroys everything. Invalidates all pointers handed out so far.
+  void clear() noexcept {
+    chunks_.clear();
+    used_ = 0;
+  }
+
+ private:
+  struct Chunk {
+    T items[ChunkSize];
+  };
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace aegis::util

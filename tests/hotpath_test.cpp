@@ -20,6 +20,7 @@
 #include "pmu/counter_file.hpp"
 #include "pmu/event_database.hpp"
 #include "pmu/response_matrix.hpp"
+#include "pmu/simd_dispatch.hpp"
 #include "profiler/profiler.hpp"
 #include "sim/gadget_runner.hpp"
 #include "workload/website.hpp"
@@ -88,6 +89,7 @@ namespace {
 
 using pmu::AccumulateEngine;
 using pmu::CounterRegisterFile;
+namespace simd = pmu::simd;
 
 /// Flips the process-wide default engine for a scope; campaigns construct
 /// their register files internally, so this is how whole runs are steered
@@ -156,6 +158,53 @@ TEST(ResponseMatrix, FlattenMatchesExpectedCountTermOrder) {
   EXPECT_EQ(f[k + 8], stats.interrupts);
 }
 
+// Golden layout: hardcoded sentinel values pin the exact feature index of
+// every ExecutionStats field. The blocked-sparse SIMD layout, the dense
+// coeff_ matrix, and EventResponse::expected_count all assume this order;
+// a silent reorder (enum edit, flatten_stats refactor) would scramble the
+// coefficient columns without failing any equivalence test, because both
+// engines would be wrong identically. This test fails instead.
+TEST(ResponseMatrix, FlattenStatsGoldenLayout) {
+  ASSERT_EQ(isa::kNumInstructionClasses, 25u);
+  ASSERT_EQ(pmu::kStatsFeatureDim, 34u);
+  pmu::ExecutionStats stats;
+  for (std::size_t i = 0; i < stats.class_counts.size(); ++i) {
+    stats.class_counts.at_index(i) = 100.0 + static_cast<double>(i);
+  }
+  stats.uops = 1000.0;
+  stats.l1_misses = 1001.0;
+  stats.llc_misses = 1002.0;
+  stats.l1_writes = 1003.0;
+  stats.branch_mispredicts = 1004.0;
+  stats.mem_reads = 1005.0;
+  stats.mem_writes = 1006.0;
+  stats.cycles = 1007.0;
+  stats.interrupts = 1008.0;
+
+  std::array<double, pmu::kStatsFeatureDim> f{};
+  pmu::flatten_stats(stats, f.data());
+
+  // Class counts in enum order (nop, int_alu, ..., serialize, system),
+  // then the scalars in expected_count's term order.
+  const std::array<double, 34> golden = {
+      100.0, 101.0, 102.0, 103.0, 104.0, 105.0, 106.0, 107.0, 108.0,
+      109.0, 110.0, 111.0, 112.0, 113.0, 114.0, 115.0, 116.0, 117.0,
+      118.0, 119.0, 120.0, 121.0, 122.0, 123.0, 124.0,
+      1000.0,  // uops
+      1001.0,  // l1_misses
+      1002.0,  // llc_misses
+      1003.0,  // l1_writes
+      1004.0,  // branch_mispredicts
+      1005.0,  // mem_reads
+      1006.0,  // mem_writes
+      1007.0,  // cycles
+      1008.0,  // interrupts
+  };
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(f[i], golden[i]) << "feature index " << i;
+  }
+}
+
 TEST(ResponseMatrix, ExpectedIsBitIdenticalToEventResponse) {
   Fixture fix;
   std::vector<std::uint32_t> ids;
@@ -170,6 +219,81 @@ TEST(ResponseMatrix, ExpectedIsBitIdenticalToEventResponse) {
   for (std::uint32_t id = 0; id < fix.db.size(); ++id) {
     const double reference = fix.db.by_id(id).response.expected_count(stats);
     EXPECT_EQ(matrix.expected(id, f.data()), reference) << "event " << id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD kernel differential: every group kernel (scalar sparse, AVX2,
+// AVX-512) must reproduce the dense expected() dot product bit-for-bit on
+// every group of the full 1903-event matrix. Unsupported ISAs are skipped
+// (the CI scalar leg and non-AVX hosts still prove the scalar kernel).
+
+TEST(SimdKernels, EveryGroupMatchesDenseExpectedOnAllIsas) {
+  Fixture fix;
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t id = 0; id < fix.db.size(); ++id) ids.push_back(id);
+  pmu::ResponseMatrix matrix;
+  matrix.program(fix.db, ids);
+
+  std::array<double, pmu::kStatsFeatureDim> f{};
+  pmu::flatten_stats(busy_stats(), f.data());
+
+  constexpr std::size_t kLanes = pmu::ResponseMatrix::kLanes;
+  for (const simd::SimdIsa isa :
+       {simd::SimdIsa::kScalar, simd::SimdIsa::kAvx2, simd::SimdIsa::kAvx512}) {
+    if (!simd::supported(isa)) continue;
+    const simd::ExpectedGroupFn kernel = simd::expected_group_kernel(isa);
+    ASSERT_NE(kernel, nullptr);
+    for (std::size_t g = 0; g < matrix.groups(); ++g) {
+      const pmu::ResponseMatrix::GroupView view = matrix.group_view(g);
+      alignas(32) double lanes[kLanes];
+      kernel(view.lane_coeff, view.col_feat, view.cols, f.data(), lanes);
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const std::size_t row = g * kLanes + l;
+        if (row >= matrix.rows()) {
+          // Padded tail lanes carry all-zero coefficients.
+          EXPECT_EQ(lanes[l], 0.0) << simd::to_string(isa) << " pad lane";
+          continue;
+        }
+        const double clamped = lanes[l] < 0.0 ? 0.0 : lanes[l];
+        EXPECT_EQ(clamped, matrix.expected(row, f.data()))
+            << simd::to_string(isa) << " row " << row;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch resolution: the engine decision is observable, made once, and
+// degrades (never throws) when a pinned ISA is unavailable.
+
+TEST(EngineDispatch, ResolvedIsaTracksEnginePins) {
+  Fixture fix;
+  CounterRegisterFile counters(fix.db, 1);
+  counters.program({0, 1, 2, 3});
+
+  counters.set_engine(AccumulateEngine::kReference);
+  EXPECT_EQ(counters.resolved_isa(), simd::SimdIsa::kScalar);
+  counters.set_engine(AccumulateEngine::kScalar);
+  EXPECT_EQ(counters.resolved_isa(), simd::SimdIsa::kScalar);
+
+  counters.set_engine(AccumulateEngine::kAvx2);
+  EXPECT_EQ(counters.resolved_isa(), simd::supported(simd::SimdIsa::kAvx2)
+                                         ? simd::SimdIsa::kAvx2
+                                         : simd::SimdIsa::kScalar);
+  counters.set_engine(AccumulateEngine::kAvx512);
+  EXPECT_EQ(counters.resolved_isa(), simd::supported(simd::SimdIsa::kAvx512)
+                                         ? simd::SimdIsa::kAvx512
+                                         : simd::SimdIsa::kScalar);
+
+  counters.set_engine(AccumulateEngine::kBatched);
+  EXPECT_EQ(counters.resolved_isa(), simd::best_isa());
+
+  // AEGIS_FORCE_SCALAR clamps everything, including explicit pins.
+  if (simd::force_scalar_env()) {
+    EXPECT_EQ(simd::best_isa(), simd::SimdIsa::kScalar);
+    EXPECT_FALSE(simd::supported(simd::SimdIsa::kAvx2));
+    EXPECT_FALSE(simd::supported(simd::SimdIsa::kAvx512));
   }
 }
 
@@ -204,6 +328,41 @@ TEST(EngineEquivalence, CountersBitIdenticalAcrossEngines) {
   }
 }
 
+TEST(EngineEquivalence, PinnedSimdEnginesBitIdenticalToReference) {
+  Fixture fix;
+  const AccumulateEngine pins[] = {AccumulateEngine::kScalar,
+                                   AccumulateEngine::kAvx2,
+                                   AccumulateEngine::kAvx512};
+  const simd::SimdIsa isas[] = {simd::SimdIsa::kScalar, simd::SimdIsa::kAvx2,
+                                simd::SimdIsa::kAvx512};
+  for (const std::size_t num_events : {4u, 11u, 1903u}) {
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t id = 0; id < fix.db.size() && ids.size() < num_events;
+         ++id) {
+      ids.push_back(id);
+    }
+    CounterRegisterFile reference(fix.db, 99);
+    reference.set_engine(AccumulateEngine::kReference);
+    reference.program(ids);
+    const pmu::ExecutionStats stats = busy_stats();
+    for (int t = 0; t < 50; ++t) reference.tick(stats);
+    const std::vector<double> expected = reference.read_all();
+
+    for (std::size_t p = 0; p < 3; ++p) {
+      if (!simd::supported(isas[p])) continue;
+      CounterRegisterFile pinned(fix.db, 99);
+      pinned.set_engine(pins[p]);
+      pinned.program(ids);
+      ASSERT_EQ(pinned.resolved_isa(), isas[p]);
+      for (int t = 0; t < 50; ++t) pinned.tick(stats);
+      // Bitwise equality: the noise draws AND the expected-count dot
+      // products must match the reference walk exactly.
+      EXPECT_EQ(pinned.read_all(), expected)
+          << simd::to_string(isas[p]) << " over " << num_events << " events";
+    }
+  }
+}
+
 TEST(EngineEquivalence, DefaultEngineRoundTrips) {
   EXPECT_EQ(CounterRegisterFile::default_engine(), AccumulateEngine::kBatched);
   {
@@ -234,14 +393,41 @@ void expect_gadgets_equal(const std::vector<fuzzer::ConfirmedGadget>& a,
   }
 }
 
-TEST(EngineEquivalence, Seed7FuzzingShardBitIdentical) {
-  Fixture fix;
+/// Full-result comparison; returns the total confirmed-gadget count so
+/// callers can assert the comparison was non-vacuous.
+std::size_t expect_fuzz_results_equal(const fuzzer::FuzzResult& actual,
+                                      const fuzzer::FuzzResult& expected) {
+  EXPECT_EQ(actual.cleaned_instructions, expected.cleaned_instructions);
+  EXPECT_EQ(actual.executed_gadgets, expected.executed_gadgets);
+  EXPECT_EQ(actual.reports.size(), expected.reports.size());
+  if (actual.reports.size() != expected.reports.size()) return 0;
+  std::size_t total_confirmed = 0;
+  for (std::size_t e = 0; e < actual.reports.size(); ++e) {
+    EXPECT_EQ(actual.reports[e].event_id, expected.reports[e].event_id);
+    EXPECT_EQ(actual.reports[e].candidates, expected.reports[e].candidates);
+    expect_gadgets_equal(actual.reports[e].confirmed,
+                         expected.reports[e].confirmed, "confirmed");
+    expect_gadgets_equal(actual.reports[e].representatives,
+                         expected.reports[e].representatives,
+                         "representatives");
+    total_confirmed += actual.reports[e].confirmed.size();
+  }
+  return total_confirmed;
+}
+
+fuzzer::FuzzerConfig seed7_shard_config() {
   fuzzer::FuzzerConfig config;
   config.seed = 7;
   config.reset_sample = 20;
   config.trigger_sample = 20;
   config.repeats = 4;
   config.num_threads = 2;
+  return config;
+}
+
+TEST(EngineEquivalence, Seed7FuzzingShardBitIdentical) {
+  Fixture fix;
+  const fuzzer::FuzzerConfig config = seed7_shard_config();
 
   auto run_with = [&](AccumulateEngine engine) {
     EngineGuard guard(engine);
@@ -251,22 +437,41 @@ TEST(EngineEquivalence, Seed7FuzzingShardBitIdentical) {
   const fuzzer::FuzzResult reference = run_with(AccumulateEngine::kReference);
   const fuzzer::FuzzResult batched = run_with(AccumulateEngine::kBatched);
 
-  EXPECT_EQ(batched.cleaned_instructions, reference.cleaned_instructions);
-  EXPECT_EQ(batched.executed_gadgets, reference.executed_gadgets);
-  ASSERT_EQ(batched.reports.size(), reference.reports.size());
-  std::size_t total_confirmed = 0;
-  for (std::size_t e = 0; e < batched.reports.size(); ++e) {
-    EXPECT_EQ(batched.reports[e].event_id, reference.reports[e].event_id);
-    EXPECT_EQ(batched.reports[e].candidates, reference.reports[e].candidates);
-    expect_gadgets_equal(batched.reports[e].confirmed,
-                         reference.reports[e].confirmed, "confirmed");
-    expect_gadgets_equal(batched.reports[e].representatives,
-                         reference.reports[e].representatives,
-                         "representatives");
-    total_confirmed += batched.reports[e].confirmed.size();
-  }
   // Equality of empty results would prove nothing.
-  ASSERT_GT(total_confirmed, 0u);
+  ASSERT_GT(expect_fuzz_results_equal(batched, reference), 0u);
+}
+
+// The same shard run through every pinned SIMD engine: scalar is the
+// anchor (always supported); AVX2/AVX-512 must reproduce its stream
+// bit-for-bit through the whole campaign — superblock execution, RNG
+// draws, confirmation reordering, everything.
+TEST(EngineEquivalence, Seed7ShardBitIdenticalAcrossSimdEngines) {
+  Fixture fix;
+  const fuzzer::FuzzerConfig config = seed7_shard_config();
+
+  auto run_with = [&](AccumulateEngine engine) {
+    EngineGuard guard(engine);
+    fuzzer::EventFuzzer fuzzer(fix.db, fix.spec, config);
+    return fuzzer.run(fix.events());
+  };
+  const fuzzer::FuzzResult scalar = run_with(AccumulateEngine::kScalar);
+  ASSERT_GT(scalar.executed_gadgets, 0u);
+
+  bool any_vector = false;
+  if (simd::supported(simd::SimdIsa::kAvx2)) {
+    any_vector = true;
+    const fuzzer::FuzzResult avx2 = run_with(AccumulateEngine::kAvx2);
+    ASSERT_GT(expect_fuzz_results_equal(avx2, scalar), 0u) << "avx2";
+  }
+  if (simd::supported(simd::SimdIsa::kAvx512)) {
+    any_vector = true;
+    const fuzzer::FuzzResult avx512 = run_with(AccumulateEngine::kAvx512);
+    ASSERT_GT(expect_fuzz_results_equal(avx512, scalar), 0u) << "avx512";
+  }
+  if (!any_vector) {
+    GTEST_SKIP() << "no vector ISA usable on this host (or AEGIS_FORCE_SCALAR "
+                    "is set); scalar-vs-scalar would be vacuous";
+  }
 }
 
 TEST(EngineEquivalence, ProfilerRankingIdenticalAcrossEngines) {
@@ -349,6 +554,49 @@ TEST(HotPathAllocations, ExecuteOnceSteadyStateAllocatesNothing) {
 #else
   GTEST_SKIP() << "allocation hook disabled under sanitizers";
 #endif
+}
+
+// ---------------------------------------------------------------------------
+// Superblock cache correctness: alternating the unroll factor on the same
+// uid sequence must rebuild the fused blocks in place — a stale cache
+// would return unroll-8 deltas for the unroll-16 request.
+
+TEST(GadgetRunnerSuperblocks, UnrollAlternationNeverServesStaleBlocks) {
+  Fixture fix;
+  sim::GadgetRunner runner(fix.db, fix.spec, 21);
+  const std::vector<std::uint32_t> all_events = fix.events();
+  runner.program({all_events.begin(), all_events.begin() + 4});
+
+  std::uint32_t plain = 0;
+  bool have_plain = false;
+  for (const auto& v : fix.spec.variants()) {
+    if (v.legal() && !v.has_memory_operand) {
+      plain = v.uid;
+      have_plain = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(have_plain);
+  const std::array<std::uint32_t, 2> gadget = {plain, plain};
+
+  // Strictly alternate so every call arrives with the other unroll cached.
+  std::array<double, 4> sum8{};
+  std::array<double, 4> sum16{};
+  for (int i = 0; i < 50; ++i) {
+    const std::span<const double> d8 = runner.execute_once(gadget, 8.0);
+    for (std::size_t j = 0; j < 4; ++j) sum8[j] += d8[j];
+    const std::span<const double> d16 = runner.execute_once(gadget, 16.0);
+    for (std::size_t j = 0; j < 4; ++j) sum16[j] += d16[j];
+  }
+  // The most-responsive programmed event must see roughly double the
+  // activity at double the unroll; a stale cache leaves the sums equal.
+  std::size_t top = 0;
+  for (std::size_t j = 1; j < 4; ++j) {
+    if (sum8[j] > sum8[top]) top = j;
+  }
+  ASSERT_GT(sum8[top], 0.0);
+  EXPECT_GT(sum16[top], sum8[top] * 1.5)
+      << "unroll-16 deltas look like cached unroll-8 blocks";
 }
 
 // ---------------------------------------------------------------------------

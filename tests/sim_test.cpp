@@ -291,6 +291,99 @@ TEST(HostMonitor, AgentBlocksAreIndistinguishableInflation) {
   EXPECT_GT(defended_total, clean * 1.3);
 }
 
+// ---------------------------------------------------------------------------
+// compile_block + execute_compiled must be bit-identical to execute_block:
+// GadgetRunner's fused superblocks rely on this to keep the whole fuzzing
+// pipeline's counter streams unchanged (see DESIGN.md "SIMD kernels &
+// superblock fusion").
+
+void expect_stats_equal(const pmu::ExecutionStats& a,
+                        const pmu::ExecutionStats& b, int step) {
+  for (std::size_t i = 0; i < a.class_counts.size(); ++i) {
+    EXPECT_EQ(a.class_counts.at_index(i), b.class_counts.at_index(i))
+        << "class " << i << " step " << step;
+  }
+  EXPECT_EQ(a.uops, b.uops) << step;
+  EXPECT_EQ(a.l1_misses, b.l1_misses) << step;
+  EXPECT_EQ(a.llc_misses, b.llc_misses) << step;
+  EXPECT_EQ(a.l1_writes, b.l1_writes) << step;
+  EXPECT_EQ(a.branch_mispredicts, b.branch_mispredicts) << step;
+  EXPECT_EQ(a.mem_reads, b.mem_reads) << step;
+  EXPECT_EQ(a.mem_writes, b.mem_writes) << step;
+  EXPECT_EQ(a.interrupts, b.interrupts) << step;
+  EXPECT_EQ(a.cycles, b.cycles) << step;
+}
+
+TEST(ExecutorCompiled, BitIdenticalToExecuteBlock) {
+  // Blocks chosen to light up every term of the cycle accounting: memory
+  // traffic (miss costs), high-entropy branches (mispredict costs), a
+  // serializing flush block, and divider/x87 pressure.
+  InstructionBlock memory;
+  memory.region = 3;
+  memory.class_counts[InstructionClass::kLoad] = 40;
+  memory.class_counts[InstructionClass::kStore] = 12;
+  memory.uops = 180;
+  memory.read_bytes = 8192;
+  memory.write_bytes = 2048;
+  memory.locality = 0.4;
+
+  InstructionBlock branchy;
+  branchy.region = 4;
+  branchy.class_counts[InstructionClass::kBranch] = 60;
+  branchy.class_counts[InstructionClass::kCall] = 6;
+  branchy.uops = 200;
+  branchy.branch_entropy = 0.9;
+
+  InstructionBlock fenced;
+  fenced.region = 3;
+  fenced.class_counts[InstructionClass::kSerialize] = 2;
+  fenced.class_counts[InstructionClass::kIntDiv] = 5;
+  fenced.class_counts[InstructionClass::kFpDiv] = 3;
+  fenced.class_counts[InstructionClass::kX87] = 7;
+  fenced.uops = 90;
+  fenced.serialize_count = 2;
+  fenced.flush_bytes = 4096;
+
+  InstructionBlock flush_all;
+  flush_all.region = 4;
+  flush_all.uops = 10;
+  flush_all.flush_all = true;
+
+  const InstructionBlock blocks[] = {memory, branchy, fenced, flush_all};
+  CompiledBlock compiled[4];
+  for (int i = 0; i < 4; ++i) compiled[i] = compile_block(blocks[i]);
+
+  // Two states evolve in lockstep; the stats AND the hidden state updates
+  // must match at every step, or the divergence compounds.
+  MicroArchState plain_state;
+  MicroArchState compiled_state;
+  for (int step = 0; step < 32; ++step) {
+    const int i = step % 4;
+    const pmu::ExecutionStats a = execute_block(blocks[i], plain_state);
+    const pmu::ExecutionStats b = execute_compiled(compiled[i], compiled_state);
+    expect_stats_equal(a, b, step);
+    EXPECT_EQ(plain_state.l1_residency(3), compiled_state.l1_residency(3));
+    EXPECT_EQ(plain_state.llc_residency(4), compiled_state.llc_residency(4));
+    EXPECT_EQ(plain_state.predictor_warmth(4), compiled_state.predictor_warmth(4));
+  }
+}
+
+TEST(ExecutorCompiled, RespectsCostModelItWasCompiledWith) {
+  InstructionBlock b;
+  b.class_counts[InstructionClass::kIntDiv] = 4;
+  b.uops = 100;
+  b.serialize_count = 1;
+  CostModel cost;
+  cost.issue_width = 2.0;
+  cost.int_div_extra = 50.0;
+  cost.serialize_cycles = 300.0;
+  MicroArchState s1, s2;
+  const pmu::ExecutionStats plain = execute_block(b, s1, cost);
+  const pmu::ExecutionStats fused =
+      execute_compiled(compile_block(b, cost), s2, cost);
+  EXPECT_EQ(plain.cycles, fused.cycles);
+}
+
 TEST(GadgetRunner, RejectsIllegalVariants) {
   const auto db = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
   const auto spec = isa::IsaSpecification::generate(isa::CpuModel::kAmdEpyc7252);
@@ -304,6 +397,9 @@ TEST(GadgetRunner, RejectsIllegalVariants) {
     }
   }
   const std::array<std::uint32_t, 1> seq = {illegal};
+  EXPECT_THROW((void)runner.execute_once(seq), std::invalid_argument);
+  // The superblock cache must never swallow the fault: the second call has
+  // to throw exactly like the first (illegal sequences are never cached).
   EXPECT_THROW((void)runner.execute_once(seq), std::invalid_argument);
 }
 

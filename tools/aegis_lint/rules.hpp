@@ -26,6 +26,14 @@
 //                      `histogram("...")`) — a string key plus the registry
 //                      lock. Resolve telemetry handles once at construction
 //                      and record through them.  suppress: telemetry-ok(...)
+//   dispatch-once      inside the same noalloc regions: no CPU-feature query
+//                      or SIMD kernel resolution (__builtin_cpu_supports,
+//                      __get_cpuid*, detect_cpu_features, best_isa,
+//                      expected_group_kernel, simd::supported, ...). The
+//                      engine dispatch decision is made once, at
+//                      program()/set_engine() time, and stored as a function
+//                      pointer the hot path calls through.
+//                                               suppress: dispatch-ok(...)
 //   lock-order         mutexes declared `// aegis-lint: lock-level(N[,
 //                      noblock])` must be acquired in strictly increasing
 //                      level order when nested.      suppress: lock-ok(...)

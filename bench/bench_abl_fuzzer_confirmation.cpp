@@ -12,12 +12,12 @@ using namespace aegis;
 
 int main(int argc, char** argv) {
   const double scale = bench::scale_from_args(argc, argv);
-  const auto db = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
+  const auto& db = pmu::backend::backend_for(isa::CpuModel::kAmdEpyc7252).database();
   const auto spec = isa::IsaSpecification::generate(isa::CpuModel::kAmdEpyc7252);
 
   // Fuzz a representative event subset: the attack events plus cache- and
   // branch-coupled ones (where C5/C6 artifacts concentrate).
-  std::vector<std::uint32_t> events = bench::amd_attack_events(db);
+  std::vector<std::uint32_t> events = bench::attack_events(db.model());
   events.push_back(*db.find("HW_CACHE_L1D:READ:MISS"));
   events.push_back(*db.find("HW_CACHE_LL:READ:MISS"));
   events.push_back(*db.find("RETIRED_BRANCH_MISPREDICTED"));

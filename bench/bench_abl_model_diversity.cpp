@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   const auto& db = setup.aegis.database();
 
   attack::CollectionConfig collect;
-  collect.event_ids = bench::amd_attack_events(db);
+  collect.event_ids = bench::attack_events(db.model());
   collect.traces_per_secret = wfa_scale.traces_per_site;
 
   dp::MechanismConfig mech;

@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
   auto secrets = attack::make_wfa_secrets(wfa_scale);
   bench::OfflineSetup setup(secrets, scale);
   const auto& db = setup.aegis.database();
-  const auto events = bench::amd_attack_events(db);
+  const auto events = bench::attack_events(db.model());
   const std::size_t visits = bench::scaled(2, scale);
 
   auto make_obf = [&](dp::MechanismKind kind, double epsilon, bool single_stream,

@@ -10,8 +10,8 @@ using namespace aegis;
 
 int main(int argc, char** argv) {
   const double scale = bench::scale_from_args(argc, argv);
-  const auto db = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
-  const auto events = bench::amd_attack_events(db);
+  const auto& db = pmu::backend::backend_for(isa::CpuModel::kAmdEpyc7252).database();
+  const auto events = bench::attack_events(db.model());
 
   attack::KeaConfig config;
   config.event_ids = events;

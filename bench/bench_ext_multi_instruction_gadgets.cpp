@@ -32,7 +32,7 @@ double median_delta(sim::GadgetRunner& runner,
 }  // namespace
 
 int main() {
-  const auto db = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
+  const auto& db = pmu::backend::backend_for(isa::CpuModel::kAmdEpyc7252).database();
   const auto spec = isa::IsaSpecification::generate(isa::CpuModel::kAmdEpyc7252);
 
   auto find = [&](isa::InstructionClass iclass, bool mem) {
@@ -70,11 +70,11 @@ int main() {
                      "MAB_ALLOC", "DC_REFILLS"});
   for (const Variant& variant : variants) {
     sim::GadgetRunner runner(db, spec, 0x3A9);
-    runner.program(bench::amd_attack_events(db));
+    runner.program(bench::attack_events(db.model()));
     std::vector<std::string> row{variant.name};
     for (std::size_t e = 0; e < 4; ++e) {
       sim::GadgetRunner fresh(db, spec, 0x3A9 + e);
-      fresh.program(bench::amd_attack_events(db));
+      fresh.program(bench::attack_events(db.model()));
       row.push_back(util::fmt_f(
           median_delta(fresh, variant.resets, variant.triggers, e), 1));
     }

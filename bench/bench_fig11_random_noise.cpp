@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   auto secrets = attack::make_wfa_secrets(wfa_scale);
   bench::OfflineSetup setup(secrets, scale);
   const auto& db = setup.aegis.database();
-  const auto events = bench::amd_attack_events(db);
+  const auto events = bench::attack_events(db.model());
 
   // A shift-robust attacker: trained on clean traces with strong feature
   // jitter, so that mere distribution shift (any small offset) does not

@@ -26,8 +26,8 @@ void print_history(const std::string& label,
 
 int main(int argc, char** argv) {
   const double scale = bench::scale_from_args(argc, argv);
-  const auto db = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
-  const auto events = bench::amd_attack_events(db);
+  const auto& db = pmu::backend::backend_for(isa::CpuModel::kAmdEpyc7252).database();
+  const auto events = bench::attack_events(db.model());
 
   // --- Fig. 1a: website fingerprinting (45 sites) ---
   attack::WfaScale wfa_scale;

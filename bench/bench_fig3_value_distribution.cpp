@@ -13,7 +13,7 @@ using namespace aegis;
 
 int main(int argc, char** argv) {
   const double scale = bench::scale_from_args(argc, argv);
-  const auto db = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
+  const auto& db = pmu::backend::backend_for(isa::CpuModel::kAmdEpyc7252).database();
   const std::uint32_t refills = *db.find("DATA_CACHE_REFILLS_FROM_SYSTEM");
   const std::size_t slices = bench::scaled(240, scale, 120);
   const std::size_t runs = bench::scaled(60, scale, 30);

@@ -48,7 +48,7 @@ void print_curve(const std::string& label,
 
 int main(int argc, char** argv) {
   const double scale = bench::scale_from_args(argc, argv);
-  const auto db = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
+  const auto& db = pmu::backend::backend_for(isa::CpuModel::kAmdEpyc7252).database();
   const std::size_t slices = bench::scaled(200, scale, 100);
 
   // Warm-up first: the ranked list is the survivor set (137 events).

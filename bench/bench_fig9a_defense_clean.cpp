@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   auto wfa_secrets = attack::make_wfa_secrets(wfa_scale);
   bench::OfflineSetup setup(wfa_secrets, scale);
   const auto& db = setup.aegis.database();
-  const auto events = bench::amd_attack_events(db);
+  const auto events = bench::attack_events(db.model());
   std::cout << "offline: " << setup.result.warmup.surviving.size()
             << " vulnerable events, cover of "
             << setup.result.cover.gadgets.size() << " gadgets\n";

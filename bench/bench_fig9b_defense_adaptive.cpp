@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   auto secrets = attack::make_wfa_secrets(wfa_scale);
   bench::OfflineSetup setup(secrets, scale);
   const auto& db = setup.aegis.database();
-  const auto events = bench::amd_attack_events(db);
+  const auto events = bench::attack_events(db.model());
   const std::size_t visits = bench::scaled(2, scale);
 
   bench::print_header(

@@ -13,8 +13,8 @@ using namespace aegis;
 
 int main(int argc, char** argv) {
   const double scale = bench::scale_from_args(argc, argv);
-  const auto db = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
-  const auto events = bench::amd_attack_events(db);
+  const auto& db = pmu::backend::backend_for(isa::CpuModel::kAmdEpyc7252).database();
+  const auto events = bench::attack_events(db.model());
   const std::size_t slices = bench::scaled(240, scale, 120);
   const std::size_t runs_per_site = bench::scaled(6, scale, 4);
   const std::size_t sites = bench::scaled(10, scale, 6);

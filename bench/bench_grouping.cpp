@@ -1,0 +1,61 @@
+// Adaptive event-grouping report (src/pmu/backend/grouping.hpp).
+//
+// Packs the selected backend's vulnerable-event set (every guest-visible
+// event) across the fixed / kernel / core / uncore counter banks and
+// reports the multiplexing-slice count against the naive 4-at-a-time
+// packing the pre-backend profiler used:
+//
+//   bench_grouping [output.json]    (stdout when no path is given)
+//
+// AEGIS_CPU selects the backend ("amd" default, "intel", or a model
+// token). The run FAILS if the adaptive plan does not strictly beat the
+// naive packing — the same invariant tests/grouping_test.cpp pins — so
+// the CI artifact doubles as a gate.
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pmu/backend/grouping.hpp"
+
+namespace aegis::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  const isa::CpuModel model = cpu_from_env();
+  const pmu::backend::PmuBackend& backend = pmu::backend::backend_for(model);
+
+  const auto vulnerable = pmu::backend::vulnerable_events(backend);
+  const pmu::backend::GroupingPlan plan =
+      pmu::backend::adaptive_grouping(backend, vulnerable);
+  const std::size_t adaptive = plan.multiplex_slices();
+  const std::size_t naive = pmu::backend::naive_slices(vulnerable.size());
+
+  print_header("bench_grouping");
+  std::cout << isa::to_string(model) << " (backend " << backend.id() << "): "
+            << vulnerable.size() << " vulnerable events -> " << adaptive
+            << " adaptive slices vs " << naive << " naive\n";
+
+  if (adaptive >= naive) {
+    std::cerr << "FAIL: adaptive grouping (" << adaptive
+              << " slices) does not beat naive packing (" << naive << ")\n";
+    return 1;
+  }
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    if (!out) {
+      std::cerr << "bench_grouping: cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    pmu::backend::write_grouping_report(backend, out);
+    std::cout << "wrote " << argv[1] << "\n";
+  } else {
+    pmu::backend::write_grouping_report(backend, std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aegis::bench
+
+int main(int argc, char** argv) { return aegis::bench::run(argc, argv); }

@@ -87,7 +87,7 @@ double execute_once_ns(const pmu::EventDatabase& db,
                        const isa::IsaSpecification& spec, int iters,
                        int reps) {
   sim::GadgetRunner runner(db, spec, 21);
-  runner.program(amd_attack_events(db));
+  runner.program(attack_events(db.model()));
   std::uint32_t plain = 0, memory = 0;
   bool have_plain = false, have_memory = false;
   for (const auto& v : spec.variants()) {
@@ -129,20 +129,22 @@ double sweep_events_per_sec(const pmu::EventDatabase& db,
   return static_cast<double>(db.size()) / secs;
 }
 
-void emit(std::ostream& out, double acc4_ref, double acc4_scalar,
-          double acc4_bat, double sweep_ref, double sweep_scalar,
-          double sweep_bat, double exec_ns, double sweep_eps_ref,
-          double sweep_eps_bat) {
-  // The engine/cpu fields record WHICH kernel produced the batched numbers,
-  // so a regression diff across machines (or an AEGIS_FORCE_SCALAR run)
-  // is attributable instead of mysterious.
+void emit(std::ostream& out, isa::CpuModel model, double acc4_ref,
+          double acc4_scalar, double acc4_bat, double sweep_ref,
+          double sweep_scalar, double sweep_bat, double exec_ns,
+          double sweep_eps_ref, double sweep_eps_bat) {
+  // The engine/cpu/backend fields record WHICH kernel and WHICH event
+  // database produced the batched numbers, so a regression diff across
+  // machines (or an AEGIS_FORCE_SCALAR / AEGIS_CPU run) is attributable
+  // instead of mysterious — bench_compare.py fails on a mismatch.
   const simd::CpuFeatures cpu = simd::detect_cpu_features();
   char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "{\n"
       "  \"bench\": \"hotpath\",\n"
-      "  \"cpu_model\": \"AmdEpyc7252\",\n"
+      "  \"cpu_model\": \"%s\",\n"
+      "  \"backend\": \"%s\",\n"
       "  \"engine\": \"%s\",\n"
       "  \"cpu\": {\n"
       "    \"avx2\": %s,\n"
@@ -170,6 +172,8 @@ void emit(std::ostream& out, double acc4_ref, double acc4_scalar,
       "    \"speedup\": %.2f\n"
       "  }\n"
       "}\n",
+      std::string(isa::to_token(model)).c_str(),
+      std::string(pmu::backend::backend_id(model)).c_str(),
       simd::to_string(simd::best_isa()), cpu.avx2 ? "true" : "false",
       cpu.avx512 ? "true" : "false",
       simd::force_scalar_env() ? "true" : "false", acc4_ref, acc4_scalar,
@@ -183,15 +187,15 @@ int run(int argc, char** argv) {
   // argv[1] is the JSON output path (not a scale factor, unlike the table
   // benches), so only AEGIS_SCALE adjusts iteration counts here.
   const double scale = scale_from_args(1, argv);
-  const auto db = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
-  const auto spec =
-      isa::IsaSpecification::generate(isa::CpuModel::kAmdEpyc7252);
+  const isa::CpuModel model = cpu_from_env();
+  const auto& db = pmu::backend::backend_for(model).database();
+  const auto spec = isa::IsaSpecification::generate(model);
 
   const int iters = static_cast<int>(scaled(20000, scale, 1000));
   const int sweep_iters = static_cast<int>(scaled(400, scale, 50));
   const int reps = 5;
 
-  const std::vector<std::uint32_t> four = amd_attack_events(db);
+  const std::vector<std::uint32_t> four = attack_events(db.model());
   std::vector<std::uint32_t> all_ids;
   for (std::uint32_t id = 0; id < db.size(); ++id) all_ids.push_back(id);
 
@@ -232,12 +236,12 @@ int run(int argc, char** argv) {
       std::cerr << "bench_hot_path: cannot open " << argv[1] << "\n";
       return 1;
     }
-    emit(out, acc4_ref, acc4_scalar, acc4_bat, sweep_ref, sweep_scalar,
+    emit(out, model, acc4_ref, acc4_scalar, acc4_bat, sweep_ref, sweep_scalar,
          sweep_bat, exec_ns, eps_ref, eps_bat);
     std::cerr << "bench_hot_path: wrote " << argv[1] << "\n";
   } else {
-    emit(std::cout, acc4_ref, acc4_scalar, acc4_bat, sweep_ref, sweep_scalar,
-         sweep_bat, exec_ns, eps_ref, eps_bat);
+    emit(std::cout, model, acc4_ref, acc4_scalar, acc4_bat, sweep_ref,
+         sweep_scalar, sweep_bat, exec_ns, eps_ref, eps_bat);
   }
   if (g_sink == -1.0) std::cerr << "";  // keep the sink observable
   return 0;

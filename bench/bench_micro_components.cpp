@@ -13,6 +13,7 @@
 #include "dp/laplace.hpp"
 #include "fuzzer/parallel_campaign.hpp"
 #include "obf/noise_calculator.hpp"
+#include "pmu/backend/registry.hpp"
 #include "sim/gadget_runner.hpp"
 #include "sim/virtual_machine.hpp"
 #include "util/thread_pool.hpp"
@@ -64,7 +65,7 @@ void BM_DStarStep(benchmark::State& state) {
 BENCHMARK(BM_DStarStep);
 
 void BM_GadgetExecution(benchmark::State& state) {
-  const auto db = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
+  const auto& db = pmu::backend::backend_for(isa::CpuModel::kAmdEpyc7252).database();
   const auto spec = isa::IsaSpecification::generate(isa::CpuModel::kAmdEpyc7252);
   sim::GadgetRunner runner(db, spec, 3);
   std::vector<std::uint32_t> events;
@@ -110,7 +111,7 @@ void BM_ParallelGenerationStep(benchmark::State& state) {
   // The fuzzer's dominant stage (Table III generation+execution) through
   // the sharded campaign engine at 1/2/4 workers. Work-stealing keeps the
   // shards balanced; the output is identical at every worker count.
-  const auto db = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
+  const auto& db = pmu::backend::backend_for(isa::CpuModel::kAmdEpyc7252).database();
   const auto spec = isa::IsaSpecification::generate(isa::CpuModel::kAmdEpyc7252);
   fuzzer::FuzzerConfig config;
   config.num_threads = static_cast<std::size_t>(state.range(0));

@@ -61,6 +61,7 @@ int run(int argc, char** argv) {
   }();
 
   seceval::HarnessConfig config;
+  config.cpu = pmu::backend::model_from_env(config.cpu);
   config.num_threads = threads_from_env();
   config.scale.sites = scaled(config.scale.sites, scale, 4);
   config.scale.traces_per_secret =

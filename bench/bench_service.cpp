@@ -54,7 +54,7 @@ struct SweepPoint {
 };
 
 struct Scenario {
-  core::Aegis engine{isa::CpuModel::kAmdEpyc7252};
+  core::Aegis engine{cpu_from_env()};
   std::vector<std::unique_ptr<workload::Workload>> secrets;
   core::OfflineConfig offline;
   dp::MechanismConfig mechanism;
@@ -210,7 +210,9 @@ void emit_json(std::ostream& out, const std::vector<SweepPoint>& sweep,
                const Scenario& scenario) {
   out << "{\n"
       << "  \"bench\": \"service\",\n"
-      << "  \"cpu_model\": \"AmdEpyc7252\",\n"
+      << "  \"cpu_model\": \"" << isa::to_token(scenario.engine.cpu())
+      << "\",\n"
+      << "  \"backend\": \"" << scenario.engine.backend().id() << "\",\n"
       << "  \"session_slices\": " << scenario.session_slices << ",\n"
       << "  \"mechanism\": \"laplace\",\n"
       << "  \"per_slice_epsilon\": " << scenario.mechanism.epsilon << ",\n"

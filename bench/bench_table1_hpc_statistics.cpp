@@ -30,10 +30,10 @@ std::size_t differing_events(const pmu::EventDatabase& a,
 int main() {
   bench::print_header("Table I: statistics of HPC events in various processors");
 
-  const auto e5_1650 = pmu::EventDatabase::generate(isa::CpuModel::kIntelXeonE5_1650);
-  const auto e5_4617 = pmu::EventDatabase::generate(isa::CpuModel::kIntelXeonE5_4617);
-  const auto epyc7252 = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
-  const auto epyc7313 = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7313P);
+  const auto& e5_1650 = pmu::backend::backend_for(isa::CpuModel::kIntelXeonE5_1650).database();
+  const auto& e5_4617 = pmu::backend::backend_for(isa::CpuModel::kIntelXeonE5_4617).database();
+  const auto& epyc7252 = pmu::backend::backend_for(isa::CpuModel::kAmdEpyc7252).database();
+  const auto& epyc7313 = pmu::backend::backend_for(isa::CpuModel::kAmdEpyc7313P).database();
 
   util::Table table({"HPC Statistics", "Intel Xeon E5-1650", "Intel Xeon E5-4617",
                      "AMD EPYC 7252", "AMD EPYC 7313P"});

@@ -12,7 +12,7 @@ using namespace aegis;
 namespace {
 
 void report_cpu(isa::CpuModel model, double scale) {
-  const auto db = pmu::EventDatabase::generate(model);
+  const auto& db = pmu::backend::backend_for(model).database();
   profiler::ProfilerConfig config;
   config.warmup_slices = bench::scaled(100, scale, 40);
   config.warmup_repeats = 5;  // the paper's 5 repeated warm-up profilings

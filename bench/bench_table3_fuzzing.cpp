@@ -19,7 +19,7 @@ using namespace aegis;
 namespace {
 
 void fuzz_cpu(isa::CpuModel model, double scale) {
-  const auto db = pmu::EventDatabase::generate(model);
+  const auto& db = pmu::backend::backend_for(model).database();
   const auto spec = isa::IsaSpecification::generate(model);
 
   // Vulnerable events from warm-up profiling (the paper's repetition count).
@@ -116,13 +116,13 @@ void fuzz_cpu(isa::CpuModel model, double scale) {
 /// cores). The FuzzResult is bit-identical at every worker count, so the
 /// sweep also cross-checks the determinism contract.
 void thread_sweep(double scale) {
-  const auto db = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
+  const auto& db = pmu::backend::backend_for(isa::CpuModel::kAmdEpyc7252).database();
   const auto spec = isa::IsaSpecification::generate(isa::CpuModel::kAmdEpyc7252);
   fuzzer::FuzzerConfig config;
   config.reset_sample = bench::scaled(40, scale, 24);
   config.trigger_sample = bench::scaled(40, scale, 24);
   config.repeats = 8;
-  const std::vector<std::uint32_t> events = bench::amd_attack_events(db);
+  const std::vector<std::uint32_t> events = bench::attack_events(db.model());
 
   bench::print_header("Parallel campaign thread sweep (AMD, attack events)");
   util::Table table({"workers", "total s", "gen+exec s", "confirm s",

@@ -28,6 +28,13 @@ cross-engine deltas are attributable to dispatch, not to a code
 regression, but the numbers still gate — an accidental scalar fallback on
 a machine that used to run AVX2 IS a regression worth failing on.
 
+The PMU backend provenance fields ("backend", "cpu_model") gate harder:
+when both sides carry them and they disagree, the comparison FAILS in
+every mode — an AEGIS_CPU=intel run measured a different event database
+than the committed AMD baseline, so no delta between them is meaningful.
+Artifacts predating the backend layer omit the fields and compare as
+before.
+
 A metric regresses when it is worse than the baseline by more than the
 tolerance (default 15%, override with AEGIS_BENCH_TOLERANCE, a fraction).
 The tolerance is deliberately loose: shared CI runners jitter, and only a
@@ -206,6 +213,30 @@ def note_engine_mismatch(baseline, fresh):
               f"ran {fresh_engine!r} — deltas include the dispatch change")
 
 
+def check_backend_match(label, baseline, fresh):
+    """Hard gate on the PMU backend provenance fields.
+
+    Unlike a SIMD engine swap (same numbers, different kernel), a backend
+    or cpu_model mismatch means the two artifacts measured DIFFERENT event
+    databases — an AEGIS_CPU=intel run diffed against the committed AMD
+    baseline compares nothing comparable, so it fails rather than notes.
+    Artifacts predating the backend layer carry neither field and are
+    compared as before. Returns the number of regressions (0 or 1 per
+    field).
+    """
+    regressions = 0
+    for field in ("backend", "cpu_model"):
+        base, new = baseline.get(field), fresh.get(field)
+        if not isinstance(base, str) or not isinstance(new, str):
+            continue  # pre-backend artifact (or hotpath's "cpu" object)
+        if base != new:
+            print(f"FAIL  {label} {field} mismatch: baseline measured "
+                  f"{base!r}, fresh measured {new!r} — not comparable; "
+                  f"re-baseline or rerun with the matching AEGIS_CPU")
+            regressions += 1
+    return regressions
+
+
 def compare(metrics, baseline, fresh, tol):
     """Returns the number of regressions, printing one line per metric."""
     regressions = 0
@@ -248,7 +279,9 @@ def finish(regressions, tol):
 
 def main(argv):
     if len(argv) == 4 and argv[1] == "--security":
-        regressions = compare_security(argv[2], argv[3])
+        regressions = check_backend_match("security", load(argv[2]),
+                                          load(argv[3]))
+        regressions += compare_security(argv[2], argv[3])
         if regressions:
             print(f"bench_compare: {regressions} security cell(s) regressed",
                   file=sys.stderr)
@@ -259,21 +292,28 @@ def main(argv):
         baseline, fresh = load(argv[2]), load(argv[3])
         note_engine_mismatch(baseline, fresh)
         tol = tolerance()
-        return finish(compare(HOTPATH_METRICS, baseline, fresh, tol), tol)
+        regressions = check_backend_match("hotpath", baseline, fresh)
+        regressions += compare(HOTPATH_METRICS, baseline, fresh, tol)
+        return finish(regressions, tol)
     if len(argv) == 4 and argv[1] == "--service":
         tol = tolerance()
-        return finish(
-            compare(SERVICE_METRICS, load(argv[2]), load(argv[3]), tol), tol)
+        baseline, fresh = load(argv[2]), load(argv[3])
+        regressions = check_backend_match("service", baseline, fresh)
+        regressions += compare(SERVICE_METRICS, baseline, fresh, tol)
+        return finish(regressions, tol)
     if len(argv) != 5:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     base_hot, fresh_hot, base_svc, fresh_svc = argv[1:5]
     tol = tolerance()
     baseline_hot, fresh_hot_doc = load(base_hot), load(fresh_hot)
+    baseline_svc, fresh_svc_doc = load(base_svc), load(fresh_svc)
     note_engine_mismatch(baseline_hot, fresh_hot_doc)
     regressions = 0
+    regressions += check_backend_match("hotpath", baseline_hot, fresh_hot_doc)
+    regressions += check_backend_match("service", baseline_svc, fresh_svc_doc)
     regressions += compare(HOTPATH_METRICS, baseline_hot, fresh_hot_doc, tol)
-    regressions += compare(SERVICE_METRICS, load(base_svc), load(fresh_svc), tol)
+    regressions += compare(SERVICE_METRICS, baseline_svc, fresh_svc_doc, tol)
     return finish(regressions, tol)
 
 

@@ -1,5 +1,6 @@
 #include "core/aegis.hpp"
 
+#include "pmu/backend/registry.hpp"
 #include "util/stats.hpp"
 
 #include <algorithm>
@@ -18,7 +19,7 @@ std::vector<std::uint32_t> OfflineResult::top_events(std::size_t n) const {
 }
 
 Aegis::Aegis(isa::CpuModel template_cpu)
-    : db_(pmu::EventDatabase::generate(template_cpu)),
+    : backend_(&pmu::backend::backend_for(template_cpu)),
       spec_(isa::IsaSpecification::generate(template_cpu)) {}
 
 OfflineResult Aegis::analyze(
@@ -27,7 +28,7 @@ OfflineResult Aegis::analyze(
     const OfflineConfig& config) const {
   OfflineResult result;
 
-  profiler::ApplicationProfiler prof(db_, config.profiler);
+  profiler::ApplicationProfiler prof(database(), config.profiler);
   result.warmup = prof.warmup(application);
   result.ranking = prof.rank(secrets, result.warmup.surviving);
 
@@ -41,7 +42,7 @@ OfflineResult Aegis::analyze(
     to_fuzz.push_back(result.ranking[i].event_id);
   }
 
-  fuzzer::EventFuzzer fuzz(db_, spec_, config.fuzzer);
+  fuzzer::EventFuzzer fuzz(database(), spec_, config.fuzzer);
   result.fuzz = fuzz.run(to_fuzz);
   result.cover = fuzzer::minimal_gadget_cover(result.fuzz);
   return result;
@@ -70,8 +71,9 @@ std::unique_ptr<obf::EventObfuscator> Aegis::make_obfuscator(
     protected_events = analysis.cover.covered_events;
   }
 
-  const std::vector<obf::EventCalibration> calibration = obf::calibrate_events(
-      db_, protected_events, secrets, options.calibration_runs, seed ^ 0xCA1ULL);
+  const std::vector<obf::EventCalibration> calibration =
+      obf::calibrate_events(database(), protected_events, secrets,
+                            options.calibration_runs, seed ^ 0xCA1ULL);
 
   // Per-event requirement: r_e = sigma_e / delta_e segment repetitions per
   // 1.0 units of normalized noise. One repetition knob drives every event;
@@ -169,8 +171,8 @@ std::unique_ptr<obf::EventObfuscator> Aegis::make_obfuscator(
   config.rotate = options.rotate;
   config.rotation = options.rotation;
   config.seed = seed;
-  return std::make_unique<obf::EventObfuscator>(db_, spec_, analysis.cover,
-                                                config);
+  return std::make_unique<obf::EventObfuscator>(database(), spec_,
+                                                analysis.cover, config);
 }
 
 }  // namespace aegis::core

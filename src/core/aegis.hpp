@@ -17,7 +17,7 @@
 #include "fuzzer/set_cover.hpp"
 #include "isa/spec.hpp"
 #include "obf/rotating_plan.hpp"
-#include "pmu/event_database.hpp"
+#include "pmu/backend/backend.hpp"
 
 namespace aegis::core {
 
@@ -53,8 +53,10 @@ struct OfflineResult {
 
 class Aegis {
  public:
-  /// Builds the per-CPU substrate (event database + ISA specification) for
-  /// the template server's processor model.
+  /// Binds the per-CPU substrate (PMU backend + ISA specification) for the
+  /// template server's processor model. The backend comes from
+  /// pmu::backend::BackendRegistry, so every Aegis on the same model shares
+  /// one immutable event database.
   explicit Aegis(isa::CpuModel template_cpu);
 
   /// Offline pipeline: profile -> rank -> fuzz -> cover. Pure function of
@@ -73,12 +75,15 @@ class Aegis {
       dp::MechanismConfig mechanism, ObfuscatorBuildOptions options = {},
       std::uint64_t seed = 0x0B5EULL) const;
 
-  const pmu::EventDatabase& database() const noexcept { return db_; }
+  const pmu::backend::PmuBackend& backend() const noexcept { return *backend_; }
+  const pmu::EventDatabase& database() const noexcept {
+    return backend_->database();
+  }
   const isa::IsaSpecification& specification() const noexcept { return spec_; }
-  isa::CpuModel cpu() const noexcept { return db_.model(); }
+  isa::CpuModel cpu() const noexcept { return backend_->model(); }
 
  private:
-  pmu::EventDatabase db_;
+  const pmu::backend::PmuBackend* backend_;  // registry singleton, never null
   isa::IsaSpecification spec_;
 };
 

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "pmu/backend/registry.hpp"
+
 namespace aegis::core {
 
 namespace {
@@ -16,8 +18,11 @@ namespace {
 // rejected with an actionable error instead of a confusing parse failure
 // deeper in the file. Bump kFormatVersion whenever the section layout
 // changes incompatibly.
+// v1: cpu line only. v2: adds a "backend <id>" line after the cpu line so a
+// result templated on one PMU backend cannot be silently replayed on
+// another; v1 streams still load (the backend is implied by the cpu line).
 constexpr const char* kMagicPrefix = "aegis-offline-result v";
-constexpr unsigned kFormatVersion = 1;
+constexpr unsigned kFormatVersion = 2;
 
 std::string event_name(const pmu::EventDatabase& db, std::uint32_t id) {
   return db.by_id(id).name;
@@ -57,6 +62,7 @@ void save_offline_result(std::ostream& os, const OfflineResult& result,
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
   os << kMagicPrefix << kFormatVersion << "\n";
   os << "cpu " << isa::to_string(db.model()) << "\n";
+  os << "backend " << pmu::backend::backend_id(db.model()) << "\n";
 
   os << "[warmup]\n" << result.warmup.surviving.size() << "\n";
   for (std::uint32_t id : result.warmup.surviving) {
@@ -99,13 +105,13 @@ void save_offline_result(std::ostream& os, const OfflineResult& result,
 OfflineResult load_offline_result(std::istream& is,
                                   const pmu::EventDatabase& db) {
   OfflineResult result;
+  unsigned version = 0;
   {
     const std::string magic = read_line(is, "magic");
     const std::string prefix(kMagicPrefix);
     if (magic.rfind(prefix, 0) != 0) {
       throw std::runtime_error("load_offline_result: bad magic line");
     }
-    unsigned version = 0;
     try {
       std::size_t consumed = 0;
       const std::string suffix = magic.substr(prefix.size());
@@ -142,6 +148,19 @@ OfflineResult load_offline_result(std::istream& is,
     if (!ok) {
       throw std::runtime_error("load_offline_result: CPU family mismatch: " +
                                cpu_line);
+    }
+  }
+  if (version >= 2) {
+    // Belt-and-braces next to the family check: the backend id names the
+    // vendor family a template was analyzed on, and a template only ever
+    // loads back into the same family's backend.
+    const std::string backend_line = read_line(is, "backend");
+    const std::string expected =
+        "backend " + std::string(pmu::backend::backend_id(db.model()));
+    if (backend_line != expected) {
+      throw std::runtime_error("load_offline_result: PMU backend mismatch: '" +
+                               backend_line + "' (expected '" + expected +
+                               "')");
     }
   }
 

@@ -19,6 +19,16 @@ std::string_view to_string(CpuModel m) noexcept {
   return "?";
 }
 
+std::string_view to_token(CpuModel m) noexcept {
+  switch (m) {
+    case CpuModel::kIntelXeonE5_1650: return "IntelXeonE5_1650";
+    case CpuModel::kIntelXeonE5_4617: return "IntelXeonE5_4617";
+    case CpuModel::kAmdEpyc7252: return "AmdEpyc7252";
+    case CpuModel::kAmdEpyc7313P: return "AmdEpyc7313P";
+  }
+  return "?";
+}
+
 Vendor vendor_of(CpuModel m) noexcept {
   switch (m) {
     case CpuModel::kIntelXeonE5_1650:

@@ -33,6 +33,9 @@ enum class CpuModel : unsigned char {
 enum class Vendor : unsigned char { kIntel, kAmd };
 
 std::string_view to_string(CpuModel m) noexcept;
+/// Stable identifier-shaped token ("AmdEpyc7252") for artifact headers and
+/// environment selectors; the inverse of pmu::backend::parse_cpu_model.
+std::string_view to_token(CpuModel m) noexcept;
 Vendor vendor_of(CpuModel m) noexcept;
 /// CPUs in the same family expose near-identical HPC event lists (Table I).
 int family_of(CpuModel m) noexcept;

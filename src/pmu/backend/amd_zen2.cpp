@@ -1,0 +1,35 @@
+#include "pmu/backend/amd_zen2.hpp"
+
+#include <stdexcept>
+
+namespace aegis::pmu::backend {
+
+AmdZen2Backend::AmdZen2Backend(isa::CpuModel model) : PmuBackend(model) {
+  if (isa::vendor_of(model) != isa::Vendor::kAmd) {
+    throw std::invalid_argument("AmdZen2Backend: not an AMD model");
+  }
+}
+
+bool AmdZen2Backend::fixed_counter_event(
+    std::string_view name) const noexcept {
+  // The generic aliases and their raw twins both land on the two
+  // fixed-function MSRs (IRPERF, APERF); with only two slots, the packer
+  // spills later claimants to the programmable bank.
+  return name == "INSTRUCTIONS" || name == "CPU-CYCLES" ||
+         name == "RETIRED_INSTRUCTIONS" || name == "CYCLES_NOT_IN_HALT";
+}
+
+std::vector<std::string_view> AmdZen2Backend::attack_event_names() const {
+  return {kAmdAttackEvents.begin(), kAmdAttackEvents.end()};
+}
+
+std::string_view AmdZen2Backend::sku_override(
+    std::string_view name) const noexcept {
+  if (name == "INSTRUCTIONS") return "RETIRED_INSTRUCTIONS";
+  if (name == "CPU-CYCLES") return "CYCLES_NOT_IN_HALT";
+  if (name == "BRANCH-INSTRUCTIONS") return "RETIRED_BRANCH_INSTRUCTIONS";
+  if (name == "BRANCH-MISSES") return "RETIRED_BRANCH_MISPREDICTED";
+  return {};
+}
+
+}  // namespace aegis::pmu::backend

@@ -1,0 +1,118 @@
+// Multi-vendor PMU backend layer (see DESIGN.md "PMU backends & adaptive
+// grouping").
+//
+// A PmuBackend bundles everything SKU-specific about one processor model:
+//   * the synthetic EventDatabase (paper Table I/II scale),
+//   * the counter topology — 4 programmable core counters on both paper
+//     testbeds, plus the vendor's fixed-counter bank and uncore bank,
+//   * a CounterTier per event (the faultline-style availability taxonomy:
+//     universal / standard / extended / uncore),
+//   * per-SKU name overrides (the perf generic alias -> vendor raw event),
+//   * the default attack-event set the paper's attacks monitor on this
+//     vendor (Section III-B on AMD; the Intel equivalents on Xeon E5).
+//
+// Everything here is a pure function of the CpuModel: backends hold no
+// mutable state, tier classification consumes no RNG draws, and the
+// wrapped database is exactly EventDatabase::generate(model) — so routing
+// call sites through the backend changes no bytes anywhere (the AMD
+// goldens are pinned by tests/backend_test.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "pmu/event_database.hpp"
+
+namespace aegis::pmu::backend {
+
+/// Availability tier of one event across a vendor's SKU range (model:
+/// SNIPPETS.md Snippet 3, faultline's CounterTier).
+enum class CounterTier : std::uint8_t {
+  kUniversal = 0,  // architectural: perf generic hardware events, present
+                   // (and fixed-counter servable) on every x86-64 SKU
+  kStandard,       // kernel-provided: software events, cache events,
+                   // tracepoints, probes — availability follows the kernel,
+                   // not the SKU
+  kExtended,       // vendor raw PMU events: per-family, programmable
+                   // counters only
+  kUncore,         // off-core (fabric/uncore) events: separate counter
+                   // bank, host-scoped
+};
+
+inline constexpr std::size_t kNumCounterTiers = 4;
+
+std::string_view to_string(CounterTier tier) noexcept;
+
+/// One processor model's PMU personality. Concrete implementations:
+/// AmdZen2Backend (EPYC 7252 / 7313P) and IntelXeonE5Backend (E5-1650 /
+/// E5-4617), registered per model in BackendRegistry.
+class PmuBackend {
+ public:
+  virtual ~PmuBackend();
+  PmuBackend(const PmuBackend&) = delete;
+  PmuBackend& operator=(const PmuBackend&) = delete;
+
+  isa::CpuModel model() const noexcept { return db_.model(); }
+
+  /// Stable backend identifier, one per vendor family ("amd-zen2",
+  /// "intel-xeon-e5"). Flows into TemplateCache keys, serialize headers
+  /// and BENCH_*.json artifacts so cross-SKU comparisons fail loudly.
+  virtual std::string_view id() const noexcept = 0;
+
+  /// The model's event database — byte-identical to calling
+  /// EventDatabase::generate(model()) directly (single shared instance).
+  const EventDatabase& database() const noexcept { return db_; }
+
+  /// Programmable core counters available for concurrent monitoring
+  /// (paper: 4 on both testbeds).
+  std::size_t counter_budget() const noexcept {
+    return EventDatabase::kNumCounters;
+  }
+
+  /// Fixed-function counter slots (Intel: INST_RETIRED / CPU_CLK /
+  /// REF_CLK = 3; AMD Zen2: IRPERF + APERF = 2). Events servable here do
+  /// not consume a programmable slot.
+  virtual std::size_t fixed_counter_budget() const noexcept = 0;
+
+  /// Uncore-bank counters per slice. Uncore events multiplex through this
+  /// bank concurrently with the core bank.
+  virtual std::size_t uncore_counter_budget() const noexcept = 0;
+
+  /// True when `name` can be served by a fixed-function counter on this
+  /// vendor (the generic alias and its raw twin both qualify).
+  virtual bool fixed_counter_event(std::string_view name) const noexcept = 0;
+
+  /// Availability tier of one event. Deterministic classification over
+  /// (type, name) only — never consumes randomness, so adding a backend
+  /// cannot perturb the generated database.
+  CounterTier tier_of(std::uint32_t event_id) const;
+
+  /// Events per tier over the whole database (golden-pinned per vendor).
+  std::array<std::size_t, kNumCounterTiers> tier_counts() const;
+
+  /// Default attack-event names for this vendor (paper Section III-B on
+  /// AMD; the Xeon E5 equivalents on Intel). Size == counter_budget().
+  virtual std::vector<std::string_view> attack_event_names() const = 0;
+
+  /// attack_event_names() resolved to database ids, in order.
+  std::vector<std::uint32_t> attack_events() const;
+
+  /// Per-SKU name override: the vendor raw event a perf generic alias
+  /// resolves to on this SKU ("" = no override, use the shared name).
+  /// Model: faultline's PMUCounter::skuOverride.
+  virtual std::string_view sku_override(std::string_view name) const noexcept;
+
+  /// find() that honours sku_override: resolves `name` directly, or via
+  /// its override when the shared name needs SKU-specific spelling.
+  std::optional<std::uint32_t> resolve(std::string_view name) const noexcept;
+
+ protected:
+  explicit PmuBackend(isa::CpuModel model);
+
+ private:
+  EventDatabase db_;
+};
+
+}  // namespace aegis::pmu::backend

@@ -1,0 +1,153 @@
+#include "pmu/backend/grouping.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace aegis::pmu::backend {
+
+std::string_view to_string(CounterBank bank) noexcept {
+  switch (bank) {
+    case CounterBank::kFixed: return "fixed";
+    case CounterBank::kKernel: return "kernel";
+    case CounterBank::kCore: return "core";
+    case CounterBank::kUncore: return "uncore";
+  }
+  return "?";
+}
+
+std::size_t GroupingPlan::multiplex_slices() const noexcept {
+  const std::size_t rotating = std::max(core_groups, uncore_groups);
+  if (rotating > 0) return rotating;
+  return total_events > 0 ? 1 : 0;
+}
+
+std::uint64_t GroupingPlan::digest() const noexcept {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const CounterGroup& g : groups) {
+    mix(static_cast<std::uint64_t>(g.bank));
+    mix(g.events.size());
+    for (std::uint32_t id : g.events) mix(id);
+  }
+  return h;
+}
+
+std::size_t naive_slices(std::size_t event_count) noexcept {
+  const std::size_t budget = EventDatabase::kNumCounters;
+  return (event_count + budget - 1) / budget;
+}
+
+GroupingPlan adaptive_grouping(const PmuBackend& backend,
+                               std::vector<std::uint32_t> events) {
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+
+  GroupingPlan plan;
+  plan.total_events = events.size();
+
+  // Partition by bank, in ascending id order so the plan is a pure function
+  // of the set (golden-pinned in tests/grouping_test.cpp).
+  CounterGroup fixed{CounterBank::kFixed, {}};
+  CounterGroup kernel{CounterBank::kKernel, {}};
+  std::vector<std::uint32_t> core;
+  std::vector<std::uint32_t> uncore;
+  const EventDatabase& db = backend.database();
+  for (std::uint32_t id : events) {
+    const EventDescriptor& ev = db.by_id(id);
+    switch (backend.tier_of(id)) {
+      case CounterTier::kUncore:
+        uncore.push_back(id);
+        continue;
+      case CounterTier::kStandard:
+        // Software events, tracepoints and probes are kernel counters, not
+        // PMU registers: no slot consumed, unlimited concurrency. Generic
+        // cache events still program a real core counter.
+        if (ev.type != EventType::kHwCache) {
+          kernel.events.push_back(id);
+          continue;
+        }
+        break;
+      case CounterTier::kUniversal:
+      case CounterTier::kExtended:
+        break;
+    }
+    if (backend.fixed_counter_event(ev.name) &&
+        fixed.events.size() < backend.fixed_counter_budget()) {
+      fixed.events.push_back(id);  // first-come in ascending id order
+    } else {
+      core.push_back(id);
+    }
+  }
+
+  if (!fixed.events.empty()) plan.groups.push_back(std::move(fixed));
+  if (!kernel.events.empty()) plan.groups.push_back(std::move(kernel));
+
+  const auto pack = [&plan](const std::vector<std::uint32_t>& ids,
+                            CounterBank bank, std::size_t width) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < ids.size(); i += width) {
+      CounterGroup g{bank, {}};
+      const std::size_t end = std::min(i + width, ids.size());
+      g.events.assign(ids.begin() + static_cast<std::ptrdiff_t>(i),
+                      ids.begin() + static_cast<std::ptrdiff_t>(end));
+      plan.groups.push_back(std::move(g));
+      ++count;
+    }
+    return count;
+  };
+  plan.core_groups = pack(core, CounterBank::kCore, backend.counter_budget());
+  plan.uncore_groups =
+      pack(uncore, CounterBank::kUncore, backend.uncore_counter_budget());
+  return plan;
+}
+
+std::vector<std::uint32_t> vulnerable_events(const PmuBackend& backend) {
+  std::vector<std::uint32_t> ids;
+  for (const EventDescriptor& ev : backend.database().events()) {
+    if (ev.response.guest_visible()) ids.push_back(ev.id);
+  }
+  return ids;
+}
+
+void write_grouping_report(const PmuBackend& backend, std::ostream& out) {
+  const GroupingPlan plan = adaptive_grouping(backend, vulnerable_events(backend));
+
+  std::array<std::size_t, 4> bank_events{};
+  std::array<std::size_t, 4> bank_groups{};
+  for (const CounterGroup& g : plan.groups) {
+    bank_events[static_cast<std::size_t>(g.bank)] += g.events.size();
+    bank_groups[static_cast<std::size_t>(g.bank)] += 1;
+  }
+  const auto tiers = backend.tier_counts();
+
+  out << "{\n";
+  out << "  \"bench\": \"adaptive_grouping\",\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"cpu_model\": \"" << isa::to_token(backend.model()) << "\",\n";
+  out << "  \"backend\": \"" << backend.id() << "\",\n";
+  out << "  \"database_events\": " << backend.database().size() << ",\n";
+  out << "  \"tier_counts\": {";
+  for (std::size_t i = 0; i < kNumCounterTiers; ++i) {
+    out << (i == 0 ? "" : ", ") << '"'
+        << to_string(static_cast<CounterTier>(i)) << "\": " << tiers[i];
+  }
+  out << "},\n";
+  out << "  \"vulnerable_events\": " << plan.total_events << ",\n";
+  out << "  \"banks\": {";
+  for (std::size_t i = 0; i < 4; ++i) {
+    out << (i == 0 ? "" : ", ") << '"'
+        << to_string(static_cast<CounterBank>(i)) << "\": {\"groups\": "
+        << bank_groups[i] << ", \"events\": " << bank_events[i] << '}';
+  }
+  out << "},\n";
+  out << "  \"adaptive_slices\": " << plan.multiplex_slices() << ",\n";
+  out << "  \"naive_slices\": " << naive_slices(plan.total_events) << ",\n";
+  out << "  \"plan_digest\": \"0x" << std::hex << plan.digest() << std::dec
+      << "\"\n";
+  out << "}\n";
+}
+
+}  // namespace aegis::pmu::backend

@@ -1,0 +1,82 @@
+// Adaptive event grouping (model: SNIPPETS.md Snippet 1, hperf's
+// adaptive_grouping over a fixed programmable-counter budget).
+//
+// Today's profiler sweep multiplexes EVERY event through the 4
+// programmable core counters, 4 at a time: ceil(n/4) time slices per
+// rotation. That wastes the counters the PMU gives away for free:
+//
+//   * fixed bank    — fixed-function counters (Intel: 3, AMD Zen2: 2)
+//                     count their architectural events continuously,
+//                     consuming no programmable slot;
+//   * kernel "bank" — software events, tracepoints and probes are kernel
+//                     counters, not PMU registers: unlimited concurrency;
+//   * uncore bank   — uncore events rotate through their own counters,
+//                     concurrently with the core bank.
+//
+// adaptive_grouping() partitions an event set across those banks and packs
+// only the remainder into programmable groups, minimizing multiplexing
+// slices. The assignment is a pure function of (backend, sorted event
+// ids): no RNG, no hashing — the exact plan is golden-pinned for both
+// vendors' vulnerable-event sets in tests/grouping_test.cpp, where it is
+// also proven to need strictly fewer slices than the naive packing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "pmu/backend/backend.hpp"
+
+namespace aegis::pmu::backend {
+
+/// Which counter resource a group occupies.
+enum class CounterBank : std::uint8_t {
+  kFixed = 0,  // fixed-function counters; always-on, one group at most
+  kKernel,     // kernel software counters; always-on, one group at most
+  kCore,       // programmable core counters; groups rotate per slice
+  kUncore,     // uncore counters; rotate concurrently with the core bank
+};
+
+std::string_view to_string(CounterBank bank) noexcept;
+
+struct CounterGroup {
+  CounterBank bank = CounterBank::kCore;
+  std::vector<std::uint32_t> events;  // ascending ids
+};
+
+struct GroupingPlan {
+  /// Fixed group first (if any), then the kernel group, then core groups,
+  /// then uncore groups — each bank's events in ascending id order.
+  std::vector<CounterGroup> groups;
+  std::size_t total_events = 0;
+  std::size_t core_groups = 0;
+  std::size_t uncore_groups = 0;
+
+  /// Time slices one full rotation needs: the core and uncore banks rotate
+  /// concurrently, the fixed/kernel banks count continuously (read in any
+  /// slice), so max(core, uncore) — floor 1 when anything is monitored.
+  std::size_t multiplex_slices() const noexcept;
+
+  /// FNV-1a over (bank, events) of every group: one number a golden test
+  /// pins so any change to the packing is a deliberate re-baseline.
+  std::uint64_t digest() const noexcept;
+};
+
+/// Slices the pre-backend code path needs: every event through the 4
+/// programmable counters, 4 at a time.
+std::size_t naive_slices(std::size_t event_count) noexcept;
+
+/// Packs `events` (any order, duplicates ignored) for `backend`.
+GroupingPlan adaptive_grouping(const PmuBackend& backend,
+                               std::vector<std::uint32_t> events);
+
+/// The set the paper's defense must keep monitorable: every guest-visible
+/// event (the warm-up-survivor superset; Section V).
+std::vector<std::uint32_t> vulnerable_events(const PmuBackend& backend);
+
+/// Machine-readable grouping report (GROUPING_<backend>.json): tier
+/// census, bank census and slice counts for the vulnerable set. The CI
+/// Intel leg uploads this as an artifact.
+void write_grouping_report(const PmuBackend& backend, std::ostream& out);
+
+}  // namespace aegis::pmu::backend

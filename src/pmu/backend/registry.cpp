@@ -1,0 +1,75 @@
+#include "pmu/backend/registry.hpp"
+
+#include <cstdlib>
+
+#include "pmu/backend/amd_zen2.hpp"
+#include "pmu/backend/intel_xeon_e5.hpp"
+
+namespace aegis::pmu::backend {
+
+namespace {
+
+// One lazily-built singleton per model (thread-safe magic statics): a test
+// binary that only ever touches AMD never pays for the Intel databases.
+const PmuBackend& singleton(isa::CpuModel model) {
+  switch (model) {
+    case isa::CpuModel::kIntelXeonE5_1650: {
+      static const IntelXeonE5Backend b(isa::CpuModel::kIntelXeonE5_1650);
+      return b;
+    }
+    case isa::CpuModel::kIntelXeonE5_4617: {
+      static const IntelXeonE5Backend b(isa::CpuModel::kIntelXeonE5_4617);
+      return b;
+    }
+    case isa::CpuModel::kAmdEpyc7252: {
+      static const AmdZen2Backend b(isa::CpuModel::kAmdEpyc7252);
+      return b;
+    }
+    case isa::CpuModel::kAmdEpyc7313P:
+      break;
+  }
+  static const AmdZen2Backend b(isa::CpuModel::kAmdEpyc7313P);
+  return b;
+}
+
+}  // namespace
+
+const BackendRegistry& BackendRegistry::instance() {
+  static const BackendRegistry registry;
+  return registry;
+}
+
+const PmuBackend& BackendRegistry::get(isa::CpuModel model) const {
+  return singleton(model);
+}
+
+std::vector<isa::CpuModel> BackendRegistry::models() const {
+  return {isa::CpuModel::kIntelXeonE5_1650, isa::CpuModel::kIntelXeonE5_4617,
+          isa::CpuModel::kAmdEpyc7252, isa::CpuModel::kAmdEpyc7313P};
+}
+
+const PmuBackend& backend_for(isa::CpuModel model) {
+  return BackendRegistry::instance().get(model);
+}
+
+std::string_view backend_id(isa::CpuModel model) {
+  return backend_for(model).id();
+}
+
+std::optional<isa::CpuModel> parse_cpu_model(std::string_view text) noexcept {
+  if (text == "amd") return isa::CpuModel::kAmdEpyc7252;
+  if (text == "intel") return isa::CpuModel::kIntelXeonE5_1650;
+  for (isa::CpuModel m : BackendRegistry::instance().models()) {
+    if (text == isa::to_token(m) || text == isa::to_string(m)) return m;
+  }
+  return std::nullopt;
+}
+
+isa::CpuModel model_from_env(isa::CpuModel fallback) noexcept {
+  const char* env = std::getenv("AEGIS_CPU");
+  if (env == nullptr || *env == '\0') return fallback;
+  if (const auto model = parse_cpu_model(env)) return *model;
+  return fallback;
+}
+
+}  // namespace aegis::pmu::backend

@@ -1,0 +1,52 @@
+// BackendRegistry: the one place a CpuModel becomes a PmuBackend.
+//
+// Every component that used to call EventDatabase::generate(model)
+// directly now asks the registry instead (enforced by the aegis-lint
+// `backend-registry` rule); backends are lazily constructed process-wide
+// singletons, so the 6k-event Intel database is generated at most once per
+// process and every Aegis instance on the same model shares one immutable
+// database.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "pmu/backend/backend.hpp"
+
+namespace aegis::pmu::backend {
+
+class BackendRegistry {
+ public:
+  /// The process-wide registry.
+  static const BackendRegistry& instance();
+
+  /// The backend for one model. Never fails: every isa::CpuModel has a
+  /// registered backend (pinned by backend_test.CoversEveryModel).
+  const PmuBackend& get(isa::CpuModel model) const;
+
+  /// Every supported model, in isa::CpuModel declaration order.
+  std::vector<isa::CpuModel> models() const;
+
+ private:
+  BackendRegistry() = default;
+};
+
+/// Shorthand for BackendRegistry::instance().get(model).
+const PmuBackend& backend_for(isa::CpuModel model);
+
+/// Shorthand for backend_for(model).id().
+std::string_view backend_id(isa::CpuModel model);
+
+/// Parses a CPU selector: a vendor shorthand ("amd", "intel"), a model
+/// token ("AmdEpyc7252", ...) or a full model name ("AMD EPYC 7252", ...).
+std::optional<isa::CpuModel> parse_cpu_model(std::string_view text) noexcept;
+
+/// Tool-facing model selection: the AEGIS_CPU environment variable when
+/// set and parseable, `fallback` otherwise. Benches and the CI Intel leg
+/// steer whole runs through one backend with this (the library itself
+/// never reads it — determinism stays config-driven).
+isa::CpuModel model_from_env(
+    isa::CpuModel fallback = isa::CpuModel::kAmdEpyc7252) noexcept;
+
+}  // namespace aegis::pmu::backend

@@ -463,6 +463,7 @@ void build_other_events(std::vector<EventDescriptor>& out, util::Rng& rng,
 
 }  // namespace
 
+// aegis-lint: event-db-ok(this is the definition of generate() itself; callers go through pmu::backend::backend_for)
 EventDatabase EventDatabase::generate(isa::CpuModel model) {
   EventDatabase db;
   db.model_ = model;

@@ -113,9 +113,9 @@ SecurityHarness::SecurityHarness(HarnessConfig config)
   offline.set_telemetry(config_.telemetry);
   analysis_ = engine_.analyze(*secrets.front(), secrets, offline);
 
-  for (auto name : pmu::kAmdAttackEvents) {
-    attack_events_.push_back(*engine_.database().find(name));
-  }
+  // The attacked counter set is a backend query: the paper's AMD picks on
+  // EPYC (kAmdAttackEvents, unchanged), the Xeon E5 equivalents on Intel.
+  attack_events_ = engine_.backend().attack_events();
   // Fusion group: the 4 named attack events plus the next top-ranked events
   // not already among them — a second multiplexed counter group, reaching
   // signals the cover may not protect.

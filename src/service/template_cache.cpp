@@ -3,13 +3,14 @@
 #include <fstream>
 #include <sstream>
 
+#include "pmu/backend/registry.hpp"
 #include "telemetry/registry.hpp"
 #include "util/hash.hpp"
 
 namespace aegis::service {
 
 std::size_t TemplateKeyHash::operator()(const TemplateKey& key) const noexcept {
-  std::uint64_t h = util::kFnvOffset;
+  std::uint64_t h = util::fnv1a(key.backend_id);
   h = util::hash_combine(h, static_cast<std::uint64_t>(key.vendor));
   h = util::hash_combine(h, static_cast<std::uint64_t>(key.cpu_family));
   h = util::hash_combine(h, key.workload_fingerprint);
@@ -66,6 +67,7 @@ TemplateKey make_template_key(isa::CpuModel cpu,
                               const workload::Workload& application,
                               const core::OfflineConfig& config) {
   TemplateKey key;
+  key.backend_id = std::string(pmu::backend::backend_id(cpu));
   key.vendor = isa::vendor_of(cpu);
   key.cpu_family = isa::family_of(cpu);
   key.workload_fingerprint = fingerprint_workload(application);
@@ -94,10 +96,13 @@ TemplateCache::~TemplateCache() = default;
 std::string TemplateCache::disk_path(const TemplateKey& key) const {
   if (config_.cache_dir.empty()) return {};
   std::ostringstream name;
-  name << config_.cache_dir << "/tpl-"
-       << (key.vendor == isa::Vendor::kIntel ? "intel" : "amd") << "-"
-       << key.cpu_family << "-" << std::hex << key.workload_fingerprint << "-"
-       << key.config_hash << ".aegis";
+  const std::string& backend =
+      key.backend_id.empty()
+          ? (key.vendor == isa::Vendor::kIntel ? "intel" : "amd")
+          : key.backend_id;
+  name << config_.cache_dir << "/tpl-" << backend << "-" << key.cpu_family
+       << "-" << std::hex << key.workload_fingerprint << "-" << key.config_hash
+       << ".aegis";
   return name.str();
 }
 

@@ -34,6 +34,10 @@ class Registry;
 namespace aegis::service {
 
 struct TemplateKey {
+  /// PMU backend identifier ("amd-zen2", "intel-xeon-e5"): one backend per
+  /// vendor family, so it carries the same porting guarantee the family
+  /// check does and names the files something humans can attribute.
+  std::string backend_id;
   isa::Vendor vendor = isa::Vendor::kAmd;
   int cpu_family = 0;
   std::uint64_t workload_fingerprint = 0;
@@ -63,8 +67,8 @@ TemplateKey make_template_key(isa::CpuModel cpu,
 
 struct TemplateCacheConfig {
   /// Directory for the serialized templates ("" = memory-only cache). The
-  /// directory must already exist; files are named tpl-<vendor>-<family>-
-  /// <workload-fp>-<config-hash>.aegis.
+  /// directory must already exist; files are named tpl-<backend-id>-
+  /// <family>-<workload-fp>-<config-hash>.aegis.
   std::string cache_dir;
   /// Metric sink. Null = the cache creates a PRIVATE registry so stats()
   /// stays per-instance exact; inject one to aggregate across components.

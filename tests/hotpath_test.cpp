@@ -18,6 +18,7 @@
 
 #include "fuzzer/fuzzer.hpp"
 #include "pmu/counter_file.hpp"
+#include "pmu/backend/registry.hpp"
 #include "pmu/event_database.hpp"
 #include "pmu/response_matrix.hpp"
 #include "pmu/simd_dispatch.hpp"
@@ -105,14 +106,16 @@ class EngineGuard {
 };
 
 struct Fixture {
-  pmu::EventDatabase db =
-      pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7252);
+  // Pinned to the AMD backend: hot-path goldens are AMD bit-identity
+  // checks and must not follow AEGIS_CPU.
+  const pmu::backend::PmuBackend& backend =
+      pmu::backend::backend_for(isa::CpuModel::kAmdEpyc7252);
+  const pmu::EventDatabase& db = backend.database();
   isa::IsaSpecification spec =
       isa::IsaSpecification::generate(isa::CpuModel::kAmdEpyc7252);
 
   std::vector<std::uint32_t> events() const {
-    std::vector<std::uint32_t> ids;
-    for (auto name : pmu::kAmdAttackEvents) ids.push_back(*db.find(name));
+    std::vector<std::uint32_t> ids = backend.attack_events();
     ids.push_back(*db.find("RETIRED_BRANCH_INSTRUCTIONS"));
     ids.push_back(*db.find("RETIRED_MMX_FP_INSTRUCTIONS:SSE_INSTR"));
     return ids;

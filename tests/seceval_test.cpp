@@ -134,8 +134,10 @@ TEST(Emit, JsonGoldenBytes) {
   write_frontier_json(golden_frontier(), golden_config(), out);
   const std::string expected = R"({
   "bench": "security_frontier",
-  "schema_version": 1,
+  "schema_version": 2,
   "cpu": "AMD EPYC 7252",
+  "cpu_model": "AmdEpyc7252",
+  "backend": "amd-zen2",
   "seed": 7,
   "scale": {
     "sites": 8,
@@ -186,6 +188,7 @@ TEST(Emit, ReportGoldenBytes) {
       "accuracy rises more than 2 points over it. Lower is better for "
       "the\ndefense.\n"
       "\n"
+      "- cpu: AMD EPYC 7252 (backend amd-zen2)\n"
       "- seed: 7\n"
       "- scale: 8 sites, 10 traces/secret, 120 slices, 12 epochs, 4 victim "
       "visits/secret\n"

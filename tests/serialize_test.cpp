@@ -4,6 +4,7 @@
 
 #include "attack/wfa.hpp"
 #include "core/serialize.hpp"
+#include "pmu/backend/registry.hpp"
 
 namespace aegis::core {
 namespace {
@@ -86,7 +87,8 @@ TEST(Serialize, LoadsAcrossFamilyMembers) {
   std::stringstream stream;
   save_offline_result(stream, f.result, f.aegis.database());
   // The 7313P shares the 7252's event list (Table I): the analysis ports.
-  const auto sibling = pmu::EventDatabase::generate(isa::CpuModel::kAmdEpyc7313P);
+  const auto& sibling =
+      pmu::backend::backend_for(isa::CpuModel::kAmdEpyc7313P).database();
   const OfflineResult loaded = load_offline_result(stream, sibling);
   EXPECT_EQ(loaded.warmup.surviving.size(), f.result.warmup.surviving.size());
 }
@@ -95,8 +97,80 @@ TEST(Serialize, RejectsCrossVendorLoads) {
   auto& f = fixture();
   std::stringstream stream;
   save_offline_result(stream, f.result, f.aegis.database());
-  const auto intel = pmu::EventDatabase::generate(isa::CpuModel::kIntelXeonE5_1650);
+  const auto& intel =
+      pmu::backend::backend_for(isa::CpuModel::kIntelXeonE5_1650).database();
   EXPECT_THROW((void)load_offline_result(stream, intel), std::runtime_error);
+}
+
+TEST(Serialize, IntelResultsPortWithinTheXeonE5Family) {
+  // Cross-SKU port on the OTHER vendor: a template analyzed on the E5-1650
+  // loads on the E5-4617 (14 of 6166+ events differ, none of which the
+  // warm-up survivors reference), and is refused by the AMD family.
+  Aegis intel{isa::CpuModel::kIntelXeonE5_1650};
+  auto& f = fixture();
+  attack::WfaScale scale;
+  scale.sites = 2;
+  scale.slices = 40;
+  auto secrets = attack::make_wfa_secrets(scale);
+  OfflineConfig config = make_quick_offline_config();
+  config.profiler.ranking_runs_per_secret = 3;
+  config.fuzz_top_events = 4;
+  const OfflineResult result = intel.analyze(*secrets[0], secrets, config);
+
+  std::stringstream stream;
+  save_offline_result(stream, result, intel.database());
+  const std::string text = stream.str();
+  EXPECT_NE(text.find("backend intel-xeon-e5\n"), std::string::npos);
+
+  const auto& sibling =
+      pmu::backend::backend_for(isa::CpuModel::kIntelXeonE5_4617).database();
+  std::stringstream again(text);
+  const OfflineResult loaded = load_offline_result(again, sibling);
+  EXPECT_EQ(loaded.warmup.surviving.size(), result.warmup.surviving.size());
+
+  std::stringstream cross(text);
+  EXPECT_THROW((void)load_offline_result(cross, f.aegis.database()),
+               std::runtime_error);
+}
+
+TEST(Serialize, LoadsVersion1StreamsWithoutABackendLine) {
+  // Back-compat: a v1 stream (written before the backend line existed)
+  // still loads; the backend is implied by the cpu line.
+  auto& f = fixture();
+  std::stringstream stream;
+  save_offline_result(stream, f.result, f.aegis.database());
+  std::string text = stream.str();
+  const std::string header = "aegis-offline-result v2\n";
+  const std::string backend_line = "backend amd-zen2\n";
+  ASSERT_EQ(text.rfind(header, 0), 0u);
+  const auto pos = text.find(backend_line);
+  ASSERT_NE(pos, std::string::npos);
+  text.erase(pos, backend_line.size());
+  text.replace(0, header.size(), "aegis-offline-result v1\n");
+  std::stringstream v1(text);
+  const OfflineResult loaded = load_offline_result(v1, f.aegis.database());
+  EXPECT_EQ(loaded.warmup.surviving, f.result.warmup.surviving);
+}
+
+TEST(Serialize, RejectsBackendMismatchInVersion2Streams) {
+  // A tampered (or wrongly routed) v2 stream whose backend line disagrees
+  // with the loading model's backend is refused with a clear error.
+  auto& f = fixture();
+  std::stringstream stream;
+  save_offline_result(stream, f.result, f.aegis.database());
+  std::string text = stream.str();
+  const auto pos = text.find("backend amd-zen2\n");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("backend amd-zen2").size(),
+               "backend intel-xeon-e5");
+  std::stringstream tampered(text);
+  try {
+    (void)load_offline_result(tampered, f.aegis.database());
+    FAIL() << "backend-mismatched stream must not load";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("backend mismatch"),
+              std::string::npos);
+  }
 }
 
 TEST(Serialize, RejectsGarbage) {
@@ -104,7 +178,8 @@ TEST(Serialize, RejectsGarbage) {
   std::stringstream bad("not an aegis file\n");
   EXPECT_THROW((void)load_offline_result(bad, f.aegis.database()),
                std::runtime_error);
-  std::stringstream truncated("aegis-offline-result v1\ncpu AMD EPYC 7252\n");
+  std::stringstream truncated(
+      "aegis-offline-result v2\ncpu AMD EPYC 7252\nbackend amd-zen2\n");
   EXPECT_THROW((void)load_offline_result(truncated, f.aegis.database()),
                std::runtime_error);
 }
@@ -117,7 +192,7 @@ TEST(Serialize, RejectsFutureFormatVersionsWithAClearError) {
 
   // Hand-edit the header to claim a future format version: a stream from
   // a newer build must be refused up front, not mis-parsed downstream.
-  const std::string header = "aegis-offline-result v1";
+  const std::string header = "aegis-offline-result v2";
   ASSERT_EQ(text.rfind(header, 0), 0u);
   text.replace(0, header.size(), "aegis-offline-result v7");
   std::stringstream future(text);

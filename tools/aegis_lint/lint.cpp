@@ -104,6 +104,9 @@ std::vector<FileFinding> lint_tree(const TreeOptions& options) {
     for (const std::string& prefix : options.clock_exempt) {
       if (rel.rfind(prefix, 0) == 0) config.clock_rule = false;
     }
+    for (const std::string& prefix : options.backend_exempt) {
+      if (rel.rfind(prefix, 0) == 0) config.backend_rule = false;
+    }
     // Companion header: declarations in x.hpp govern iteration/locking in
     // x.cpp.
     std::string companion;

@@ -35,6 +35,9 @@ struct TreeOptions {
   /// Path prefixes (relative, '/'-terminated) where banned-clock is off:
   /// benchmarks exist to measure wall time.
   std::vector<std::string> clock_exempt = {"bench/"};
+  /// Path prefixes where backend-registry is off: the backend layer itself
+  /// is the one sanctioned EventDatabase::generate() caller.
+  std::vector<std::string> backend_exempt = {"src/pmu/backend/"};
 };
 
 /// Lints every .cpp/.hpp/.h under the requested subtrees, in sorted path

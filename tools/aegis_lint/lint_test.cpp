@@ -552,11 +552,55 @@ TEST(DispatchOnce, SuppressedWithReason) {
 }
 
 // ---------------------------------------------------------------------------
+// backend-registry
+
+TEST(BackendRegistry, FlagsDirectGenerateCall) {
+  const auto fs =
+      run("const auto db = pmu::EventDatabase::generate(model);\n");
+  EXPECT_TRUE(has_rule(fs, "backend-registry")) << messages(fs);
+}
+
+TEST(BackendRegistry, ResolvingThroughTheBackendIsFine) {
+  const auto fs = run(
+      "const auto& db = pmu::backend::backend_for(model).database();\n");
+  EXPECT_TRUE(fs.empty()) << messages(fs);
+}
+
+TEST(BackendRegistry, OtherGenerateMethodsAreFine) {
+  const auto fs = run("const auto plan = Scheduler::generate(slots);\n");
+  EXPECT_TRUE(fs.empty()) << messages(fs);
+}
+
+TEST(BackendRegistry, SuppressedWithReason) {
+  const auto fs = run(
+      "// aegis-lint: event-db-ok(fixture compares raw database to the "
+      "backend view)\n"
+      "const auto db = pmu::EventDatabase::generate(model);\n");
+  EXPECT_TRUE(fs.empty()) << messages(fs);
+}
+
+TEST(BackendRegistry, ReasonlessSuppressionIsItselfAFinding) {
+  const auto fs = run(
+      "// aegis-lint: event-db-ok()\n"
+      "const auto db = pmu::EventDatabase::generate(model);\n");
+  EXPECT_TRUE(has_rule(fs, "backend-registry")) << messages(fs);
+  EXPECT_TRUE(has_rule(fs, "suppression")) << messages(fs);
+}
+
+TEST(BackendRegistry, DisabledByConfigForTheBackendLayer) {
+  LintConfig config;
+  config.backend_rule = false;
+  const auto fs = lint_source(
+      "db_ = pmu::EventDatabase::generate(model);\n", "", config);
+  EXPECT_TRUE(fs.empty()) << messages(fs);
+}
+
+// ---------------------------------------------------------------------------
 // Catalog sanity
 
 TEST(Catalog, EverySuppressibleRuleIsListed) {
   const auto catalog = rule_catalog();
-  EXPECT_GE(catalog.size(), 9u);
+  EXPECT_GE(catalog.size(), 10u);
   for (const RuleInfo& r : catalog) {
     EXPECT_FALSE(r.name.empty());
     EXPECT_FALSE(r.suppress_tag.empty());

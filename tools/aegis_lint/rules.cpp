@@ -637,6 +637,25 @@ void rule_locks(const LexOutput& file, const LexOutput* companion,
   }
 }
 
+// ---------------------------------------------------------------------------
+// backend-registry
+
+void rule_backend_registry(const Tokens& t, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!is_ident(t[i], "generate") || !is_punct(t[i + 1], '(')) continue;
+    if (!scope_access(t, i) || i < 3 || !is_ident(t[i - 3], "EventDatabase")) {
+      continue;
+    }
+    out.push_back(
+        Finding{"backend-registry", t[i].line,
+                "direct EventDatabase::generate() bypasses the PMU backend "
+                "layer; resolve the database through "
+                "pmu::backend::backend_for(model) so tier metadata, counter "
+                "budgets and attack defaults stay attached",
+                "event-db-ok"});
+  }
+}
+
 }  // namespace
 
 std::vector<RuleInfo> rule_catalog() {
@@ -668,6 +687,9 @@ std::vector<RuleInfo> rule_catalog() {
       {"blocking-in-lock", "blocking-ok",
        "no joins, queue push/pop, or foreign condition waits while holding "
        "a 'noblock' mutex"},
+      {"backend-registry", "event-db-ok",
+       "EventDatabase::generate() outside src/pmu/backend/: resolve "
+       "databases through pmu::backend::backend_for(model) instead"},
   };
 }
 
@@ -676,6 +698,7 @@ std::vector<Finding> run_rules(const LexOutput& file, const LexOutput* companion
   std::vector<Finding> out;
   rule_banned_random(file.tokens, out);
   if (config.clock_rule) rule_banned_clock(file.tokens, out);
+  if (config.backend_rule) rule_backend_registry(file.tokens, out);
   rule_std_hash(file.tokens, out);
 
   auto decls = unordered_decls(file.tokens);

@@ -41,6 +41,12 @@
 //                      .pop()/.pop_batch() and no condition-variable wait
 //                      (waiting on the held lock itself is allowed — the
 //                      wait releases it).        suppress: blocking-ok(...)
+//   backend-registry   EventDatabase::generate() outside src/pmu/backend/
+//                      (which is exempt wholesale): every other component
+//                      resolves its database through
+//                      pmu::backend::backend_for(model), so SKU metadata,
+//                      tiers and attack defaults stay attached to it.
+//                                               suppress: event-db-ok(...)
 //
 // Rules are lexical by design: they see one file (plus its companion
 // header) and cannot follow calls across translation units. That buys a
@@ -66,6 +72,9 @@ struct LintConfig {
   /// When false the banned-clock rule is skipped (the driver disables it
   /// for bench/, which exists to measure wall time).
   bool clock_rule = true;
+  /// When false the backend-registry rule is skipped (the driver disables
+  /// it for src/pmu/backend/, the one sanctioned generate() caller).
+  bool backend_rule = true;
 };
 
 struct RuleInfo {

@@ -34,6 +34,7 @@ trace::Trace project_out(const trace::Trace& t, const std::vector<double>& direc
 /// The projection attacker: estimates the dominant per-slice direction of
 /// the defended traces (the injected-noise ray when the noise is rank-1),
 /// projects it out of every trace, and trains/evaluates on the residual.
+// aegis-rng: stream(abl-noise-design-projection-attack-accuracy)
 double projection_attack_accuracy(
     const pmu::EventDatabase& db,
     const std::vector<std::unique_ptr<workload::Workload>>& secrets,

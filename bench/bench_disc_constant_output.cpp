@@ -9,6 +9,7 @@
 
 using namespace aegis;
 
+// aegis-rng: stream(disc-constant-output-main)
 int main(int argc, char** argv) {
   const double scale = bench::scale_from_args(argc, argv);
   const std::size_t slices = bench::scaled(240, scale, 120);

@@ -11,6 +11,7 @@ using namespace aegis;
 namespace {
 
 /// Averages N defended traces of the same secret into one trace.
+// aegis-rng: stream(disc-multiple-tries-averaged-trace)
 trace::Trace averaged_trace(const pmu::EventDatabase& db,
                             const workload::Workload& secret,
                             const attack::CollectionConfig& config,
@@ -34,6 +35,7 @@ trace::Trace averaged_trace(const pmu::EventDatabase& db,
 
 }  // namespace
 
+// aegis-rng: stream(disc-multiple-tries-main)
 int main(int argc, char** argv) {
   const double scale = bench::scale_from_args(argc, argv);
   const std::size_t slices = bench::scaled(180, scale, 100);

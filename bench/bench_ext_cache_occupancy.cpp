@@ -18,6 +18,7 @@ namespace {
 constexpr sim::RegionId kProbeRegion = 9000;
 constexpr std::size_t kWindows = 24;
 
+// aegis-rng: stream(ext-cache-occupancy-collect-occupancy)
 trace::TraceSet collect_occupancy(
     const pmu::EventDatabase& db,
     const std::vector<std::unique_ptr<workload::Workload>>& secrets,

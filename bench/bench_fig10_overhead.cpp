@@ -42,6 +42,7 @@ RunCost run_once(const workload::Workload& app, const sim::SliceAgent& agent,
   return RunCost{static_cast<double>(t), vm.cpu_usage()};
 }
 
+// aegis-rng: stream(fig10-overhead-average-cost)
 RunCost average_cost(const std::vector<std::unique_ptr<workload::Workload>>& apps,
                      obf::EventObfuscator* obf, std::size_t runs,
                      std::uint64_t seed, double slice_budget) {

@@ -11,6 +11,7 @@
 
 using namespace aegis;
 
+// aegis-rng: stream(fig3-value-distribution-main)
 int main(int argc, char** argv) {
   const double scale = bench::scale_from_args(argc, argv);
   const auto& db = pmu::backend::backend_for(isa::CpuModel::kAmdEpyc7252).database();

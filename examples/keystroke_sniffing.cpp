@@ -15,6 +15,7 @@
 
 using namespace aegis;
 
+// aegis-rng: stream(keystroke-sniffing-main)
 int main() {
   core::Aegis engine(isa::CpuModel::kAmdEpyc7252);
   std::vector<std::uint32_t> events;

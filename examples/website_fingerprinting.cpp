@@ -14,6 +14,7 @@
 
 using namespace aegis;
 
+// aegis-rng: stream(website-fingerprinting-main)
 int main() {
   core::Aegis engine(isa::CpuModel::kAmdEpyc7252);
 

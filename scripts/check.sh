@@ -49,18 +49,34 @@ run_suite() {
 
 # Lint stage: build the analyzer and its unit tests by name so a lint build
 # failure is a hard error here (ctest would otherwise just drop the gate),
-# then run the tree-wide gate directly for file:line diagnostics on stdout.
+# then run the tree-wide two-phase gate directly for file:line diagnostics
+# on stdout. The gate run also checks the committed RNG stream manifest,
+# emits a SARIF log, times itself for the runtime budget, and warms the
+# persistent phase-1 cache under build/; a second leg fails on stale
+# suppression comments so they never accumulate.
 run_lint() {
   local dir="build"
   echo "=== lint: build aegis-lint ==="
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DAEGIS_SANITIZE="" >/dev/null
   cmake --build "${dir}" -j "${JOBS}" \
-    --target aegis_lint aegis_lint_test >/dev/null
-  echo "=== lint: aegis-lint gate (src bench examples) ==="
-  "${dir}/tools/aegis_lint/aegis_lint" --root . src bench examples
+    --target aegis_lint aegis_lint_test aegis_lint_graph_test >/dev/null
+  echo "=== lint: aegis-lint gate (src bench examples tools + RNG manifest) ==="
+  "${dir}/tools/aegis_lint/aegis_lint" --root . \
+    --check-rng-manifest RNG_STREAMS.md \
+    --cache-dir "${dir}/lint-cache" \
+    --sarif "${dir}/aegis-lint.sarif" \
+    --time-json /tmp/aegis_lint_time.json \
+    src bench examples tools
+  echo "=== lint: stale suppressions ==="
+  "${dir}/tools/aegis_lint/aegis_lint" --root . --stale-as-error \
+    --cache-dir "${dir}/lint-cache" src bench examples tools >/dev/null
+  echo "=== lint: runtime budget ==="
+  python3 scripts/bench_compare.py --lint \
+    BENCH_lint.json /tmp/aegis_lint_time.json
   echo "=== lint: aegis-lint unit tests ==="
   "${dir}/tools/aegis_lint/aegis_lint_test" --gtest_brief=1
+  "${dir}/tools/aegis_lint/aegis_lint_graph_test" --gtest_brief=1
   if command -v clang-tidy >/dev/null 2>&1; then
     echo "=== lint: clang-tidy (src) ==="
     # Compile-commands come from the default build dir; tidy only src/ so

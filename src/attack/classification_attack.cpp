@@ -62,6 +62,7 @@ int ClassificationAttack::predict(const trace::Trace& trace) const {
   return model_->predict(featurize(trace));
 }
 
+// aegis-rng: stream(classification-attack-exploit)
 double ClassificationAttack::exploit(
     const std::vector<std::unique_ptr<workload::Workload>>& secrets,
     std::size_t visits_per_secret, std::uint64_t seed,

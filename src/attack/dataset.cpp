@@ -20,6 +20,7 @@ trace::Trace collect_one(const pmu::EventDatabase& db,
   return t;
 }
 
+// aegis-rng: stream(dataset-collect-traces)
 trace::TraceSet collect_traces(
     const pmu::EventDatabase& db,
     const std::vector<std::unique_ptr<workload::Workload>>& secrets,

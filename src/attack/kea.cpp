@@ -43,6 +43,7 @@ ml::FrameSequence KeyExtractionAttack::monitor_run(
   return seq;
 }
 
+// aegis-rng: stream(kea-train)
 std::vector<ml::EpochStats> KeyExtractionAttack::train(
     const AgentFactory& template_agent) {
   util::Rng rng(config_.seed);
@@ -97,6 +98,7 @@ std::vector<bool> KeyExtractionAttack::extract(
   return ops_to_key(seq_model_->decode_beam(seq));
 }
 
+// aegis-rng: stream(kea-exploit)
 double KeyExtractionAttack::exploit(std::size_t victim_keys,
                                     std::size_t runs_per_key,
                                     std::uint64_t seed,

@@ -32,6 +32,7 @@ ml::FrameSequence MeaAttack::monitor_run(const workload::DnnWorkload& model,
   return seq;
 }
 
+// aegis-rng: stream(mea-train)
 std::vector<ml::EpochStats> MeaAttack::train(const AgentFactory& template_agent) {
   util::Rng rng(config_.seed);
   std::vector<ml::FrameSequence> sequences;
@@ -88,6 +89,7 @@ std::vector<int> MeaAttack::extract(std::size_t model_id,
   return seq_model_->decode_beam(seq);
 }
 
+// aegis-rng: stream(mea-exploit)
 double MeaAttack::exploit(std::size_t runs_per_model, std::uint64_t seed,
                           const AgentFactory& victim_agent) const {
   if (!seq_model_) throw std::logic_error("MeaAttack: not trained");

@@ -15,6 +15,7 @@ UniformRandomMechanism::UniformRandomMechanism(double bound, std::uint64_t seed)
   }
 }
 
+// aegis-rng: stream(baselines-noisy-value)
 double UniformRandomMechanism::noisy_value(double x_t) {
   return x_t + rng_.uniform(0.0, bound_);
 }

@@ -29,6 +29,7 @@ void DStarMechanism::reset() {
   noisy_.assign(1, 0.0);  // x~[0] = 0
 }
 
+// aegis-rng: stream(dstar-noisy-value)
 double DStarMechanism::noisy_value(double x_t) {
   const std::uint64_t t = x_.size();  // next index (1-based)
   x_.push_back(x_t);

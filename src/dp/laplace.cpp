@@ -22,6 +22,7 @@ LaplaceMechanism::LaplaceMechanism(double epsilon, double sensitivity,
   }
 }
 
+// aegis-rng: stream(laplace-noisy-value)
 double LaplaceMechanism::noisy_value(double x_t) {
   return x_t + rng_.laplace(0.0, scale());
 }

@@ -38,6 +38,7 @@ const std::vector<std::uint32_t>& EventFuzzer::cleanup_with(
   return cleaned_;
 }
 
+// aegis-rng: stream(fuzzer-sample-instructions)
 std::vector<std::uint32_t> EventFuzzer::sample_instructions(
     std::size_t count, util::Rng& rng) const {
   if (count == 0 || count >= cleaned_.size()) return cleaned_;
@@ -70,6 +71,7 @@ std::vector<std::uint32_t> EventFuzzer::sample_instructions(
   return sample;
 }
 
+// aegis-rng: stream(fuzzer-run)
 FuzzResult EventFuzzer::run(const std::vector<std::uint32_t>& event_ids) {
   FuzzResult result;
   util::Rng rng(config_.seed);

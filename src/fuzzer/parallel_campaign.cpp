@@ -124,6 +124,7 @@ GenerationOutput ParallelCampaign::generate(
   return out;
 }
 
+// aegis-rng: stream(parallel-campaign-confirm)
 std::vector<std::vector<ConfirmedGadget>> ParallelCampaign::confirm(
     const std::vector<std::uint32_t>& event_ids,
     const std::vector<std::vector<Gadget>>& candidates) const {

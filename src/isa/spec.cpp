@@ -453,6 +453,7 @@ SpecTargets targets_for(CpuModel m) noexcept {
 
 }  // namespace
 
+// aegis-rng: stream(spec-generate)
 IsaSpecification IsaSpecification::generate(CpuModel model) {
   IsaSpecification spec;
   spec.model_ = model;

@@ -17,6 +17,7 @@ void softmax(std::vector<double>& logits) noexcept {
   for (double& z : logits) z /= sum;
 }
 
+// aegis-rng: stream(mlp-init)
 MlpClassifier::MlpClassifier(std::size_t input_dim, std::size_t num_classes,
                              MlpConfig config)
     : input_dim_(input_dim),
@@ -65,6 +66,7 @@ void MlpClassifier::forward(const std::vector<double>& x,
   }
 }
 
+// aegis-rng: stream(mlp-fit)
 std::vector<EpochStats> MlpClassifier::fit(const FeatureMatrix& X, const Labels& y,
                                            const FeatureMatrix& X_val,
                                            const Labels& y_val) {

@@ -92,10 +92,12 @@ double NoiseInjector::inject_mixture(sim::VirtualMachine& vm,
     // and full chunks are by definition scaled(max_reps)).
     double remaining = reps;
     while (remaining > max_reps) {
+      // aegis-lint: alloc-ok(simulator boundary: the VM queue models guest work; a deployed injector programs noise without building instruction queues)
       vm.submit(per_gadget_full_chunk_[g]);
       remaining -= max_reps;
     }
     if (remaining > 0.0) {
+      // aegis-lint: alloc-ok(simulator boundary: the VM queue models guest work; a deployed injector programs noise without building instruction queues)
       vm.submit(per_gadget_[g].scaled(remaining));
     }
   }
@@ -117,10 +119,12 @@ double NoiseInjector::inject(sim::VirtualMachine& vm, double noise_norm) {
   // Same chunk sequence as scaling each chunk per call; see inject_mixture.
   double remaining = reps;
   while (remaining > segment_max_reps_per_chunk_) {
+    // aegis-lint: alloc-ok(simulator boundary: the VM queue models guest work; a deployed injector programs noise without building instruction queues)
     vm.submit(segment_full_chunk_);
     remaining -= segment_max_reps_per_chunk_;
   }
   if (remaining > 0.0) {
+    // aegis-lint: alloc-ok(simulator boundary: the VM queue models guest work; a deployed injector programs noise without building instruction queues)
     vm.submit(segment_.scaled(remaining));
   }
   total_reps_ += reps;

@@ -12,6 +12,7 @@ NoiseCalculator::NoiseCalculator(dp::MechanismConfig config,
   buffer_pos_ = buffer_.size();  // force refill on first use
 }
 
+// aegis-rng: stream(noise-calculator-next-buffered-laplace)
 double NoiseCalculator::next_buffered_laplace() {
   if (buffer_pos_ >= buffer_.size()) {
     const double scale = config_.sensitivity / config_.epsilon;

@@ -15,6 +15,7 @@ sim::SliceAgent coarsen_agent(sim::SliceAgent inner, std::size_t granularity) {
   };
 }
 
+// aegis-rng: stream(obfuscator-calibrate-events)
 std::vector<EventCalibration> calibrate_events(
     const pmu::EventDatabase& db, const std::vector<std::uint32_t>& event_ids,
     const std::vector<std::unique_ptr<workload::Workload>>& secrets,
@@ -74,6 +75,7 @@ EventObfuscator::EventObfuscator(const pmu::EventDatabase& db,
   }
 }
 
+// aegis-rng: stream(obfuscator-session)
 sim::SliceAgent EventObfuscator::session() {
   ++sessions_;
   dp::MechanismConfig mech = config_.mechanism;

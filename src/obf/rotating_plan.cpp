@@ -7,6 +7,7 @@
 
 namespace aegis::obf {
 
+// aegis-rng: stream(rotating-plan-init)
 RotatingPlan::RotatingPlan(std::vector<WeightedGadget> base,
                            RotatingPlanConfig config)
     : config_(config) {

@@ -127,6 +127,7 @@ void CounterRegisterFile::accumulate(const ExecutionStats& stats) {
 }
 
 // aegis-lint: noalloc
+// aegis-rng: stream(counter-file-accumulate-batched)
 void CounterRegisterFile::accumulate_batched(const ExecutionStats& stats) {
   const auto [first, last] = active_range();
   if (first >= last) return;
@@ -169,6 +170,7 @@ void CounterRegisterFile::accumulate_batched(const ExecutionStats& stats) {
 // with scattered coefficient loads, over every slot. Kept verbatim as the
 // baseline the equivalence suite and bench_hot_path compare against.
 // aegis-lint: noalloc
+// aegis-rng: stream(counter-file-accumulate-reference)
 void CounterRegisterFile::accumulate_reference(const ExecutionStats& stats) {
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (!slot_active(i)) continue;
@@ -196,6 +198,7 @@ void CounterRegisterFile::end_slice() {
 }
 
 // aegis-lint: noalloc
+// aegis-rng: stream(counter-file-end-slice-batched)
 void CounterRegisterFile::end_slice_batched() {
   const auto [first, last] = active_range();
   if (first >= last) return;
@@ -222,6 +225,7 @@ void CounterRegisterFile::end_slice_batched() {
 }
 
 // aegis-lint: noalloc
+// aegis-rng: stream(counter-file-end-slice-reference)
 void CounterRegisterFile::end_slice_reference() {
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (!slot_active(i)) continue;

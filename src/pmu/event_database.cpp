@@ -46,6 +46,7 @@ void all_classes(EventResponse& r, float w) {
 
 /// Common measurement-noise coefficients for guest-visible events (C2:
 /// HPCs never count precisely).
+// aegis-rng: stream(event-database-add-measurement-noise)
 void add_measurement_noise(EventResponse& r, util::Rng& rng) {
   r.noise_rel = static_cast<float>(rng.uniform(0.005, 0.03));
   r.noise_abs = static_cast<float>(rng.uniform(0.0, 4.0));
@@ -56,6 +57,7 @@ void add_measurement_noise(EventResponse& r, util::Rng& rng) {
 
 /// Builds a guest-visible response from one of the behavioural archetypes.
 /// `idx` picks the archetype deterministically so family members agree.
+// aegis-rng: stream(event-database-make-visible-response)
 EventResponse make_visible_response(std::size_t idx, util::Rng& rng) {
   EventResponse r;
   const float scale = static_cast<float>(rng.uniform(0.4, 1.6));
@@ -120,6 +122,7 @@ EventResponse make_visible_response(std::size_t idx, util::Rng& rng) {
 
 /// Host-only events: active on the host regardless of guest activity, so
 /// idle-vs-running comparison shows no shift and warm-up drops them.
+// aegis-rng: stream(event-database-make-host-only-response)
 EventResponse make_host_only_response(util::Rng& rng, double rate_scale) {
   EventResponse r;
   r.host_background = static_cast<float>(rng.uniform(0.0, 50.0) * rate_scale);
@@ -138,6 +141,7 @@ void append_named(std::vector<EventDescriptor>& out, std::string name,
   out.push_back(std::move(d));
 }
 
+// aegis-rng: stream(event-database-build-hardware-events)
 void build_hardware_events(std::vector<EventDescriptor>& out, util::Rng& rng,
                            std::size_t count) {
   const std::size_t target = out.size() + count;
@@ -212,6 +216,7 @@ void build_hardware_events(std::vector<EventDescriptor>& out, util::Rng& rng,
   }
 }
 
+// aegis-rng: stream(event-database-build-software-events)
 void build_software_events(std::vector<EventDescriptor>& out, util::Rng& rng,
                            std::size_t count) {
   static const char* kNames[] = {
@@ -230,6 +235,7 @@ void build_software_events(std::vector<EventDescriptor>& out, util::Rng& rng,
   }
 }
 
+// aegis-rng: stream(event-database-build-hw-cache-events)
 void build_hw_cache_events(std::vector<EventDescriptor>& out, util::Rng& rng,
                            std::size_t count) {
   const std::size_t target = out.size() + count;
@@ -284,6 +290,7 @@ void build_hw_cache_events(std::vector<EventDescriptor>& out, util::Rng& rng,
   }
 }
 
+// aegis-rng: stream(event-database-build-tracepoint-events)
 void build_tracepoint_events(std::vector<EventDescriptor>& out, util::Rng& rng,
                              std::size_t count, std::size_t visible) {
   static const char* kSubsystems[] = {"syscalls", "sched", "irq",   "block",
@@ -315,6 +322,7 @@ void build_tracepoint_events(std::vector<EventDescriptor>& out, util::Rng& rng,
   }
 }
 
+// aegis-rng: stream(event-database-build-raw-events)
 void build_raw_events(std::vector<EventDescriptor>& out, util::Rng& rng,
                       Vendor vendor, std::size_t count, std::size_t visible) {
   std::size_t emitted = 0;
@@ -450,6 +458,7 @@ void build_raw_events(std::vector<EventDescriptor>& out, util::Rng& rng,
   }
 }
 
+// aegis-rng: stream(event-database-build-other-events)
 void build_other_events(std::vector<EventDescriptor>& out, util::Rng& rng,
                         std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) {
@@ -463,6 +472,7 @@ void build_other_events(std::vector<EventDescriptor>& out, util::Rng& rng,
 
 }  // namespace
 
+// aegis-rng: stream(event-database-generate)
 // aegis-lint: event-db-ok(this is the definition of generate() itself; callers go through pmu::backend::backend_for)
 EventDatabase EventDatabase::generate(isa::CpuModel model) {
   EventDatabase db;

@@ -28,6 +28,7 @@ ApplicationProfiler::ApplicationProfiler(const pmu::EventDatabase& db,
                                          ProfilerConfig config)
     : db_(&db), config_(config) {}
 
+// aegis-rng: stream(profiler-warmup)
 WarmupReport ApplicationProfiler::warmup(const workload::Workload& application) {
   // aegis-lint: clock-ok(reporting-only: WarmupReport::wall_seconds)
   const auto start = std::chrono::steady_clock::now();
@@ -100,6 +101,7 @@ WarmupReport ApplicationProfiler::warmup(const workload::Workload& application) 
   return report;
 }
 
+// aegis-rng: stream(profiler-rank)
 std::vector<EventRank> ApplicationProfiler::rank(
     const std::vector<std::unique_ptr<workload::Workload>>& secrets,
     const std::vector<std::uint32_t>& event_ids) {

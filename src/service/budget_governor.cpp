@@ -52,6 +52,7 @@ void BudgetGovernor::set_tenant_cap(std::uint64_t tenant_id,
   Tenant& tenant = tenant_for(tenant_id);
   tenant.epsilon_cap = epsilon_cap;
   tenant.remaining_gauge.set(
+      // aegis-lint: lock-ok(accountant.remaining is EpsilonAccountant::remaining, a pure computation; only the name collides with this method)
       tenant.accountant.remaining(epsilon_cap, config_.delta));
 }
 
@@ -119,6 +120,7 @@ double BudgetGovernor::remaining(std::uint64_t tenant_id) const {
   std::lock_guard lock(mu_);
   const auto it = tenants_.find(tenant_id);
   if (it == tenants_.end()) return config_.default_epsilon_cap;
+  // aegis-lint: lock-ok(accountant.remaining is EpsilonAccountant::remaining, a pure computation; only the name collides with this method)
   return it->second.accountant.remaining(it->second.epsilon_cap,
                                          config_.delta);
 }

@@ -63,6 +63,7 @@ std::size_t ProtectionService::register_template(
   // First registration of this key on this service instance: run the one
   // shared calibration pass. Holding mu_ makes concurrent same-key
   // registrations single-flight here too (later ones find the id above).
+  // aegis-lint: lock-ok(phantom edge: calibration's HostMonitor submits to the sim VirtualMachine, not to this service; no path back to mu_)
   auto tpl = std::make_unique<ProtectionTemplate>(make_protection_template(
       engine, std::move(analysis), secrets, mechanism, options, seed));
   templates_.push_back(std::move(tpl));

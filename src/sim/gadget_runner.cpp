@@ -78,6 +78,7 @@ void GadgetRunner::program(std::vector<std::uint32_t> event_ids) {
   }
 }
 
+// aegis-lint: amortized-alloc(runs only for a first-seen (uids, unroll) key; steady-state execute_once hits the MRU pair or the hash probe)
 void GadgetRunner::rebuild(Superblock& sb,
                            std::span<const std::uint32_t> variant_uids,
                            double unroll) {
@@ -130,6 +131,7 @@ const GadgetRunner::Superblock& GadgetRunner::superblock(
 }
 
 // aegis-lint: noalloc
+// aegis-rng: stream(gadget-runner-execute-once)
 std::span<const double> GadgetRunner::execute_once(
     std::span<const std::uint32_t> variant_uids, double unroll) {
   // Cache hits resolve via the MRU compare / hash probe with zero

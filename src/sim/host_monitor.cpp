@@ -7,6 +7,7 @@ namespace aegis::sim {
 HostMonitor::HostMonitor(const pmu::EventDatabase& db, std::uint64_t seed)
     : db_(&db), rng_(seed) {}
 
+// aegis-rng: stream(host-monitor-monitor)
 MonitorResult HostMonitor::monitor(VirtualMachine& vm, const BlockSource& source,
                                    const std::vector<std::uint32_t>& event_ids,
                                    std::size_t slices, const SliceAgent& agent) {
@@ -40,6 +41,7 @@ MonitorResult HostMonitor::monitor(VirtualMachine& vm, const BlockSource& source
   return result;
 }
 
+// aegis-rng: stream(host-monitor-monitor-stepped)
 MonitorResult HostMonitor::monitor_stepped(
     VirtualMachine& vm, const BlockSource& source,
     const std::vector<std::uint32_t>& event_ids, std::size_t base_slices,
@@ -86,6 +88,7 @@ MonitorResult HostMonitor::monitor_stepped(
   return result;
 }
 
+// aegis-rng: stream(host-monitor-totals)
 std::vector<double> HostMonitor::totals(VirtualMachine& vm,
                                         const BlockSource& source,
                                         const std::vector<std::uint32_t>& event_ids,
@@ -101,6 +104,7 @@ std::vector<double> HostMonitor::totals(VirtualMachine& vm,
   return counters.read_all();
 }
 
+// aegis-rng: stream(host-monitor-monitor-occupancy)
 MonitorResult HostMonitor::monitor_occupancy(VirtualMachine& vm,
                                              const BlockSource& source,
                                              CacheProbe& probe,

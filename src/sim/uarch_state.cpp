@@ -5,6 +5,7 @@
 
 namespace aegis::sim {
 
+// aegis-lint: amortized-alloc(first touch of a region appends its slot; every later access returns the existing entry)
 MicroArchState::RegionState& MicroArchState::state_of(RegionId region) {
   for (auto& [id, st] : regions_) {
     if (id == region) return st;

@@ -9,6 +9,7 @@ void VirtualMachine::submit(InstructionBlock block) {
   queue_.push_back(std::move(block));
 }
 
+// aegis-rng: stream(virtual-machine-run-slice)
 pmu::ExecutionStats VirtualMachine::run_slice() {
   pmu::ExecutionStats slice;
   double budget = config_.slice_budget_cycles;

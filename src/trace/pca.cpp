@@ -19,6 +19,7 @@ double norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
 
 }  // namespace
 
+// aegis-rng: stream(pca-fit)
 void Pca::fit(const std::vector<std::vector<double>>& X, std::size_t components) {
   if (X.empty()) throw std::invalid_argument("Pca::fit: empty sample set");
   const std::size_t n = X.size();

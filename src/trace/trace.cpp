@@ -58,6 +58,7 @@ std::vector<double> Trace::sorted_window_features(std::size_t windows,
   return features;
 }
 
+// aegis-rng: stream(trace-split)
 void TraceSet::split(double train_fraction, util::Rng& rng, TraceSet& train,
                      TraceSet& validation) const {
   std::vector<std::size_t> order(traces.size());

@@ -113,6 +113,7 @@ std::uint64_t Rng::poisson(double lambda) noexcept {
   return x < 0.5 ? 0 : static_cast<std::uint64_t>(x + 0.5);
 }
 
+// aegis-rng: stream(rng-fork)
 Rng Rng::fork() noexcept { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
 
 }  // namespace aegis::util

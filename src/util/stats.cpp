@@ -26,11 +26,16 @@ double stddev(std::span<const double> v) noexcept { return std::sqrt(variance(v)
 double median(std::span<const double> v) {
   if (v.empty()) return 0.0;
   std::vector<double> tmp(v.begin(), v.end());
-  const std::size_t mid = tmp.size() / 2;
-  std::nth_element(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(mid), tmp.end());
-  const double hiv = tmp[mid];
-  if (tmp.size() % 2 == 1) return hiv;
-  const double lov = *std::max_element(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(mid));
+  return median_inplace(tmp);
+}
+
+double median_inplace(std::span<double> v) noexcept {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  const double hiv = v[mid];
+  if (v.size() % 2 == 1) return hiv;
+  const double lov = *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
   return 0.5 * (lov + hiv);
 }
 

@@ -19,6 +19,12 @@ double stddev(std::span<const double> v) noexcept;
 /// Median; copies and partially sorts. Returns 0 for empty input.
 double median(std::span<const double> v);
 
+/// median() over a MUTABLE span: partitions in place instead of copying,
+/// so hot paths (fuzzer confirmation) can take the median of scratch
+/// buffers without allocating. Element order after the call is
+/// unspecified.
+double median_inplace(std::span<double> v) noexcept;
+
 /// Linear-interpolated quantile, q in [0, 1]. Returns 0 for empty input.
 double quantile(std::span<const double> v, double q);
 

@@ -55,6 +55,7 @@ InstructionBlock multiply_block(double scale) {
 CryptoWorkload::CryptoWorkload(std::vector<bool> key_bits, std::size_t slices)
     : key_bits_(std::move(key_bits)), slices_(slices) {}
 
+// aegis-rng: stream(crypto-derive-key)
 std::vector<bool> CryptoWorkload::derive_key(std::size_t bits,
                                              std::uint64_t seed) {
   util::Rng rng(seed ^ 0x4B45ULL);
@@ -69,6 +70,7 @@ std::string CryptoWorkload::name() const {
   return "rsa-exp key=" + bits;
 }
 
+// aegis-rng: stream(crypto-plan)
 CryptoWorkload::VisitPlan CryptoWorkload::plan(std::uint64_t visit_seed) const {
   auto rng = std::make_shared<util::Rng>(visit_seed ^ 0xC4'9970ULL);
 

@@ -30,6 +30,7 @@ void push(std::vector<Layer>& layers, LayerKind kind, double work,
 }
 
 /// Builds the layer list for one model id; family decided by id range.
+// aegis-rng: stream(dnn-build-architecture)
 std::vector<Layer> build_architecture(std::size_t id, util::Rng& rng) {
   std::vector<Layer> layers;
   auto conv = [&](double w) { push(layers, LayerKind::kConv, w, rng.uniform(0.5e6, 6e6)); };
@@ -272,6 +273,7 @@ std::string_view to_string(LayerKind k) noexcept {
   return "?";
 }
 
+// aegis-rng: stream(dnn-init)
 DnnWorkload::DnnWorkload(std::size_t model_id, std::size_t slices)
     : model_id_(model_id % kNumModels), slices_(slices) {
   util::Rng rng(0xD44ULL * 0x9E3779B97F4A7C15ULL + model_id_);
@@ -287,6 +289,7 @@ std::vector<LayerKind> DnnWorkload::layer_sequence() const {
   return seq;
 }
 
+// aegis-rng: stream(dnn-plan)
 DnnWorkload::VisitPlan DnnWorkload::plan(std::uint64_t visit_seed) const {
   auto rng = std::make_shared<util::Rng>(visit_seed ^ (model_id_ * 0x9E3779B9ULL));
 

@@ -58,6 +58,7 @@ std::string KeystrokeWorkload::name() const {
   return std::to_string(num_keys_) + " keystrokes";
 }
 
+// aegis-rng: stream(keystroke-visit)
 sim::BlockSource KeystrokeWorkload::visit(std::uint64_t visit_seed) const {
   auto rng = std::make_shared<util::Rng>(visit_seed ^ 0x4B335935ULL);
   // Place K bursts with human-like spacing: a random start, then gaps drawn

@@ -32,6 +32,7 @@ const char* kSiteNames[WebsiteWorkload::kNumSites] = {
 
 }  // namespace
 
+// aegis-rng: stream(website-init)
 WebsiteWorkload::WebsiteWorkload(std::size_t site_id, std::size_t slices)
     : site_id_(site_id % kNumSites), slices_(slices) {
   // Deterministic per-site profile: same site always has the same phase
@@ -85,6 +86,7 @@ WebsiteWorkload::WebsiteWorkload(std::size_t site_id, std::size_t slices)
 
 std::string WebsiteWorkload::name() const { return kSiteNames[site_id_]; }
 
+// aegis-rng: stream(website-visit)
 sim::BlockSource WebsiteWorkload::visit(std::uint64_t visit_seed) const {
   // Per-visit jitter: timing shifts, work scaling, and slice-level noise.
   auto rng = std::make_shared<util::Rng>(visit_seed ^ (site_id_ * 0x9E3779B9ULL));

@@ -1,0 +1,251 @@
+#include "cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "fnv.hpp"
+
+namespace aegis::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Field escaping: entries are tab-separated lines, so tabs, newlines and
+// backslashes in free-text fields (messages, directive args) are encoded.
+std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unesc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '\\': out += '\\'; break;
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default: out += s[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+bool to_int(const std::string& s, int& out) {
+  if (s.empty()) return false;
+  int v = 0;
+  std::size_t i = s[0] == '-' ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    v = v * 10 + (s[i] - '0');
+  }
+  out = s[0] == '-' ? -v : v;
+  return true;
+}
+
+fs::path entry_path(const std::string& dir, const std::string& key) {
+  return fs::path(dir) / (key + ".lintcache");
+}
+
+constexpr char kFormatVersion[] = "1";
+
+}  // namespace
+
+std::string cache_key(std::string_view rel_path, std::string_view content,
+                      std::string_view companion,
+                      std::string_view config_salt) {
+  std::uint64_t h = fnv1a64(kRuleSetVersion);
+  // A separator byte between inputs so boundaries cannot alias (the same
+  // trick src/util/hash.hpp uses for composite keys).
+  h = fnv1a64("\x1f", h);
+  h = fnv1a64(rel_path, h);
+  h = fnv1a64("\x1f", h);
+  h = fnv1a64(content, h);
+  h = fnv1a64("\x1f", h);
+  h = fnv1a64(companion, h);
+  h = fnv1a64("\x1f", h);
+  h = fnv1a64(config_salt, h);
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << h;
+  return os.str();
+}
+
+void cache_store(const std::string& dir, const std::string& key,
+                 const FileAnalysis& analysis) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return;
+  std::ostringstream os;
+  os << "aegis-lint-cache " << kFormatVersion << " " << kRuleSetVersion
+     << "\n";
+  for (const Directive& d : analysis.directives) {
+    os << "D\t" << d.line << "\t" << esc(d.tag) << "\t" << esc(d.arg) << "\n";
+  }
+  for (const Finding& f : analysis.raw) {
+    os << "F\t" << f.line << "\t" << esc(f.rule) << "\t"
+       << esc(f.suppress_tag) << "\t" << esc(f.message) << "\n";
+  }
+  for (const FunctionModel& fn : analysis.model.functions) {
+    os << "N\t" << fn.line << "\t" << (fn.noalloc_root ? 1 : 0) << "\t"
+       << (fn.amortized_alloc ? 1 : 0) << "\t" << esc(fn.qualified) << "\t"
+       << esc(fn.name) << "\t" << esc(fn.rng_stream) << "\n";
+    for (const DrawSite& d : fn.draws) {
+      os << "R\t" << d.line << "\t" << d.seq << "\t" << esc(d.method) << "\n";
+    }
+    for (const AllocSite& a : fn.allocs) {
+      os << "A\t" << a.line << "\t" << esc(a.what) << "\n";
+    }
+    for (const LockAcquire& a : fn.acquires) {
+      os << "L\t" << a.line << "\t" << a.level << "\t" << (a.noblock ? 1 : 0)
+         << "\t" << esc(a.mutex_name) << "\n";
+    }
+    for (const CallSite& c : fn.calls) {
+      os << "C\t" << c.line << "\t" << c.seq << "\t" << (c.member ? 1 : 0)
+         << "\t" << (c.in_noalloc ? 1 : 0) << "\t" << (c.forwards_rng ? 1 : 0)
+         << "\t" << esc(c.callee) << "\t" << esc(c.qualifier);
+      for (std::size_t h = 0; h < c.held_levels.size(); ++h) {
+        os << "\t" << c.held_levels[h] << ":" << c.held_names[h];
+      }
+      os << "\n";
+    }
+  }
+  // Write-then-rename so a crashed run never leaves a torn entry behind.
+  const fs::path final_path = entry_path(dir, key);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out << os.str();
+    if (!out) return;
+  }
+  fs::rename(tmp_path, final_path, ec);
+}
+
+bool cache_load(const std::string& dir, const std::string& key,
+                FileAnalysis& out) {
+  std::ifstream is(entry_path(dir, key), std::ios::binary);
+  if (!is) return false;
+  std::string header;
+  if (!std::getline(is, header)) return false;
+  if (header != std::string("aegis-lint-cache ") + kFormatVersion + " " +
+                    std::string(kRuleSetVersion)) {
+    return false;
+  }
+  FileAnalysis loaded;
+  FunctionModel* fn = nullptr;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> f = split_fields(line);
+    int n = 0;
+    if (f[0] == "D") {
+      if (f.size() != 4 || !to_int(f[1], n)) return false;
+      loaded.directives.push_back(Directive{unesc(f[2]), unesc(f[3]), n});
+    } else if (f[0] == "F") {
+      if (f.size() != 5 || !to_int(f[1], n)) return false;
+      loaded.raw.push_back(Finding{unesc(f[2]), n, unesc(f[4]), unesc(f[3])});
+    } else if (f[0] == "N") {
+      int root = 0;
+      int amortized = 0;
+      if (f.size() != 7 || !to_int(f[1], n) || !to_int(f[2], root) ||
+          !to_int(f[3], amortized)) {
+        return false;
+      }
+      loaded.model.functions.push_back(FunctionModel{});
+      fn = &loaded.model.functions.back();
+      fn->line = n;
+      fn->noalloc_root = root != 0;
+      fn->amortized_alloc = amortized != 0;
+      fn->qualified = unesc(f[4]);
+      fn->name = unesc(f[5]);
+      fn->rng_stream = unesc(f[6]);
+    } else if (f[0] == "R") {
+      int seq = 0;
+      if (fn == nullptr || f.size() != 4 || !to_int(f[1], n) ||
+          !to_int(f[2], seq)) {
+        return false;
+      }
+      fn->draws.push_back(DrawSite{unesc(f[3]), n, seq});
+    } else if (f[0] == "A") {
+      if (fn == nullptr || f.size() != 3 || !to_int(f[1], n)) return false;
+      fn->allocs.push_back(AllocSite{unesc(f[2]), n});
+    } else if (f[0] == "L") {
+      int level = 0;
+      int noblock = 0;
+      if (fn == nullptr || f.size() != 5 || !to_int(f[1], n) ||
+          !to_int(f[2], level) || !to_int(f[3], noblock)) {
+        return false;
+      }
+      fn->acquires.push_back(
+          LockAcquire{unesc(f[4]), level, noblock != 0, n});
+    } else if (f[0] == "C") {
+      int seq = 0;
+      int member = 0;
+      int in_noalloc = 0;
+      int fwd = 0;
+      if (fn == nullptr || f.size() < 8 || !to_int(f[1], n) ||
+          !to_int(f[2], seq) || !to_int(f[3], member) ||
+          !to_int(f[4], in_noalloc) || !to_int(f[5], fwd)) {
+        return false;
+      }
+      CallSite c;
+      c.line = n;
+      c.seq = seq;
+      c.member = member != 0;
+      c.in_noalloc = in_noalloc != 0;
+      c.forwards_rng = fwd != 0;
+      c.callee = unesc(f[6]);
+      c.qualifier = unesc(f[7]);
+      for (std::size_t h = 8; h < f.size(); ++h) {
+        const std::size_t colon = f[h].find(':');
+        int level = 0;
+        if (colon == std::string::npos || !to_int(f[h].substr(0, colon), level)) {
+          return false;
+        }
+        c.held_levels.push_back(level);
+        c.held_names.push_back(f[h].substr(colon + 1));
+      }
+      fn->calls.push_back(std::move(c));
+    } else {
+      return false;
+    }
+  }
+  out = std::move(loaded);
+  return true;
+}
+
+}  // namespace aegis::lint

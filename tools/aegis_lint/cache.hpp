@@ -1,0 +1,50 @@
+// Content-hash incremental cache for phase 1.
+//
+// Phase 1 of the analyzer (lex + lexical rules + FileModel extraction) is
+// a pure function of (display path, file content, companion content, rule
+// set). The cache persists its product keyed by the FNV-1a chain of those
+// four inputs, so an unchanged file costs one hash + one small read on the
+// next run — lexing and parsing are skipped entirely. Phase 2 (suppression
+// filtering, graph rules, stale detection) always runs fresh from the
+// cached directives and models, which is what makes cached and uncached
+// runs byte-identical.
+//
+// Entries are self-describing text; any parse failure or version mismatch
+// is a miss, never an error — the cache can be deleted at will.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "parse.hpp"
+#include "rules.hpp"
+
+namespace aegis::lint {
+
+/// Everything phase 1 produces for one file.
+struct FileAnalysis {
+  std::vector<Finding> raw;           // unfiltered lexical + parse findings
+  std::vector<Directive> directives;  // for suppression + stale detection
+  FileModel model;                    // phase-2 graph input
+};
+
+/// The cache key for one file: hex FNV-1a chain over the rule-set version,
+/// the display path, the content, the companion content, and a config salt
+/// (the per-file rule toggles, so changing an exemption list invalidates
+/// exactly the files it covers).
+std::string cache_key(std::string_view rel_path, std::string_view content,
+                      std::string_view companion,
+                      std::string_view config_salt);
+
+/// Loads the entry for `key` from `dir`. Returns false on miss, version
+/// mismatch, or a corrupt entry (all treated identically).
+bool cache_load(const std::string& dir, const std::string& key,
+                FileAnalysis& out);
+
+/// Stores `analysis` under `key`, creating `dir` if needed. Best-effort:
+/// I/O failures are swallowed (a cold cache is always correct).
+void cache_store(const std::string& dir, const std::string& key,
+                 const FileAnalysis& analysis);
+
+}  // namespace aegis::lint

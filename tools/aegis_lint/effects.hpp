@@ -1,0 +1,44 @@
+// Phase 2 rules: the interprocedural checks that need the whole-project
+// CallGraph rather than one TU's tokens.
+//
+//   * rng-stream         — every function that draws from (or forwards) a
+//                          util::Rng must carry `// aegis-rng: stream(<name>)`
+//                          so draw-order coupling between subsystems is
+//                          declared, not accidental.
+//   * noalloc-transitive — allocation effects propagated bottom-up: a call
+//                          site inside a noalloc region whose callee chain
+//                          reaches an allocation is flagged at the call
+//                          site, with the chain in the message.
+//   * lock-order-global  — the declared lock-level lattice lifted to the
+//                          call graph: calling a function that transitively
+//                          acquires level L while holding level H >= L is an
+//                          out-of-order acquisition even across TUs.
+//
+// Findings carry the same suppress tags as their lexical cousins
+// (alloc-ok / lock-ok), so one annotated exemption covers both phases.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph.hpp"
+#include "lint.hpp"
+
+namespace aegis::lint {
+
+/// Runs the three interprocedural rules over the graph. Findings are
+/// UNFILTERED — the driver applies each file's suppression directives.
+std::vector<FileFinding> run_graph_rules(const CallGraph& graph);
+
+/// The RNG_STREAMS.md content: for every hot-path root (a function whose
+/// body a `// aegis-lint: noalloc` directive guards), the DFS-preorder
+/// sequence of reachable Rng draw sites. Deliberately free of line
+/// numbers — unrelated edits leave it untouched, but a new, deleted,
+/// moved, or reordered draw changes the sequence and therefore the pinned
+/// digest. The final line is `digest: 0x<fnv1a64 of the body>`.
+std::string rng_manifest(const CallGraph& graph);
+
+/// Extracts the `digest: 0x...` value from a manifest, or "" if absent.
+std::string manifest_digest_line(const std::string& manifest);
+
+}  // namespace aegis::lint

@@ -1,0 +1,25 @@
+// FNV-1a 64-bit, the same construction as src/util/hash.hpp. aegis-lint is
+// deliberately standalone (it links nothing but the standard library and
+// must never depend on the code it checks), so the tool carries its own
+// copy; the lint unit tests pin it against the library's golden values.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace aegis::lint {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv1a64(std::string_view bytes,
+                                std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace aegis::lint

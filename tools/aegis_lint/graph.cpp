@@ -1,0 +1,179 @@
+#include "graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace aegis::lint {
+
+CallGraph::CallGraph(const ProjectModel& project) : project_(&project) {
+  for (std::size_t f = 0; f < project.files.size(); ++f) {
+    for (std::size_t k = 0; k < project.files[f].functions.size(); ++k) {
+      sorted_.push_back(FnRef{f, k});
+    }
+  }
+  std::sort(sorted_.begin(), sorted_.end(), [&](FnRef a, FnRef b) {
+    const FunctionModel& fa = fn(a);
+    const FunctionModel& fb = fn(b);
+    if (fa.qualified != fb.qualified) return fa.qualified < fb.qualified;
+    if (path(a) != path(b)) return path(a) < path(b);
+    return fa.line < fb.line;
+  });
+  for (std::size_t s = 0; s < sorted_.size(); ++s) {
+    dense_[sorted_[s]] = s;
+    by_name_[fn(sorted_[s]).name].push_back(sorted_[s]);
+  }
+  alloc_state_.assign(sorted_.size(), 0);
+  alloc_memo_.resize(sorted_.size());
+  lock_state_.assign(sorted_.size(), 0);
+  lock_memo_.resize(sorted_.size());
+}
+
+std::vector<FnRef> CallGraph::resolve(const CallSite& call) const {
+  const auto it = by_name_.find(call.callee);
+  if (it == by_name_.end()) return {};
+  const std::vector<FnRef>& group = it->second;
+  // A written (non-receiver) qualifier narrows the group when it matches.
+  if (!call.qualifier.empty() && !call.member) {
+    const std::string suffix = call.qualifier + "::" + call.callee;
+    std::vector<FnRef> narrowed;
+    for (FnRef r : group) {
+      const std::string& q = fn(r).qualified;
+      if (q.size() >= suffix.size() &&
+          q.compare(q.size() - suffix.size(), suffix.size(), suffix) == 0) {
+        narrowed.push_back(r);
+      }
+    }
+    if (!narrowed.empty()) return narrowed;
+  }
+  return group;
+}
+
+void CallGraph::alloc_dfs(FnRef from) const {
+  const std::size_t me = id(from);
+  if (alloc_state_[me] != 0) return;
+  alloc_state_[me] = 1;
+  AllocReach& memo = alloc_memo_[me];
+  const FunctionModel& f = fn(from);
+  // Declared amortized: cold-path allocations only; neither its own alloc
+  // sites nor its callees' reach its callers.
+  if (f.amortized_alloc) {
+    alloc_state_[me] = 2;
+    return;
+  }
+  if (!f.allocs.empty()) {
+    memo.reachable = true;
+    memo.chain = {f.qualified};
+    memo.what = f.allocs.front().what;
+    memo.file = path(from);
+    memo.line = f.allocs.front().line;
+    alloc_state_[me] = 2;
+    return;
+  }
+  for (const CallSite& c : f.calls) {
+    for (FnRef callee : resolve(c)) {
+      const std::size_t ci = id(callee);
+      if (alloc_state_[ci] == 1) continue;  // cycle back-edge
+      alloc_dfs(callee);
+      if (alloc_state_[ci] == 2 && alloc_memo_[ci].reachable) {
+        memo = alloc_memo_[ci];
+        memo.chain.insert(memo.chain.begin(), f.qualified);
+        alloc_state_[me] = 2;
+        return;
+      }
+    }
+  }
+  alloc_state_[me] = 2;
+}
+
+const CallGraph::AllocReach& CallGraph::alloc_reach(FnRef from) const {
+  alloc_dfs(from);
+  // A back-edge target may still be marked in-progress from its own DFS
+  // frame; force completion state for the read.
+  alloc_state_[id(from)] = 2;
+  return alloc_memo_[id(from)];
+}
+
+void CallGraph::lock_dfs(FnRef from) const {
+  const std::size_t me = id(from);
+  if (lock_state_[me] != 0) return;
+  lock_state_[me] = 1;
+  LockReach& memo = lock_memo_[me];
+  const FunctionModel& f = fn(from);
+  for (const LockAcquire& a : f.acquires) {
+    if (a.level < memo.level) {
+      memo.level = a.level;
+      memo.chain = {f.qualified};
+      memo.mutex_name = a.mutex_name;
+      memo.file = path(from);
+      memo.line = a.line;
+    }
+  }
+  for (const CallSite& c : f.calls) {
+    for (FnRef callee : resolve(c)) {
+      const std::size_t ci = id(callee);
+      if (lock_state_[ci] == 1) continue;
+      lock_dfs(callee);
+      if (lock_state_[ci] == 2 && lock_memo_[ci].level < memo.level) {
+        memo = lock_memo_[ci];
+        memo.chain.insert(memo.chain.begin(), f.qualified);
+      }
+    }
+  }
+  lock_state_[me] = 2;
+}
+
+const CallGraph::LockReach& CallGraph::lock_reach(FnRef from) const {
+  lock_dfs(from);
+  lock_state_[id(from)] = 2;
+  return lock_memo_[id(from)];
+}
+
+std::string CallGraph::dump() const {
+  std::ostringstream os;
+  os << "# aegis-lint call graph: " << sorted_.size() << " function(s)\n";
+  for (FnRef r : sorted_) {
+    const FunctionModel& f = fn(r);
+    os << "fn " << f.qualified << " (" << path(r) << ")";
+    if (f.noalloc_root) os << " [noalloc-root]";
+    if (f.amortized_alloc) os << " [amortized-alloc]";
+    if (!f.rng_stream.empty()) os << " [stream=" << f.rng_stream << "]";
+    os << "\n";
+    for (const DrawSite& d : f.draws) {
+      os << "  draw " << d.seq << ": " << d.method << "\n";
+    }
+    for (const AllocSite& a : f.allocs) {
+      os << "  alloc: " << a.what << "\n";
+    }
+    for (const LockAcquire& a : f.acquires) {
+      os << "  lock: " << a.mutex_name << " level=" << a.level
+         << (a.noblock ? " noblock" : "") << "\n";
+    }
+    for (const CallSite& c : f.calls) {
+      os << "  call " << c.seq << ": " << c.callee;
+      std::vector<FnRef> targets = resolve(c);
+      if (!targets.empty()) {
+        os << " ->";
+        // Dedup qualified names (overload groups repeat them).
+        std::vector<std::string> quals;
+        for (FnRef tr : targets) quals.push_back(fn(tr).qualified);
+        std::sort(quals.begin(), quals.end());
+        quals.erase(std::unique(quals.begin(), quals.end()), quals.end());
+        for (const std::string& q : quals) os << " " << q;
+      }
+      if (c.forwards_rng) os << " [forwards-rng]";
+      if (c.in_noalloc) os << " [in-noalloc]";
+      if (!c.held_levels.empty()) {
+        os << " [held=";
+        for (std::size_t h = 0; h < c.held_levels.size(); ++h) {
+          if (h != 0) os << ",";
+          os << c.held_levels[h];
+        }
+        os << "]";
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace aegis::lint

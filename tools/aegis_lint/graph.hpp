@@ -1,0 +1,105 @@
+// Phase 2 substrate: the project-wide symbol table and call graph built
+// from every FileModel phase 1 produced. Call edges resolve by
+// unqualified-name match (overloads and template instantiations merge into
+// one name group; a written `ns::Class::` qualifier narrows the group when
+// it matches). Transitive effects — "can this function reach an
+// allocation?", "what is the lowest declared lock level it may acquire?" —
+// are memoized DFS over the resolved edges, with cycles treated as already
+// visited (effects are monotone, so the fixed point is the visited set).
+#pragma once
+
+#include <climits>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "parse.hpp"
+
+namespace aegis::lint {
+
+struct ProjectModel {
+  std::vector<FileModel> files;
+};
+
+/// Index of one function inside a ProjectModel.
+struct FnRef {
+  std::size_t file = 0;
+  std::size_t fn = 0;
+  bool operator<(const FnRef& o) const {
+    return file != o.file ? file < o.file : fn < o.fn;
+  }
+  bool operator==(const FnRef& o) const {
+    return file == o.file && fn == o.fn;
+  }
+};
+
+class CallGraph {
+ public:
+  explicit CallGraph(const ProjectModel& project);
+
+  const ProjectModel& project() const { return *project_; }
+  const FunctionModel& fn(FnRef r) const {
+    return project_->files[r.file].functions[r.fn];
+  }
+  const std::string& path(FnRef r) const { return project_->files[r.file].path; }
+
+  /// All functions, sorted by (qualified name, file path) so every walk
+  /// over the graph is deterministic regardless of input file order.
+  const std::vector<FnRef>& sorted_functions() const { return sorted_; }
+
+  /// The definitions a call site may bind to: the name group of
+  /// `call.callee`, narrowed to definitions whose qualified name ends in
+  /// `call.qualifier + "::" + callee` when that written qualifier matches
+  /// at least one of them. Member calls carry a receiver VARIABLE name, not
+  /// a type, so they never narrow.
+  std::vector<FnRef> resolve(const CallSite& call) const;
+
+  /// First allocation reachable FROM `from` — through its own body or any
+  /// resolved callee chain. `chain` lists qualified names from `from` down
+  /// to the allocating function.
+  struct AllocReach {
+    bool reachable = false;
+    std::vector<std::string> chain;
+    std::string what;
+    std::string file;
+    int line = 0;
+  };
+  const AllocReach& alloc_reach(FnRef from) const;
+
+  /// Lowest declared lock level `from` may transitively acquire (its own
+  /// guard acquisitions included), with the chain to that acquisition.
+  /// level == INT_MAX means it acquires nothing annotated.
+  struct LockReach {
+    int level = INT_MAX;
+    std::vector<std::string> chain;
+    std::string mutex_name;
+    std::string file;
+    int line = 0;
+  };
+  const LockReach& lock_reach(FnRef from) const;
+
+  /// Deterministic whole-graph text dump (--graph-dump; golden-pinned by
+  /// the fixture tests).
+  std::string dump() const;
+
+ private:
+  const ProjectModel* project_;
+  std::vector<FnRef> sorted_;
+  // Name -> indices into sorted_ (kept sorted, so resolution order is
+  // deterministic).
+  std::map<std::string, std::vector<FnRef>, std::less<>> by_name_;
+  // Memoization, indexed like sorted_ via a dense id.
+  std::map<FnRef, std::size_t> dense_;
+  mutable std::vector<int> alloc_state_;  // 0 unknown / 1 in-progress / 2 done
+  mutable std::vector<AllocReach> alloc_memo_;
+  mutable std::vector<int> lock_state_;
+  mutable std::vector<LockReach> lock_memo_;
+
+  std::size_t id(FnRef r) const { return dense_.at(r); }
+  void alloc_dfs(FnRef from) const;
+  void lock_dfs(FnRef from) const;
+};
+
+}  // namespace aegis::lint

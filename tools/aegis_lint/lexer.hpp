@@ -26,12 +26,16 @@ struct Token {
   int line = 0;
 };
 
-/// A parsed `aegis-lint:` comment, e.g.
+/// A parsed `aegis-lint:` or `aegis-rng:` comment, e.g.
 ///   // aegis-lint: noalloc
 ///   // aegis-lint: ordered-ok(per-region update is order-independent)
 ///   std::mutex mu_;  // aegis-lint: lock-level(30, noblock)
+///   // aegis-rng: stream(counter-noise)
 /// `tag` is the word after the colon ("noalloc", "ordered-ok",
 /// "lock-level", ...) and `arg` the raw text inside the optional parens.
+/// Tags from the `aegis-rng:` marker are namespaced with an "rng-" prefix
+/// so `// aegis-rng: stream(x)` parses as tag "rng-stream", arg "x" —
+/// the two marker families can never collide.
 struct Directive {
   std::string tag;
   std::string arg;

@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+
+#include "cache.hpp"
+#include "effects.hpp"
+#include "parse.hpp"
 
 namespace aegis::lint {
 
@@ -30,6 +35,60 @@ std::string read_file(const fs::path& p) {
 bool lintable(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+bool has_prefix(const std::string& rel, const std::vector<std::string>& prefixes) {
+  for (const std::string& prefix : prefixes) {
+    if (rel.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+/// The sorted, deduplicated, exclude-filtered file list for a tree walk.
+std::vector<fs::path> collect_files(const TreeOptions& options,
+                                    const fs::path& root) {
+  std::vector<fs::path> files;
+  for (const std::string& sub : options.paths) {
+    const fs::path p = root / sub;
+    if (fs::is_regular_file(p)) {
+      if (lintable(p)) files.push_back(p);
+      continue;
+    }
+    if (!fs::is_directory(p)) {
+      throw std::runtime_error("aegis_lint: no such path: " + p.string());
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(p)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::vector<fs::path> kept;
+  for (const fs::path& p : files) {
+    if (!has_prefix(fs::relative(p, root).generic_string(), options.exclude)) {
+      kept.push_back(p);
+    }
+  }
+  return kept;
+}
+
+LintConfig config_for(const std::string& rel, const TreeOptions& options) {
+  LintConfig config;
+  if (has_prefix(rel, options.clock_exempt)) config.clock_rule = false;
+  if (has_prefix(rel, options.backend_exempt)) config.backend_rule = false;
+  return config;
+}
+
+std::string companion_for(const fs::path& p) {
+  if (p.extension() != ".cpp" && p.extension() != ".cc") return "";
+  for (const char* ext : {".hpp", ".h"}) {
+    fs::path header = p;
+    header.replace_extension(ext);
+    if (fs::is_regular_file(header)) return read_file(header);
+  }
+  return "";
 }
 
 }  // namespace
@@ -78,53 +137,191 @@ std::vector<Finding> lint_source(std::string_view source,
 
 std::vector<FileFinding> lint_tree(const TreeOptions& options) {
   const fs::path root = options.root.empty() ? fs::path(".") : fs::path(options.root);
-  std::vector<fs::path> files;
-  for (const std::string& sub : options.paths) {
-    const fs::path p = root / sub;
-    if (fs::is_regular_file(p)) {
-      if (lintable(p)) files.push_back(p);
-      continue;
-    }
-    if (!fs::is_directory(p)) {
-      throw std::runtime_error("aegis_lint: no such path: " + p.string());
-    }
-    for (const auto& entry : fs::recursive_directory_iterator(p)) {
-      if (entry.is_regular_file() && lintable(entry.path())) {
-        files.push_back(entry.path());
-      }
-    }
-  }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
-
   std::vector<FileFinding> out;
-  for (const fs::path& p : files) {
-    std::string rel = fs::relative(p, root).generic_string();
-    LintConfig config;
-    for (const std::string& prefix : options.clock_exempt) {
-      if (rel.rfind(prefix, 0) == 0) config.clock_rule = false;
-    }
-    for (const std::string& prefix : options.backend_exempt) {
-      if (rel.rfind(prefix, 0) == 0) config.backend_rule = false;
-    }
+  for (const fs::path& p : collect_files(options, root)) {
+    const std::string rel = fs::relative(p, root).generic_string();
     // Companion header: declarations in x.hpp govern iteration/locking in
     // x.cpp.
-    std::string companion;
-    if (p.extension() == ".cpp" || p.extension() == ".cc") {
-      for (const char* ext : {".hpp", ".h"}) {
-        fs::path header = p;
-        header.replace_extension(ext);
-        if (fs::is_regular_file(header)) {
-          companion = read_file(header);
-          break;
-        }
-      }
-    }
-    for (Finding& f : lint_source(read_file(p), companion, config)) {
+    const std::string companion = companion_for(p);
+    for (Finding& f :
+         lint_source(read_file(p), companion, config_for(rel, options))) {
       out.push_back(FileFinding{rel, std::move(f)});
     }
   }
   return out;
+}
+
+ProjectResult lint_project(const ProjectOptions& options) {
+  const TreeOptions& tree = options.tree;
+  const fs::path root = tree.root.empty() ? fs::path(".") : fs::path(tree.root);
+
+  ProjectResult result;
+  std::vector<FileAnalysis> analyses;
+  std::vector<std::string> rels;
+  for (const fs::path& p : collect_files(tree, root)) {
+    const std::string rel = fs::relative(p, root).generic_string();
+    const LintConfig config = config_for(rel, tree);
+    const std::string content = read_file(p);
+    const std::string companion = companion_for(p);
+    const std::string salt = std::string("clock=") +
+                             (config.clock_rule ? "1" : "0") +
+                             ";backend=" + (config.backend_rule ? "1" : "0");
+    const std::string key = cache_key(rel, content, companion, salt);
+
+    FileAnalysis analysis;
+    bool hit = false;
+    if (!options.cache_dir.empty()) {
+      hit = cache_load(options.cache_dir, key, analysis);
+    }
+    if (!hit) {
+      const LexOutput lx = lex(content);
+      LexOutput comp;
+      if (!companion.empty()) comp = lex(companion);
+      const LexOutput* comp_ptr = companion.empty() ? nullptr : &comp;
+      analysis.raw = run_rules(lx, comp_ptr, config);
+      analysis.directives = lx.directives;
+      analysis.model = parse_file(rel, lx, comp_ptr, analysis.raw);
+      if (!options.cache_dir.empty()) {
+        cache_store(options.cache_dir, key, analysis);
+      }
+    } else {
+      ++result.cache_hits;
+    }
+    analysis.model.path = rel;  // never trust the cached display path
+    rels.push_back(rel);
+    analyses.push_back(std::move(analysis));
+  }
+  result.files_analyzed = analyses.size();
+
+  // Phase 2: assemble the project model, run the interprocedural rules,
+  // then filter everything per file against that file's suppressions.
+  for (FileAnalysis& a : analyses) result.model.files.push_back(a.model);
+  const CallGraph graph(result.model);
+  std::map<std::string, std::vector<Finding>> graph_findings;
+  for (FileFinding& f : run_graph_rules(graph)) {
+    graph_findings[f.file].push_back(std::move(f.finding));
+  }
+
+  for (std::size_t i = 0; i < analyses.size(); ++i) {
+    const std::string& rel = rels[i];
+    const FileAnalysis& a = analyses[i];
+    std::vector<Finding> merged = a.raw;
+    const auto gi = graph_findings.find(rel);
+    if (gi != graph_findings.end()) {
+      merged.insert(merged.end(), gi->second.begin(), gi->second.end());
+    }
+
+    std::vector<Finding> kept;
+    for (Finding& f : merged) {
+      bool suppressed = false;
+      if (!f.suppress_tag.empty()) {
+        for (const Directive& d : a.directives) {
+          if (d.tag != f.suppress_tag) continue;
+          if (d.line != f.line && d.line != f.line - 1) continue;
+          if (d.arg.empty()) continue;
+          suppressed = true;
+          break;
+        }
+      }
+      if (!suppressed) kept.push_back(std::move(f));
+    }
+    for (const Directive& d : a.directives) {
+      if (!known_suppress_tag(d.tag)) continue;
+      if (d.arg.empty()) {
+        kept.push_back(Finding{"suppression", d.line,
+                               "suppression '" + d.tag +
+                                   "' needs a reason: // aegis-lint: " + d.tag +
+                                   "(<why this site is safe>)",
+                               ""});
+        continue;
+      }
+      // Stale detection runs against the PRE-filter findings: a directive
+      // earns its keep by matching any finding, including the ones it
+      // suppresses.
+      bool used = false;
+      for (const Finding& f : merged) {
+        if (f.suppress_tag == d.tag &&
+            (d.line == f.line || d.line == f.line - 1)) {
+          used = true;
+          break;
+        }
+      }
+      if (!used) {
+        kept.push_back(Finding{
+            "stale-suppression", d.line,
+            "suppression '" + d.tag + "(" + d.arg +
+                ")' no longer silences any finding; delete it (or run "
+                "--prune-suppressions --prune-apply)",
+            ""});
+      }
+    }
+    std::stable_sort(kept.begin(), kept.end(),
+                     [](const Finding& x, const Finding& y) {
+                       return x.line < y.line;
+                     });
+    for (Finding& f : kept) {
+      result.findings.push_back(FileFinding{rel, std::move(f)});
+    }
+  }
+  return result;
+}
+
+std::size_t prune_stale_suppressions(const std::string& root,
+                                     const std::vector<FileFinding>& stale) {
+  // Group line numbers per file, highest first, so earlier deletions never
+  // shift the lines later ones target.
+  std::map<std::string, std::vector<int>> by_file;
+  for (const FileFinding& f : stale) {
+    if (f.finding.rule == "stale-suppression") {
+      by_file[f.file].push_back(f.finding.line);
+    }
+  }
+  std::size_t removed = 0;
+  for (auto& [rel, lines] : by_file) {
+    const fs::path path = fs::path(root.empty() ? "." : root) / rel;
+    std::string content = read_file(path);
+    std::vector<std::string> file_lines;
+    std::size_t start = 0;
+    while (start <= content.size()) {
+      const std::size_t nl = content.find('\n', start);
+      if (nl == std::string::npos) {
+        file_lines.push_back(content.substr(start));
+        break;
+      }
+      file_lines.push_back(content.substr(start, nl - start));
+      start = nl + 1;
+    }
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    bool changed = false;
+    for (auto it = lines.rbegin(); it != lines.rend(); ++it) {
+      const std::size_t idx = static_cast<std::size_t>(*it) - 1;
+      if (idx >= file_lines.size()) continue;
+      std::string& line = file_lines[idx];
+      const std::size_t comment = line.find("// aegis-lint:");
+      if (comment == std::string::npos) continue;
+      std::string head = line.substr(0, comment);
+      while (!head.empty() && (head.back() == ' ' || head.back() == '\t')) {
+        head.pop_back();
+      }
+      if (head.empty()) {
+        file_lines.erase(file_lines.begin() + static_cast<long>(idx));
+      } else {
+        line = head;
+      }
+      ++removed;
+      changed = true;
+    }
+    if (!changed) continue;
+    std::string rebuilt;
+    for (std::size_t i = 0; i < file_lines.size(); ++i) {
+      rebuilt += file_lines[i];
+      if (i + 1 < file_lines.size()) rebuilt += "\n";
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << rebuilt;
+  }
+  return removed;
 }
 
 std::string format_finding(const FileFinding& f) {

@@ -8,10 +8,12 @@
 // holds at that site.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "graph.hpp"
 #include "rules.hpp"
 
 namespace aegis::lint {
@@ -38,12 +40,52 @@ struct TreeOptions {
   /// Path prefixes where backend-registry is off: the backend layer itself
   /// is the one sanctioned EventDatabase::generate() caller.
   std::vector<std::string> backend_exempt = {"src/pmu/backend/"};
+  /// Path prefixes skipped entirely. The default keeps the linter's own
+  /// negative fixtures (code that EXISTS to trigger findings) out of the
+  /// gate while `tools/` as a whole is linted.
+  std::vector<std::string> exclude = {"tools/aegis_lint/testdata/"};
 };
 
 /// Lints every .cpp/.hpp/.h under the requested subtrees, in sorted path
 /// order. A .cpp file's same-stem .hpp/.h neighbor is its companion.
 /// Throws std::runtime_error when a requested path does not exist.
 std::vector<FileFinding> lint_tree(const TreeOptions& options);
+
+// ---------------------------------------------------------------------------
+// Two-phase project analysis (the v2 analyzer). lint_tree above stays the
+// per-file lexical pass; lint_project runs it AND the interprocedural
+// rules from effects.cpp over a project-wide call graph, with an optional
+// phase-1 result cache.
+
+struct ProjectOptions {
+  TreeOptions tree;
+  /// Directory for the phase-1 incremental cache; "" disables caching.
+  /// Cached and uncached runs produce byte-identical findings — phase 2
+  /// always runs fresh from the cached per-file models.
+  std::string cache_dir;
+};
+
+struct ProjectResult {
+  /// All surviving findings — lexical, parse diagnostics, interprocedural,
+  /// and stale-suppression warnings — suppression-filtered and sorted by
+  /// (file, line). Stale-suppression entries are warnings: the CLI exit
+  /// code ignores them unless --stale-as-error.
+  std::vector<FileFinding> findings;
+  /// The phase-1 models, for --graph-dump and the RNG manifest.
+  ProjectModel model;
+  std::size_t files_analyzed = 0;
+  std::size_t cache_hits = 0;
+};
+
+ProjectResult lint_project(const ProjectOptions& options);
+
+/// Deletes the stale suppression comments `stale` points at (rule
+/// "stale-suppression" findings from lint_project). Rewrites each file in
+/// place: the `// aegis-lint: ...` comment is cut from its line, and the
+/// line itself is dropped when nothing but whitespace remains. Returns the
+/// number of comments removed.
+std::size_t prune_stale_suppressions(const std::string& root,
+                                     const std::vector<FileFinding>& stale);
 
 /// Renders one finding as "file:line: [rule] message".
 std::string format_finding(const FileFinding& f);

@@ -60,6 +60,60 @@ TEST(Lexer, TracksLineNumbers) {
   EXPECT_EQ(lx.tokens[6].line, 4);  // "int" of line 4
 }
 
+TEST(Lexer, RawStringContentsAreStripped) {
+  const auto fs = run(
+      "const char* s = R\"(rand() std::random_device time(nullptr))\";\n"
+      "const char* d = R\"x(a \")\" inside a custom delimiter)x\";\n");
+  EXPECT_TRUE(fs.empty()) << messages(fs);
+}
+
+TEST(Lexer, PrefixedRawStringsAreRecognized) {
+  // u8R/uR/UR/LR are raw-string spellings; FOOR"..." is an identifier
+  // followed by an ordinary string.
+  const auto fs = run(
+      "auto a = u8R\"(rand())\";\n"
+      "auto b = LR\"(std::random_device)\";\n"
+      "auto c = uR\"(time(nullptr))\";\n"
+      "auto d = UR\"(rand())\";\n"
+      "int x = rand();\n");
+  ASSERT_EQ(fs.size(), 1u) << messages(fs);
+  EXPECT_EQ(fs[0].line, 5);
+}
+
+TEST(Lexer, DigitSeparatorsStayOneNumberToken) {
+  const LexOutput lx = lex("int n = 1'000'000;\n");
+  ASSERT_GE(lx.tokens.size(), 4u);
+  EXPECT_EQ(lx.tokens[3].text, "1'000'000");
+  // The apostrophe of a char literal must NOT be eaten as a separator.
+  const auto fs = run("int n = 1'000'000; char c = 'r'; int y = rand();\n");
+  ASSERT_EQ(fs.size(), 1u) << messages(fs);
+  EXPECT_EQ(fs[0].rule, "banned-random");
+}
+
+TEST(Lexer, HexExponentSignsDoNotExtendTheNumber) {
+  // 0x1E+2 is three tokens (E is a hex digit, not an exponent marker);
+  // 0x1.8p+2 is one hex-float token.
+  const LexOutput lx = lex("int a = 0x1E+2; double b = 0x1.8p+2;\n");
+  ASSERT_GE(lx.tokens.size(), 11u);
+  EXPECT_EQ(lx.tokens[3].text, "0x1E");
+  EXPECT_EQ(lx.tokens[4].text, "+");
+  EXPECT_EQ(lx.tokens[5].text, "2");
+  EXPECT_EQ(lx.tokens[10].text, "0x1.8p+2");
+}
+
+TEST(Lexer, LineCommentBackslashSplicesTheNextLine) {
+  // A line comment ending in a backslash continues onto the next physical
+  // line, so the random_device there is still commented out — and line
+  // numbers downstream must stay accurate.
+  const auto fs = run(
+      "// spliced comment \\\n"
+      "std::random_device hidden;\n"
+      "int x = rand();\n");
+  ASSERT_EQ(fs.size(), 1u) << messages(fs);
+  EXPECT_EQ(fs[0].rule, "banned-random");
+  EXPECT_EQ(fs[0].line, 3);
+}
+
 // ---------------------------------------------------------------------------
 // banned-random
 

@@ -1,0 +1,653 @@
+#include "parse.hpp"
+
+#include <cctype>
+#include <set>
+
+namespace aegis::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_punct(const Token& t, char c) {
+  return t.kind == TokenKind::kPunct && t.text.size() == 1 && t.text[0] == c;
+}
+
+bool member_access(const Tokens& t, std::size_t i) {
+  if (i == 0) return false;
+  if (is_punct(t[i - 1], '.')) return true;
+  return i >= 2 && is_punct(t[i - 1], '>') && is_punct(t[i - 2], '-');
+}
+
+/// tokens[i] is `<`: index one past the matching `>`, or `fail` when the
+/// angle run is clearly not a template argument list.
+std::size_t skip_angles(const Tokens& t, std::size_t i, std::size_t fail) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    if (is_punct(t[j], '<')) ++depth;
+    else if (is_punct(t[j], '>')) {
+      if (--depth == 0) return j + 1;
+    } else if (is_punct(t[j], ';') || is_punct(t[j], '{')) {
+      return fail;
+    }
+  }
+  return fail;
+}
+
+/// tokens[open] is `(` (or `{`): index of the matching closer, or t.size().
+std::size_t match_balanced(const Tokens& t, std::size_t open, char oc,
+                           char cc) {
+  int depth = 0;
+  for (std::size_t j = open; j < t.size(); ++j) {
+    if (is_punct(t[j], oc)) ++depth;
+    else if (is_punct(t[j], cc) && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+/// Identifiers that look like `name(` but never head a function definition.
+const std::set<std::string, std::less<>> kNotAHead = {
+    "if",       "for",      "while",       "switch",    "return",
+    "sizeof",   "catch",    "new",         "delete",    "throw",
+    "alignof",  "alignas",  "decltype",    "noexcept",  "static_assert",
+    "assert",   "defined",  "case",        "goto",      "co_await",
+    "co_return", "co_yield", "requires",   "using",     "typedef",
+    "else",     "do",
+};
+
+/// Identifiers that look like `name(` but are control flow or allocation
+/// primitives, never call-graph edges. Allocating calls (push_back, ...)
+/// are excluded here because the allocation classifier already records
+/// them as alloc sites — an edge as well would double-report.
+bool skip_call_name(const std::string& w) {
+  if (kNotAHead.count(w) != 0) return true;
+  static const std::set<std::string, std::less<>> kCasts = {
+      "static_cast", "reinterpret_cast", "const_cast", "dynamic_cast"};
+  return kCasts.count(w) != 0;
+}
+
+const std::set<std::string, std::less<>> kGuardTypes = {
+    "lock_guard", "unique_lock", "scoped_lock"};
+
+/// Member-call names too ubiquitous to resolve by name alone: `x.size()`
+/// merges every container in the project with every class that happens to
+/// define size(), and the resulting phantom edges poison the transitive
+/// effect analyses. Member calls of these names contribute no graph edge —
+/// the lexical rules still see their tokens, and a QUALIFIED call
+/// (`TemplateCache::size(...)`) still resolves normally.
+const std::set<std::string, std::less<>> kOpaqueMembers = {
+    "append",    "at",        "back",      "begin",   "c_str",  "capacity",
+    "cbegin",    "cend",      "clear",     "contains", "count",  "data",
+    "emplace",   "empty",     "end",       "erase",   "exchange", "fetch_add",
+    "fetch_sub", "find",      "first",     "front",   "get",    "has_value",
+    "insert",    "length",    "load",      "lock",    "notify_all",
+    "notify_one", "pop",      "pop_back",  "pop_front", "push",  "rbegin",
+    "release",   "rend",      "reset",     "second",  "size",   "start",
+    "stop",      "store",     "str",       "substr",  "swap",   "top",
+    "try_lock",  "unlock",    "value",     "wait"};
+
+/// util::Rng's drawing surface. A member call of one of these through an
+/// Rng-typed (or rng-named) receiver is a draw site.
+const std::set<std::string, std::less<>> kDrawMethods = {
+    "next_u64", "uniform",     "uniform_index", "uniform_int",
+    "normal",   "exponential", "laplace",       "bernoulli",
+    "poisson",  "fork",        "shuffle",       "pick"};
+
+/// Collects names declared with type Rng: `util::Rng& rng`, `Rng rng_;`,
+/// `Rng r = parent.fork();`. A name followed by `(` is skipped — that is a
+/// function returning Rng, not a variable.
+void collect_rng_decls(const Tokens& t,
+                       std::set<std::string, std::less<>>& names) {
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdent || t[i].text != "Rng") continue;
+    std::size_t j = i + 1;
+    while (j < t.size() && (is_punct(t[j], '&') || is_punct(t[j], '*'))) ++j;
+    if (j >= t.size() || t[j].kind != TokenKind::kIdent) continue;
+    if (j + 1 < t.size() && is_punct(t[j + 1], '(')) continue;
+    names.insert(t[j].text);
+  }
+}
+
+/// Heuristic: is `name` an Rng variable? Declared names win; otherwise the
+/// repo convention that rng variables end in "rng" / "rng_" applies.
+bool rng_like(const std::set<std::string, std::less<>>& declared,
+              const std::string& name) {
+  if (declared.count(name) != 0) return true;
+  std::string low;
+  low.reserve(name.size());
+  for (char c : name) {
+    low.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (!low.empty() && low.back() == '_') low.pop_back();
+  return low.size() >= 3 && low.compare(low.size() - 3, 3, "rng") == 0;
+}
+
+/// Stricter predicate for positions where a FUNCTION name could also
+/// appear (direct invocation `rng(...)`, bare argument forwarding): only
+/// declared Rng variables and the literal names rng/rng_ qualify, so a
+/// factory like `make_rng(...)` is a plain call, not a draw.
+bool rng_variable(const std::set<std::string, std::less<>>& declared,
+                  const std::string& name) {
+  return declared.count(name) != 0 || name == "rng" || name == "rng_";
+}
+
+struct ScopeFrame {
+  std::string name;  // may contain "::" (namespace a::b), may be empty
+  int open_depth = 0;
+};
+
+struct GuardFrame {
+  int depth = 0;
+  std::vector<std::pair<std::string, MutexInfo>> mutexes;
+};
+
+/// Result of trying to read a function head whose name token is at `i` and
+/// whose `(` is at `i + offset`.
+struct HeadMatch {
+  bool ok = false;
+  std::size_t body_open = 0;  // index of the `{`
+};
+
+/// tokens[close] is the `)` closing the parameter list. Scans the trailer
+/// (const/noexcept/override/trailing return/ctor init list) for the `{`
+/// that opens a body. Returns ok=false for declarations, expressions and
+/// anything shape-ambiguous.
+HeadMatch scan_head_trailer(const Tokens& t, std::size_t close) {
+  std::size_t j = close + 1;
+  const std::size_t n = t.size();
+  while (j < n) {
+    if (is_punct(t[j], '{')) return {true, j};
+    if (is_punct(t[j], ';') || is_punct(t[j], '=') || is_punct(t[j], ',')) {
+      return {};
+    }
+    if (t[j].kind == TokenKind::kIdent) {
+      // const, noexcept, override, final, try, macro attributes, trailing
+      // return type components — all harmless to step over.
+      ++j;
+      continue;
+    }
+    if (is_punct(t[j], '(')) {  // noexcept(...), attribute macro(...)
+      const std::size_t c = match_balanced(t, j, '(', ')');
+      if (c >= n) return {};
+      j = c + 1;
+      continue;
+    }
+    if (is_punct(t[j], '<')) {
+      const std::size_t c = skip_angles(t, j, n);
+      if (c >= n) return {};
+      j = c;
+      continue;
+    }
+    if (is_punct(t[j], '-') && j + 1 < n && is_punct(t[j + 1], '>')) {
+      j += 2;  // trailing return
+      continue;
+    }
+    if (is_punct(t[j], ':')) {
+      if (j + 1 < n && is_punct(t[j + 1], ':')) {  // `::` inside a type
+        j += 2;
+        continue;
+      }
+      // Constructor initializer list: entries of `name(args)` / `name{args}`
+      // separated by commas, then the body `{`.
+      ++j;
+      while (j < n) {
+        // Member / base name, possibly qualified or templated.
+        while (j < n &&
+               (t[j].kind == TokenKind::kIdent || is_punct(t[j], ':'))) {
+          ++j;
+        }
+        if (j < n && is_punct(t[j], '<')) {
+          const std::size_t c = skip_angles(t, j, n);
+          if (c >= n) return {};
+          j = c;
+        }
+        if (j >= n) return {};
+        if (is_punct(t[j], '(')) {
+          const std::size_t c = match_balanced(t, j, '(', ')');
+          if (c >= n) return {};
+          j = c + 1;
+        } else if (is_punct(t[j], '{')) {
+          // Brace-init entry… or the body itself when the entry list was
+          // actually over. An entry brace is followed by `,` or `{`; the
+          // body brace is followed by anything else — disambiguate by
+          // trying balance: an init brace's matching `}` is followed by
+          // `,` or `{`.
+          const std::size_t c = match_balanced(t, j, '{', '}');
+          if (c >= n) return {};
+          if (c + 1 < n &&
+              (is_punct(t[c + 1], ',') || is_punct(t[c + 1], '{'))) {
+            j = c + 1;  // it was an init entry
+          } else {
+            return {true, j};  // it was the body
+          }
+        } else {
+          return {};
+        }
+        if (j < n && is_punct(t[j], ',')) {
+          ++j;
+          continue;
+        }
+        if (j < n && is_punct(t[j], '{')) return {true, j};
+        return {};
+      }
+      return {};
+    }
+    return {};
+  }
+  return {};
+}
+
+std::string join_scopes(const std::vector<ScopeFrame>& scopes,
+                        const std::string& written_qual,
+                        const std::string& name) {
+  std::string out;
+  for (const ScopeFrame& s : scopes) {
+    if (s.name.empty()) continue;
+    if (!out.empty()) out += "::";
+    out += s.name;
+  }
+  if (!written_qual.empty()) {
+    if (!out.empty()) out += "::";
+    out += written_qual;
+  }
+  if (!out.empty()) out += "::";
+  out += name;
+  return out;
+}
+
+}  // namespace
+
+FileModel parse_file(std::string_view path, const LexOutput& file,
+                     const LexOutput* companion, std::vector<Finding>& out) {
+  FileModel model;
+  model.path = std::string(path);
+  const Tokens& t = file.tokens;
+  const std::size_t n = t.size();
+
+  // Declared lock levels and Rng names, file + companion header.
+  std::map<std::string, MutexInfo> lock_table;
+  if (companion != nullptr) collect_lock_table(*companion, lock_table, nullptr);
+  collect_lock_table(file, lock_table, nullptr);
+  std::set<std::string, std::less<>> rng_names;
+  collect_rng_decls(t, rng_names);
+  if (companion != nullptr) collect_rng_decls(companion->tokens, rng_names);
+
+  // Noalloc regions (both forms) for in_noalloc tagging; the diagnostics
+  // they may produce are already emitted by the lexical pass, so they go
+  // to a scratch vector here.
+  std::vector<Finding> scratch;
+  const std::vector<TokenRegion> regions = noalloc_regions(file, scratch);
+  // Function-form regions open at the first `{` at/after the directive
+  // line; a function whose body opens there is a noalloc root.
+  std::set<std::size_t> root_opens;
+  for (const Directive& d : file.directives) {
+    if (d.tag != "noalloc") continue;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (t[i].line >= d.line && is_punct(t[i], '{')) {
+        root_opens.insert(i);
+        break;
+      }
+    }
+  }
+  auto in_region = [&](std::size_t idx) {
+    for (const TokenRegion& r : regions) {
+      if (idx >= r.begin && idx < r.end) return true;
+    }
+    return false;
+  };
+
+  // -------------------------------------------------------------------
+  // Top-level scan: class/namespace scope stack + function head matching.
+  std::vector<ScopeFrame> scopes;
+  std::vector<std::size_t> pending_scope_open;  // token index of its `{`
+  std::vector<ScopeFrame> pending_scope;
+  std::vector<int> body_open_lines;  // parallel to model.functions
+
+  int depth = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    const Token& tok = t[i];
+    if (is_punct(tok, '{')) {
+      ++depth;
+      for (std::size_t p = 0; p < pending_scope_open.size(); ++p) {
+        if (pending_scope_open[p] == i) {
+          pending_scope[p].open_depth = depth;
+          scopes.push_back(pending_scope[p]);
+          pending_scope.erase(pending_scope.begin() + static_cast<long>(p));
+          pending_scope_open.erase(pending_scope_open.begin() +
+                                   static_cast<long>(p));
+          break;
+        }
+      }
+      ++i;
+      continue;
+    }
+    if (is_punct(tok, '}')) {
+      --depth;
+      while (!scopes.empty() && scopes.back().open_depth > depth) {
+        scopes.pop_back();
+      }
+      ++i;
+      continue;
+    }
+    if (tok.kind != TokenKind::kIdent) {
+      ++i;
+      continue;
+    }
+
+    // enum [class] — never a function scope; let the generic scan walk it.
+    if (tok.text == "enum") {
+      ++i;
+      if (i < n && (t[i].text == "class" || t[i].text == "struct")) ++i;
+      continue;
+    }
+    // class/struct/union/namespace heads register a scope frame that
+    // activates at their `{`.
+    if (tok.text == "class" || tok.text == "struct" || tok.text == "union" ||
+        tok.text == "namespace") {
+      const bool ns = tok.text == "namespace";
+      std::string name;
+      std::size_t j = i + 1;
+      while (j < n) {
+        if (is_punct(t[j], '{') || is_punct(t[j], ';')) break;
+        if (is_punct(t[j], ':') && !(j + 1 < n && is_punct(t[j + 1], ':')) &&
+            !(j > 0 && is_punct(t[j - 1], ':'))) {
+          break;  // base clause; the name is already captured
+        }
+        if (is_punct(t[j], '<')) {
+          const std::size_t c = skip_angles(t, j, n);
+          if (c >= n) break;
+          j = c;
+          continue;
+        }
+        if (is_punct(t[j], '(')) {  // alignas(...) and friends
+          const std::size_t c = match_balanced(t, j, '(', ')');
+          if (c >= n) break;
+          j = c + 1;
+          continue;
+        }
+        if (t[j].kind == TokenKind::kIdent && t[j].text != "final") {
+          if (ns && !name.empty() && j >= 2 && is_punct(t[j - 1], ':') &&
+              is_punct(t[j - 2], ':')) {
+            name += "::" + t[j].text;  // namespace a::b
+          } else {
+            name = t[j].text;
+          }
+        }
+        ++j;
+      }
+      // Advance to the terminator; when it opens a body, register the
+      // pending scope at that exact `{`.
+      while (j < n && !is_punct(t[j], '{') && !is_punct(t[j], ';')) ++j;
+      if (j < n && is_punct(t[j], '{')) {
+        pending_scope_open.push_back(j);
+        pending_scope.push_back(ScopeFrame{name, 0});
+      }
+      i = i + 1;
+      continue;
+    }
+
+    // Candidate function head: ident `(`, or `operator` + symbols + `(`.
+    std::size_t name_idx = i;
+    std::string name = tok.text;
+    std::size_t open = i + 1;
+    bool is_operator = false;
+    if (tok.text == "operator") {
+      is_operator = true;
+      std::size_t j = i + 1;
+      if (j + 1 < n && is_punct(t[j], '(') && is_punct(t[j + 1], ')')) {
+        name = "operator()";
+        open = j + 2;
+      } else {
+        name = "operator";
+        while (j < n && t[j].kind == TokenKind::kPunct && !is_punct(t[j], '(')) {
+          name += t[j].text;
+          ++j;
+        }
+        // Conversion operators: `operator bool`, `operator Type`.
+        while (j < n && t[j].kind == TokenKind::kIdent) {
+          name += " " + t[j].text;
+          ++j;
+        }
+        open = j;
+      }
+    }
+    if (open >= n || !is_punct(t[open], '(') ||
+        (!is_operator && kNotAHead.count(name) != 0)) {
+      ++i;
+      continue;
+    }
+    // `ident<...>(` template heads.
+    // (The common case has no angles between name and paren.)
+
+    const std::size_t close = match_balanced(t, open, '(', ')');
+    if (close >= n) {
+      ++i;
+      continue;
+    }
+    const HeadMatch head = scan_head_trailer(t, close);
+    if (!head.ok) {
+      ++i;
+      continue;
+    }
+
+    // Written qualifiers: `A::B::name`. A destructor's `~` binds tighter.
+    std::string written_qual;
+    std::size_t q = name_idx;
+    if (q > 0 && is_punct(t[q - 1], '~')) {
+      name = "~" + name;
+      --q;
+    }
+    while (q >= 3 && is_punct(t[q - 1], ':') && is_punct(t[q - 2], ':') &&
+           t[q - 3].kind == TokenKind::kIdent) {
+      written_qual = t[q - 3].text +
+                     (written_qual.empty() ? "" : "::" + written_qual);
+      q -= 3;
+    }
+
+    const std::size_t body_open = head.body_open;
+    const std::size_t body_close = match_balanced(t, body_open, '{', '}');
+
+    FunctionModel fn;
+    fn.name = name;
+    fn.qualified = join_scopes(scopes, written_qual, name);
+    fn.line = t[name_idx].line;
+    fn.noalloc_root = root_opens.count(body_open) != 0;
+
+    // ---------------------------------------------------------------
+    // Body effects: draws, calls, allocs, lock acquisitions.
+    int seq = 0;
+    int bdepth = 0;
+    std::vector<GuardFrame> guards;
+    for (std::size_t b = body_open; b < body_close && b < n; ++b) {
+      if (is_punct(t[b], '{')) {
+        ++bdepth;
+        continue;
+      }
+      if (is_punct(t[b], '}')) {
+        --bdepth;
+        while (!guards.empty() && guards.back().depth > bdepth) {
+          guards.pop_back();
+        }
+        continue;
+      }
+      if (t[b].kind != TokenKind::kIdent) continue;
+      const std::string& w = t[b].text;
+
+      std::string what;
+      if (alloc_site_at(t, b, &what)) {
+        fn.allocs.push_back(AllocSite{what, t[b].line});
+        // An allocating *call* (push_back, resize, …) is fully described
+        // by the alloc site; only fall through for container-type matches
+        // so `vector<int> v(n)` does not also look like a call to vector.
+        continue;
+      }
+
+      if (kGuardTypes.count(w) != 0 && !lock_table.empty()) {
+        std::size_t j = b + 1;
+        if (j < n && is_punct(t[j], '<')) j = skip_angles(t, j, n);
+        if (j < n && t[j].kind == TokenKind::kIdent) ++j;  // guard var name
+        if (j >= n || !is_punct(t[j], '(')) continue;
+        GuardFrame g;
+        g.depth = bdepth;
+        int pd = 0;
+        std::string last_ident;
+        for (std::size_t k = j; k < n; ++k) {
+          if (is_punct(t[k], '(')) {
+            ++pd;
+            continue;
+          }
+          const bool closes = is_punct(t[k], ')') && --pd == 0;
+          const bool splits = pd == 1 && is_punct(t[k], ',');
+          if (is_punct(t[k], ')') && !closes) continue;
+          if (closes || splits) {
+            const auto it = lock_table.find(last_ident);
+            if (it != lock_table.end()) {
+              g.mutexes.emplace_back(it->first, it->second);
+              fn.acquires.push_back(LockAcquire{it->first, it->second.level,
+                                                it->second.noblock,
+                                                t[b].line});
+            }
+            last_ident.clear();
+            if (closes) break;
+            continue;
+          }
+          if (t[k].kind == TokenKind::kIdent) last_ident = t[k].text;
+        }
+        if (!g.mutexes.empty()) guards.push_back(std::move(g));
+        continue;
+      }
+
+      const bool call = b + 1 < n && is_punct(t[b + 1], '(');
+      if (!call || skip_call_name(w) || kGuardTypes.count(w) != 0) continue;
+
+      // Receiver / qualifier.
+      bool member = false;
+      std::string qualifier;
+      if (member_access(t, b)) {
+        member = true;
+        const std::size_t r = is_punct(t[b - 1], '.') ? b - 2 : b - 3;
+        if (r < n && t[r].kind == TokenKind::kIdent) qualifier = t[r].text;
+      } else if (b >= 3 && is_punct(t[b - 1], ':') && is_punct(t[b - 2], ':')) {
+        std::size_t q2 = b;
+        while (q2 >= 3 && is_punct(t[q2 - 1], ':') &&
+               is_punct(t[q2 - 2], ':') && t[q2 - 3].kind == TokenKind::kIdent) {
+          qualifier = t[q2 - 3].text +
+                      (qualifier.empty() ? "" : "::" + qualifier);
+          q2 -= 3;
+        }
+      }
+
+      // Rng draw: rng.laplace(...), rng_.fork(), or direct rng(...).
+      if (member && rng_like(rng_names, qualifier) &&
+          kDrawMethods.count(w) != 0) {
+        fn.draws.push_back(DrawSite{w, t[b].line, seq++});
+        continue;
+      }
+      if (!member && qualifier.empty() && rng_variable(rng_names, w)) {
+        fn.draws.push_back(DrawSite{"operator()", t[b].line, seq++});
+        continue;
+      }
+
+      if (member && kOpaqueMembers.count(w) != 0) continue;
+
+      CallSite site;
+      site.callee = w;
+      site.qualifier = qualifier;
+      site.member = member;
+      site.line = t[b].line;
+      site.seq = seq++;
+      site.in_noalloc = in_region(b);
+      for (const GuardFrame& g : guards) {
+        for (const auto& [mname, info] : g.mutexes) {
+          site.held_levels.push_back(info.level);
+          site.held_names.push_back(mname);
+        }
+      }
+      const std::size_t arg_close = match_balanced(t, b + 1, '(', ')');
+      for (std::size_t k = b + 2; k < arg_close && k < n; ++k) {
+        if (t[k].kind == TokenKind::kIdent && !member_access(t, k) &&
+            rng_variable(rng_names, t[k].text)) {
+          site.forwards_rng = true;
+          break;
+        }
+      }
+      fn.calls.push_back(std::move(site));
+    }
+
+    body_open_lines.push_back(t[body_open].line);
+    model.functions.push_back(std::move(fn));
+    i = body_close < n ? body_close + 1 : n;
+  }
+
+  // ---------------------------------------------------------------------
+  // Attach `// aegis-lint: amortized-alloc(<reason>)` annotations the same
+  // way streams attach below: to the first function whose body opens
+  // at/after the directive line. An annotated function is declared
+  // cold/amortized — its allocations do not propagate to noalloc callers.
+  for (const Directive& d : file.directives) {
+    if (d.tag != "amortized-alloc") continue;
+    if (d.arg.empty()) {
+      out.push_back(Finding{"noalloc-transitive", d.line,
+                            "amortized-alloc needs a reason: // aegis-lint: "
+                            "amortized-alloc(<why steady-state calls do not "
+                            "allocate>)",
+                            ""});
+      continue;
+    }
+    int best = -1;
+    int best_line = 0;
+    for (std::size_t f = 0; f < model.functions.size(); ++f) {
+      const int open_line = body_open_lines[f];
+      if (open_line < d.line) continue;
+      if (best < 0 || open_line < best_line) {
+        best = static_cast<int>(f);
+        best_line = open_line;
+      }
+    }
+    if (best < 0) {
+      out.push_back(Finding{"noalloc-transitive", d.line,
+                            "misplaced amortized-alloc annotation: no "
+                            "function body follows it",
+                            ""});
+      continue;
+    }
+    model.functions[static_cast<std::size_t>(best)].amortized_alloc = true;
+  }
+
+  // ---------------------------------------------------------------------
+  // Attach `// aegis-rng: stream(<name>)` annotations: each guards the
+  // first function whose body opens at/after the directive line.
+  for (const Directive& d : file.directives) {
+    if (d.tag != "rng-stream") continue;
+    if (d.arg.empty()) {
+      out.push_back(Finding{"rng-stream", d.line,
+                            "stream annotation needs a name: // aegis-rng: "
+                            "stream(<name>)",
+                            ""});
+      continue;
+    }
+    int best = -1;
+    int best_line = 0;
+    for (std::size_t f = 0; f < model.functions.size(); ++f) {
+      const int open_line = body_open_lines[f];
+      if (open_line < d.line) continue;
+      if (best < 0 || open_line < best_line) {
+        best = static_cast<int>(f);
+        best_line = open_line;
+      }
+    }
+    if (best < 0) {
+      out.push_back(Finding{"rng-stream", d.line,
+                            "misplaced stream annotation: no function body "
+                            "follows it",
+                            ""});
+      continue;
+    }
+    model.functions[static_cast<std::size_t>(best)].rng_stream = d.arg;
+  }
+
+  return model;
+}
+
+}  // namespace aegis::lint

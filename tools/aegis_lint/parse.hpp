@@ -1,0 +1,108 @@
+// Phase 1 of the two-phase analyzer: per-TU symbol and effect extraction.
+//
+// parse_file() turns one lexed translation unit into a FileModel — the
+// list of function definitions it contains, each with the effects the
+// interprocedural rules in effects.cpp care about:
+//
+//   * call sites, in body order, each tagged with the declared lock levels
+//     held at the site and whether the site sits inside a noalloc region;
+//   * util::Rng draw sites (member calls like `rng_.laplace(...)` and
+//     direct invocations `rng(...)` of an Rng-typed variable);
+//   * allocation sites (same classifier the lexical noalloc rule uses);
+//   * lock acquisitions of `lock-level(N)`-annotated mutexes;
+//   * the `// aegis-rng: stream(<name>)` annotation, when present.
+//
+// The parser is heuristic, not a C++ front end: function heads are
+// recognized as `qualified-name ( params ) [const|noexcept|-> type|init
+// list] {`, qualified names combine the written `A::B::` qualifiers with a
+// class/struct/namespace scope stack, and templates degrade gracefully to
+// plain name matching. Anything the parser cannot shape-match (operator
+// overloads with exotic spellings, macro-generated definitions) simply
+// contributes no graph node — the lexical rules still see every token.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace aegis::lint {
+
+/// One draw from a util::Rng inside a function body. `seq` is the draw's
+/// 0-based position among the function's draws and calls in token order —
+/// the RNG manifest pins this ordering, so a reordered draw changes the
+/// manifest even when line numbers do not.
+struct DrawSite {
+  std::string method;  // "laplace", "uniform", "operator()", ...
+  int line = 0;
+  int seq = 0;
+};
+
+struct AllocSite {
+  std::string what;  // classifier description, e.g. "push_back()"
+  int line = 0;
+};
+
+/// Acquisition of a lock-level(N)-annotated mutex via
+/// lock_guard/unique_lock/scoped_lock.
+struct LockAcquire {
+  std::string mutex_name;
+  int level = 0;
+  bool noblock = false;
+  int line = 0;
+};
+
+struct CallSite {
+  std::string callee;     // unqualified name, e.g. "accumulate"
+  std::string qualifier;  // written "ns::Class" qualifier or receiver name
+  bool member = false;    // receiver.callee(...) / receiver->callee(...)
+  int line = 0;
+  int seq = 0;  // position among the function's draws+calls, token order
+  /// Declared levels of the annotated mutexes held at this call site (the
+  /// guard scopes open around it), for the cross-TU lock-order rule.
+  std::vector<int> held_levels;
+  std::vector<std::string> held_names;
+  /// True when the call site sits inside a noalloc region (function-form
+  /// or begin/end-form) — the sites the transitive-allocation rule checks.
+  bool in_noalloc = false;
+  /// True when an Rng-typed variable is passed through this call's
+  /// argument list (the callee draws on the caller's stream).
+  bool forwards_rng = false;
+};
+
+struct FunctionModel {
+  std::string qualified;  // e.g. "aegis::sim::GadgetRunner::execute_once"
+  std::string name;       // last component, e.g. "execute_once"
+  int line = 0;           // line of the name token in the definition
+  /// True when a `// aegis-lint: noalloc` directive guards this body —
+  /// these are the hot-path roots the RNG manifest inventories.
+  bool noalloc_root = false;
+  /// True when `// aegis-lint: amortized-alloc(<reason>)` guards this body:
+  /// the function allocates only on cold paths (first-seen cache fill,
+  /// first-touch lazy init, static-local handle resolution), so its
+  /// allocations do not propagate to noalloc callers.
+  bool amortized_alloc = false;
+  /// The `// aegis-rng: stream(<name>)` annotation, "" when absent.
+  std::string rng_stream;
+  std::vector<DrawSite> draws;
+  std::vector<AllocSite> allocs;
+  std::vector<LockAcquire> acquires;
+  std::vector<CallSite> calls;
+};
+
+struct FileModel {
+  std::string path;  // display path relative to the lint root
+  std::vector<FunctionModel> functions;
+};
+
+/// Extracts the FileModel for one TU. `companion` (nullable) contributes
+/// declarations only — its lock-level table and Rng member declarations
+/// extend what the .cpp body scan can recognize. Misparse diagnostics
+/// (e.g. a stream annotation that guards no function) are appended to
+/// `out`.
+FileModel parse_file(std::string_view path, const LexOutput& file,
+                     const LexOutput* companion, std::vector<Finding>& out);
+
+}  // namespace aegis::lint

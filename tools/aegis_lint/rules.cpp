@@ -218,13 +218,8 @@ const std::set<std::string, std::less<>> kAllocStreams = {
     "ostringstream", "istringstream", "stringstream",
 };
 
-struct TokenRegion {
-  std::size_t begin = 0;  // token indices [begin, end)
-  std::size_t end = 0;
-};
+}  // namespace
 
-/// Resolves `// aegis-lint: noalloc` (covers the next function body) and
-/// noalloc-begin/noalloc-end pairs into token regions.
 std::vector<TokenRegion> noalloc_regions(const LexOutput& file,
                                          std::vector<Finding>& out) {
   std::vector<TokenRegion> regions;
@@ -297,52 +292,66 @@ std::vector<TokenRegion> noalloc_regions(const LexOutput& file,
   return regions;
 }
 
+bool alloc_site_at(const std::vector<Token>& t, std::size_t i,
+                   std::string* what) {
+  if (t[i].kind != TokenKind::kIdent) return false;
+  const std::string& w = t[i].text;
+  if (w == "new" && !member_access(t, i)) {
+    *what = "new";
+    return true;
+  }
+  const bool call = i + 1 < t.size() && is_punct(t[i + 1], '(');
+  if (call && kAllocCalls.count(w) != 0) {
+    *what = w + "()";
+    return true;
+  }
+  if (kAllocStreams.count(w) != 0) {
+    *what = w;
+    return true;
+  }
+  // By-value container declaration/temporary: `vector<T> x` or
+  // `vector<T>(...)`. References/pointers (`vector<T>&`) and nested
+  // type names (`vector<T>::iterator`) do not allocate.
+  if ((kAllocContainers.count(w) != 0 || w == "string") && i + 1 < t.size() &&
+      is_punct(t[i + 1], '<')) {
+    const std::size_t j = skip_angles(t, i + 1, t.size());
+    if (j < t.size() &&
+        (t[j].kind == TokenKind::kIdent || is_punct(t[j], '(') ||
+         is_punct(t[j], '{')) &&
+        !(j + 1 < t.size() && is_punct(t[j], ':'))) {
+      *what = "by-value " + w;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
 void rule_noalloc(const LexOutput& file,
                   const std::vector<TokenRegion>& regions,
                   std::vector<Finding>& out) {
   const Tokens& t = file.tokens;
   for (const TokenRegion& r : regions) {
     for (std::size_t i = r.begin; i < r.end; ++i) {
-      if (t[i].kind != TokenKind::kIdent) continue;
-      const std::string& w = t[i].text;
-      if (w == "new" && !member_access(t, i)) {
-        out.push_back(Finding{"noalloc", t[i].line,
-                              "'new' inside a noalloc region (this path is "
-                              "proven allocation-free; see DESIGN.md)",
-                              "alloc-ok"});
-        continue;
+      std::string what;
+      if (!alloc_site_at(t, i, &what)) continue;
+      std::string msg;
+      if (what == "new") {
+        msg =
+            "'new' inside a noalloc region (this path is proven "
+            "allocation-free; see DESIGN.md)";
+      } else if (what.size() > 2 && what.compare(what.size() - 2, 2, "()") == 0) {
+        msg = "'" + what +
+              "' may allocate inside a noalloc region; hoist the allocation "
+              "out of the hot path";
+      } else if (what.rfind("by-value ", 0) == 0) {
+        msg = "by-value '" + what.substr(9) +
+              "' constructed inside a noalloc region";
+      } else {
+        msg = "'" + what + "' allocates inside a noalloc region";
       }
-      const bool call = i + 1 < t.size() && is_punct(t[i + 1], '(');
-      if (call && kAllocCalls.count(w) != 0) {
-        out.push_back(Finding{"noalloc", t[i].line,
-                              "'" + w +
-                                  "()' may allocate inside a noalloc region; "
-                                  "hoist the allocation out of the hot path",
-                              "alloc-ok"});
-        continue;
-      }
-      if (kAllocStreams.count(w) != 0) {
-        out.push_back(Finding{"noalloc", t[i].line,
-                              "'" + w + "' allocates inside a noalloc region",
-                              "alloc-ok"});
-        continue;
-      }
-      // By-value container declaration/temporary: `vector<T> x` or
-      // `vector<T>(...)`. References/pointers (`vector<T>&`) and nested
-      // type names (`vector<T>::iterator`) do not allocate.
-      if ((kAllocContainers.count(w) != 0 || w == "string") && i + 1 < t.size() &&
-          is_punct(t[i + 1], '<')) {
-        const std::size_t j = skip_angles(t, i + 1, t.size());
-        if (j < t.size() &&
-            (t[j].kind == TokenKind::kIdent || is_punct(t[j], '(') ||
-             is_punct(t[j], '{')) &&
-            !(j + 1 < t.size() && is_punct(t[j], ':'))) {
-          out.push_back(Finding{"noalloc", t[i].line,
-                                "by-value '" + w +
-                                    "' constructed inside a noalloc region",
-                                "alloc-ok"});
-        }
-      }
+      out.push_back(Finding{"noalloc", t[i].line, std::move(msg), "alloc-ok"});
     }
   }
 }
@@ -434,14 +443,8 @@ void rule_dispatch_once(const LexOutput& file,
 // ---------------------------------------------------------------------------
 // lock-order / blocking-in-lock
 
-struct MutexInfo {
-  int level = 0;
-  bool noblock = false;
-};
+}  // namespace
 
-/// Parses `lock-level(N[, noblock])` directives; the annotated mutex is the
-/// last identifier on the directive's line (trailing-comment style) or on
-/// the first following line with tokens (comment-above style).
 void collect_lock_table(const LexOutput& lx,
                         std::map<std::string, MutexInfo>& table,
                         std::vector<Finding>* out) {
@@ -499,6 +502,8 @@ void collect_lock_table(const LexOutput& lx,
     table[name] = info;
   }
 }
+
+namespace {
 
 struct HeldGuard {
   std::string var;  // guard variable name ("" for an unnamed guard)
@@ -690,6 +695,18 @@ std::vector<RuleInfo> rule_catalog() {
       {"backend-registry", "event-db-ok",
        "EventDatabase::generate() outside src/pmu/backend/: resolve "
        "databases through pmu::backend::backend_for(model) instead"},
+      {"rng-stream", "stream-ok",
+       "functions drawing from (or forwarding) a util::Rng must declare "
+       "their stream with '// aegis-rng: stream(<name>)'"},
+      {"noalloc-transitive", "alloc-ok",
+       "calls inside noalloc regions must not reach an allocation through "
+       "any callee chain (interprocedural; depth >= 1)"},
+      {"lock-order-global", "lock-ok",
+       "calling a function that transitively acquires lock level L while "
+       "holding level H >= L violates the declared order across TUs"},
+      // ("suppression" and "stale-suppression" are diagnostics about the
+      // suppression machinery itself, not suppressible rules, so they are
+      // deliberately not catalog rows.)
   };
 }
 

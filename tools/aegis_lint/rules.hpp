@@ -54,6 +54,8 @@
 // sanitizer matrix covers the dynamic side.
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -82,6 +84,48 @@ struct RuleInfo {
   std::string suppress_tag;
   std::string summary;
 };
+
+/// Bumped whenever a rule's behavior changes. Part of every incremental-
+/// cache key (a stale entry from an older rule set can never satisfy a
+/// lookup) and of the CI cache key, and reported as the SARIF tool version.
+inline constexpr std::string_view kRuleSetVersion = "aegis-lint-2.0";
+
+// ---------------------------------------------------------------------------
+// Shared scan helpers. These power both the lexical rules in rules.cpp and
+// the phase-1 effect extraction in parse.cpp, so the two phases can never
+// disagree about what counts as an allocation, a noalloc region, or a
+// declared lock level.
+
+/// Half-open token-index range [begin, end).
+struct TokenRegion {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Resolves `// aegis-lint: noalloc` (covers the next function body) and
+/// noalloc-begin/noalloc-end pairs into token regions. Misplaced-marker
+/// findings are appended to `out`.
+std::vector<TokenRegion> noalloc_regions(const LexOutput& file,
+                                         std::vector<Finding>& out);
+
+struct MutexInfo {
+  int level = 0;
+  bool noblock = false;
+};
+
+/// Parses `lock-level(N[, noblock])` directives into `table`; the annotated
+/// mutex is the last identifier on the directive's line or on the first
+/// following line with tokens. Malformed directives are reported into
+/// `out` when non-null.
+void collect_lock_table(const LexOutput& lx,
+                        std::map<std::string, MutexInfo>& table,
+                        std::vector<Finding>* out);
+
+/// When tokens[i] begins an allocation site (new, an allocating call like
+/// push_back/resize, a by-value allocating container construction, a
+/// stringstream), fills `what` with a short description and returns true.
+bool alloc_site_at(const std::vector<Token>& t, std::size_t i,
+                   std::string* what);
 
 /// The rule catalog, for --list-rules and the docs.
 std::vector<RuleInfo> rule_catalog();

@@ -1,0 +1,96 @@
+#include "sarif.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace aegis::lint {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string sarif_report(const std::vector<FileFinding>& findings) {
+  const std::vector<RuleInfo> catalog = rule_catalog();
+  std::map<std::string, std::size_t> rule_index;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    rule_index[catalog[i].name] = i;
+  }
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"aegis-lint\",\n"
+     << "          \"version\": \"" << json_escape(std::string(kRuleSetVersion))
+     << "\",\n"
+     << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    os << "            {\n"
+       << "              \"id\": \"" << json_escape(catalog[i].name) << "\",\n"
+       << "              \"shortDescription\": { \"text\": \""
+       << json_escape(catalog[i].summary) << "\" }\n"
+       << "            }" << (i + 1 < catalog.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const FileFinding& f = findings[i];
+    const char* level =
+        f.finding.rule == "stale-suppression" ? "warning" : "error";
+    os << "        {\n"
+       << "          \"ruleId\": \"" << json_escape(f.finding.rule) << "\",\n";
+    const auto ri = rule_index.find(f.finding.rule);
+    if (ri != rule_index.end()) {
+      os << "          \"ruleIndex\": " << ri->second << ",\n";
+    }
+    os << "          \"level\": \"" << level << "\",\n"
+       << "          \"message\": { \"text\": \""
+       << json_escape(f.finding.message) << "\" },\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": { \"uri\": \""
+       << json_escape(f.file) << "\" },\n"
+       << "                \"region\": { \"startLine\": "
+       << (f.finding.line > 0 ? f.finding.line : 1) << " }\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]\n"
+       << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace aegis::lint

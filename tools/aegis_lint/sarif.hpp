@@ -1,0 +1,18 @@
+// SARIF 2.1.0 rendering (--sarif). One run, one driver ("aegis-lint",
+// version kRuleSetVersion), the full rule catalog under
+// tool.driver.rules, and one result per finding with a physicalLocation.
+// Stale-suppression findings are emitted at level "warning"; everything
+// else at "error" — which is what lets code-scanning display them without
+// the gate treating them as failures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace aegis::lint {
+
+std::string sarif_report(const std::vector<FileFinding>& findings);
+
+}  // namespace aegis::lint

@@ -1,0 +1,24 @@
+// Interprocedural-test fixture. Everything under testdata/ exists to
+// TRIGGER findings; the tree gate excludes this directory by default.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace fx {
+
+class Engine {
+ public:
+  double tick(util::Rng& rng);
+  double sample(util::Rng& rng);
+  void refill();
+  void reset();
+
+ private:
+  std::vector<double> pool_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace fx

@@ -1,0 +1,23 @@
+#include <mutex>
+
+#include "telemetry.hpp"
+
+namespace fx {
+
+// Cross-TU out-of-order acquisition: publish() holds the level-30 governor
+// lock and calls Telemetry::record, which (in its own TU) takes its
+// level-10 sink lock. Neither TU alone shows a nested acquisition — only
+// the global rule over the call graph can see the inversion.
+class Governor {
+ public:
+  void publish(double v) {
+    std::lock_guard lock(mu_);
+    telemetry_.record(v);
+  }
+
+ private:
+  std::mutex mu_;  // aegis-lint: lock-level(30)
+  Telemetry telemetry_;
+};
+
+}  // namespace fx

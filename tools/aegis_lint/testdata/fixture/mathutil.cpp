@@ -1,0 +1,22 @@
+#include "mathutil.hpp"
+
+#include <vector>
+
+namespace fx {
+
+double scale(double v) { return clamp_to(v * 2.0, 0.0, 1.0); }
+
+int scale(int v) {
+  std::vector<int> tmp;
+  tmp.push_back(v);
+  return tmp[0] * 2;
+}
+
+// Templates degrade to plain name matching: instantiations do not exist as
+// separate graph nodes, callers bind to this definition by name.
+template <typename T>
+T clamp_to(T v, T lo, T hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace fx

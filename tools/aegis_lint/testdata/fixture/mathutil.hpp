@@ -1,0 +1,14 @@
+#pragma once
+
+namespace fx {
+
+// Overload pair: the call graph merges both definitions into one name
+// group, so a caller of `scale` conservatively reaches the allocating
+// overload too.
+double scale(double v);
+int scale(int v);
+
+template <typename T>
+T clamp_to(T v, T lo, T hi);
+
+}  // namespace fx

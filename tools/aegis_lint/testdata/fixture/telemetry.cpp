@@ -1,0 +1,12 @@
+#include "telemetry.hpp"
+
+namespace fx {
+
+void Telemetry::record(double v) {
+  std::lock_guard lock(sink_mu_);
+  last_ = v;
+}
+
+void Telemetry::reset() { last_ = 0.0; }
+
+}  // namespace fx

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <mutex>
+
+namespace fx {
+
+class Telemetry {
+ public:
+  void record(double v);
+  void reset();
+
+ private:
+  std::mutex sink_mu_;  // aegis-lint: lock-level(10)
+  double last_ = 0.0;
+};
+
+}  // namespace fx

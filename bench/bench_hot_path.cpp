@@ -22,6 +22,7 @@
 #include "pmu/event_database.hpp"
 #include "pmu/simd_dispatch.hpp"
 #include "sim/gadget_runner.hpp"
+#include "telemetry/registry.hpp"
 
 namespace aegis::bench {
 namespace {
@@ -132,6 +133,7 @@ double sweep_events_per_sec(const pmu::EventDatabase& db,
 void emit(std::ostream& out, isa::CpuModel model, double acc4_ref,
           double acc4_scalar, double acc4_bat, double sweep_ref,
           double sweep_scalar, double sweep_bat, double exec_ns,
+          double exec_off_ns, double recorder_overhead_pct,
           double sweep_eps_ref, double sweep_eps_bat) {
   // The engine/cpu/backend fields record WHICH kernel and WHICH event
   // database produced the batched numbers, so a regression diff across
@@ -166,6 +168,11 @@ void emit(std::ostream& out, isa::CpuModel model, double acc4_ref,
       "  \"execute_once\": {\n"
       "    \"steady_state_ns\": %.2f\n"
       "  },\n"
+      "  \"flight_recorder\": {\n"
+      "    \"recorder_on_ns\": %.2f,\n"
+      "    \"recorder_off_ns\": %.2f,\n"
+      "    \"recorder_overhead_pct\": %.2f\n"
+      "  },\n"
       "  \"profiler_sweep\": {\n"
       "    \"reference_events_per_sec\": %.0f,\n"
       "    \"batched_events_per_sec\": %.0f,\n"
@@ -178,7 +185,8 @@ void emit(std::ostream& out, isa::CpuModel model, double acc4_ref,
       cpu.avx512 ? "true" : "false",
       simd::force_scalar_env() ? "true" : "false", acc4_ref, acc4_scalar,
       acc4_bat, acc4_ref / acc4_bat, sweep_ref, sweep_scalar, sweep_bat,
-      sweep_ref / sweep_bat, exec_ns, sweep_eps_ref, sweep_eps_bat,
+      sweep_ref / sweep_bat, exec_ns, exec_ns, exec_off_ns,
+      recorder_overhead_pct, sweep_eps_ref, sweep_eps_bat,
       sweep_eps_bat / sweep_eps_ref);
   out << buf;
 }
@@ -220,8 +228,19 @@ int run(int argc, char** argv) {
   const double sweep_bat =
       accumulate_ns(db, all_ids, AccumulateEngine::kBatched, sweep_iters, reps);
 
-  std::cerr << "bench_hot_path: execute_once steady state...\n";
+  // execute_once is measured twice: with the global flight recorder OFF and
+  // ON (the GadgetRunner records a 1-in-8 sampled kHotExec wide event).
+  // recorder_overhead_pct is the always-on cost on the hottest loop in the
+  // codebase; scripts/bench_compare.py --hotpath gates it at <= 2%.
+  std::cerr << "bench_hot_path: execute_once steady state (recorder off)...\n";
+  telemetry::FlightRecorder& recorder = telemetry::Registry::global().recorder();
+  recorder.set_enabled(false);
+  const double exec_off_ns = execute_once_ns(db, spec, iters / 4, reps);
+  std::cerr << "bench_hot_path: execute_once steady state (recorder on)...\n";
+  recorder.set_enabled(true);
   const double exec_ns = execute_once_ns(db, spec, iters / 4, reps);
+  const double recorder_overhead_pct =
+      exec_off_ns > 0.0 ? (exec_ns - exec_off_ns) / exec_off_ns * 100.0 : 0.0;
 
   std::cerr << "bench_hot_path: profiler sweep over " << db.size()
             << " events...\n";
@@ -237,11 +256,13 @@ int run(int argc, char** argv) {
       return 1;
     }
     emit(out, model, acc4_ref, acc4_scalar, acc4_bat, sweep_ref, sweep_scalar,
-         sweep_bat, exec_ns, eps_ref, eps_bat);
+         sweep_bat, exec_ns, exec_off_ns, recorder_overhead_pct, eps_ref,
+         eps_bat);
     std::cerr << "bench_hot_path: wrote " << argv[1] << "\n";
   } else {
     emit(std::cout, model, acc4_ref, acc4_scalar, acc4_bat, sweep_ref,
-         sweep_scalar, sweep_bat, exec_ns, eps_ref, eps_bat);
+         sweep_scalar, sweep_bat, exec_ns, exec_off_ns, recorder_overhead_pct,
+         eps_ref, eps_bat);
   }
   if (g_sink == -1.0) std::cerr << "";  // keep the sink observable
   return 0;

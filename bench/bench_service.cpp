@@ -15,9 +15,10 @@
 //
 // Telemetry dumps (combinable with --smoke or the sweep; every run shares
 // one wall-clock telemetry registry threaded through ServiceConfig):
-//   --trace FILE   chrome://tracing / Perfetto trace_event JSON
-//   --prom FILE    Prometheus text exposition of the final metrics
-//   --stats FILE   JSON snapshot (the tools/aegis_top input format)
+//   --trace FILE     chrome://tracing / Perfetto trace_event JSON
+//   --prom FILE      Prometheus text exposition of the final metrics
+//   --stats FILE     JSON snapshot (the tools/aegis_top input format)
+//   --recorder FILE  flight-recorder binary dump (aegis_top --recorder)
 //
 // AEGIS_SCALE scales per-session slice counts; AEGIS_THREADS sets the
 // session-pool worker count (0 = hardware concurrency).
@@ -92,12 +93,16 @@ struct DumpOptions {
   const char* trace = nullptr;
   const char* prom = nullptr;
   const char* stats = nullptr;
-  bool any() const { return trace != nullptr || prom != nullptr || stats != nullptr; }
+  const char* recorder = nullptr;
+  bool any() const {
+    return trace != nullptr || prom != nullptr || stats != nullptr ||
+           recorder != nullptr;
+  }
 };
 
 template <typename Fn>
 bool emit_telemetry_file(const char* path, const char* what, Fn&& fn) {
-  std::ofstream out(path);
+  std::ofstream out(path, std::ios::binary);
   if (!out) {
     std::cerr << "bench_service: cannot open " << what << " file " << path
               << "\n";
@@ -130,6 +135,15 @@ bool dump_telemetry(const DumpOptions& dump, const TelemetrySink& sink) {
     ok &= emit_telemetry_file(dump.stats, "snapshot", [&](std::ostream& os) {
       telemetry::write_json_snapshot(sink.registry, os);
     });
+  }
+  if (dump.recorder != nullptr) {
+    ok &= emit_telemetry_file(
+        dump.recorder, "flight-recorder dump", [&](std::ostream& os) {
+          sink.registry.recorder().write_dump(os);
+        });
+    std::cerr << "bench_service: recorder captured "
+              << sink.registry.recorder().drain().size() << " events, dropped "
+              << sink.registry.recorder().dropped() << "\n";
   }
   return ok;
 }
@@ -301,6 +315,8 @@ int run(int argc, char** argv) {
       dump.prom = flag_value("--prom");
     } else if (arg == "--stats") {
       dump.stats = flag_value("--stats");
+    } else if (arg == "--recorder") {
+      dump.recorder = flag_value("--recorder");
     } else {
       out_path = argv[i];
     }

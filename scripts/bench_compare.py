@@ -36,6 +36,13 @@ than the committed AMD baseline, so no delta between them is meaningful.
 Artifacts predating the backend layer omit the fields and compare as
 before.
 
+Hotpath artifacts that carry a "flight_recorder" section additionally gate
+recorder_overhead_pct — the execute_once cost of the always-on flight
+recorder — against an ABSOLUTE ceiling (default 2%, override with
+AEGIS_RECORDER_OVERHEAD_PCT): unlike the relative metrics, a slow baseline
+can never grandfather in a slow recorder. Older artifacts without the
+section skip the check.
+
 A metric regresses when it is worse than the baseline by more than the
 tolerance (default 15%, override with AEGIS_BENCH_TOLERANCE, a fraction).
 The tolerance is deliberately loose: shared CI runners jitter, and only a
@@ -314,6 +321,40 @@ def check_backend_match(label, baseline, fresh):
     return regressions
 
 
+def check_recorder_overhead(fresh):
+    """Absolute gate on the flight recorder's execute_once overhead.
+
+    The recorder is always-on in production, so its cost is gated against a
+    fixed ceiling (default 2% on execute_once), not against the baseline:
+    a slow baseline must not grandfather in a slow recorder. Artifacts
+    predating the flight_recorder section pass untouched. The raw
+    measurement is an on-minus-off delta of two short runs, so it can be
+    negative (noise); only the positive direction gates.
+    """
+    section = fresh.get("flight_recorder")
+    if not isinstance(section, dict):
+        return 0  # pre-recorder artifact
+    try:
+        pct = float(section["recorder_overhead_pct"])
+    except (KeyError, TypeError, ValueError):
+        print("FAIL  hotpath flight_recorder section is malformed "
+              "(recorder_overhead_pct missing or non-numeric)")
+        return 1
+    ceiling = 2.0
+    raw = os.environ.get("AEGIS_RECORDER_OVERHEAD_PCT", "")
+    if raw:
+        try:
+            ceiling = float(raw)
+        except ValueError:
+            print(f"bench_compare: bad AEGIS_RECORDER_OVERHEAD_PCT {raw!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+    verdict = "FAIL" if pct > ceiling else "  ok"
+    print(f"{verdict}  hotpath recorder_overhead_pct: {pct:+.2f}% on "
+          f"execute_once (absolute ceiling {ceiling:g}%)")
+    return 1 if pct > ceiling else 0
+
+
 def compare(metrics, baseline, fresh, tol):
     """Returns the number of regressions, printing one line per metric."""
     regressions = 0
@@ -377,6 +418,7 @@ def main(argv):
         tol = tolerance()
         regressions = check_backend_match("hotpath", baseline, fresh)
         regressions += compare(HOTPATH_METRICS, baseline, fresh, tol)
+        regressions += check_recorder_overhead(fresh)
         return finish(regressions, tol)
     if len(argv) == 4 and argv[1] == "--service":
         tol = tolerance()
@@ -397,6 +439,7 @@ def main(argv):
     regressions += check_backend_match("service", baseline_svc, fresh_svc_doc)
     regressions += compare(HOTPATH_METRICS, baseline_hot, fresh_hot_doc, tol)
     regressions += compare(SERVICE_METRICS, baseline_svc, fresh_svc_doc, tol)
+    regressions += check_recorder_overhead(fresh_hot_doc)
     return finish(regressions, tol)
 
 

@@ -32,6 +32,11 @@ fi
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 FAST_FILTER='ThreadPool|Parallel|Golden|Rng|SplitMix|Fuzzer|Confirmation|Profiler|Warmup|Cleanup|BoundedQueue'
+# Every ctest run executes with AEGIS_FR_DUMP armed so a crashing test
+# leaves behind a flight-recorder dump (<prefix>.<pid>.frd) with the last
+# wide events before the fault. On failure the dumps are listed so they can
+# be pulled for `aegis_top --recorder` triage.
+FR_DUMP_ROOT="${AEGIS_FR_DUMP_ROOT:-/tmp/aegis-fr-dumps}"
 
 run_suite() {
   local name="$1" dir="$2" sanitize="$3"
@@ -40,10 +45,18 @@ run_suite() {
     -DAEGIS_SANITIZE="${sanitize}" >/dev/null
   cmake --build "${dir}" -j "${JOBS}" >/dev/null
   echo "=== ${name}: ctest ==="
+  local fr_dir="${FR_DUMP_ROOT}/${name}"
+  rm -rf "${fr_dir}" && mkdir -p "${fr_dir}"
+  local -a filter=()
   if [[ "${FAST}" == 1 && -n "${sanitize}" ]]; then
-    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -R "${FAST_FILTER}"
-  else
-    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+    filter=(-R "${FAST_FILTER}")
+  fi
+  if ! AEGIS_FR_DUMP="${fr_dir}/fr" \
+      ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" "${filter[@]}"; then
+    echo "=== ${name}: ctest FAILED; flight-recorder dumps in ${fr_dir} ===" >&2
+    ls -l "${fr_dir}"/*.frd >&2 2>/dev/null ||
+      echo "(no crash dumps written — failures were assertions, not faults)" >&2
+    exit 1
   fi
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/registry.hpp"
 #include "util/stats.hpp"
 
 namespace aegis::obf {
@@ -66,7 +67,11 @@ EventObfuscator::EventObfuscator(const pmu::EventDatabase& db,
       spec_(&spec),
       cover_(std::move(cover)),
       config_(config),
-      session_seeds_(config.seed ^ 0x0BF5ULL) {
+      session_seeds_(config.seed ^ 0x0BF5ULL),
+      rotation_event_(telemetry::Registry::global().recorder().event_handle(
+          "plan.rotation", telemetry::WideEventType::kPlanRotation)),
+      rng_event_(telemetry::Registry::global().recorder().event_handle(
+          "obfuscator.rng", telemetry::WideEventType::kRngCheckpoint)) {
   for (const auto& [event, delta] : cover_.segment_effect) {
     if (event == config_.reference_event) {
       reference_delta_ = std::max(delta, 1e-9);
@@ -80,6 +85,11 @@ sim::SliceAgent EventObfuscator::session() {
   ++sessions_;
   dp::MechanismConfig mech = config_.mechanism;
   mech.seed = session_seeds_.next_u64();
+  // RNG-stream checkpoint: with the session ordinal and the derived seed a
+  // dump reader can replay exactly which mechanism randomness this session
+  // consumed (seed derivation itself is untouched — the record draws none).
+  rng_event_.record(/*t_ns=*/sessions_, mech.seed, config_.seed,
+                    static_cast<std::uint64_t>(config_.rotate));
 
   auto controller = std::make_shared<KernelController>(
       *db_, config_.reference_event, config_.reference_sigma);
@@ -126,17 +136,27 @@ sim::SliceAgent EventObfuscator::session() {
   }
   std::shared_ptr<double> total_reps = total_reps_;
   std::shared_ptr<std::uint64_t> total_draws = total_draws_;
+  const telemetry::EventHandle rotation_event = rotation_event_;
+  const std::uint64_t session_ordinal = sessions_;
 
-  return [calculators, controller, injectors, plan, total_reps, total_draws](
-             sim::VirtualMachine& vm, std::size_t t) {
+  return [calculators, controller, injectors, plan, total_reps, total_draws,
+          rotation_event,
+          session_ordinal](sim::VirtualMachine& vm, std::size_t t) {
     // Kernel module: RDPMC the protected series (previous slice) and send
     // it to the daemon over the netlink channel.
     controller->sample(vm);
     const double x_t = controller->dequeue();
     // Userspace daemon: compute per-gadget noise and inject through the
     // slice's scheduled plan variant (index 0 when not rotating).
-    NoiseInjector& injector =
-        *(*injectors)[plan ? plan->variant_at(t) : 0];
+    const std::size_t variant = plan ? plan->variant_at(t) : 0;
+    if (plan && (t == 0 || plan->variant_at(t - 1) != variant)) {
+      // Plan rotation wide event, stamped with the slice index (virtual
+      // time). Wait-free, RNG-free: safe on worker threads without touching
+      // the bit-identity contract.
+      rotation_event.record(/*t_ns=*/t, variant, injectors->size(),
+                            session_ordinal);
+    }
+    NoiseInjector& injector = *(*injectors)[variant];
     const double before = injector.total_repetitions();
     if (calculators->size() == 1) {
       injector.inject(vm, (*calculators)[0].noise_for(x_t));

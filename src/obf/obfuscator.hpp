@@ -26,6 +26,7 @@
 #include "obf/noise_calculator.hpp"
 #include "obf/rotating_plan.hpp"
 #include "sim/host_monitor.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "workload/workload.hpp"
 
 namespace aegis::obf {
@@ -115,6 +116,14 @@ class EventObfuscator {
   std::shared_ptr<std::uint64_t> total_draws_ =
       std::make_shared<std::uint64_t>(0);
   double reference_delta_ = 1.0;
+  /// Flight-recorder handles, resolved once at construction (telemetry-
+  /// handle rule). rotation_event_ fires on every plan-variant switch (the
+  /// slice agent runs on worker threads — the record path is wait-free and
+  /// draws no RNG, so the bit-identity contract holds); rng_event_
+  /// checkpoints each session's derived mechanism seed. Both stamp VIRTUAL
+  /// time (slice index / session ordinal), never a wall clock.
+  telemetry::EventHandle rotation_event_;
+  telemetry::EventHandle rng_event_;
 };
 
 }  // namespace aegis::obf

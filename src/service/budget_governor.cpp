@@ -1,7 +1,9 @@
 #include "service/budget_governor.hpp"
 
+#include <cstring>
 #include <string>
 
+#include "telemetry/anomaly.hpp"
 #include "telemetry/registry.hpp"
 
 namespace aegis::service {
@@ -16,6 +18,18 @@ std::string tenant_metric(const char* base, std::uint64_t tenant_id) {
   return std::string(base) + "{tenant=\"" + std::to_string(tenant_id) + "\"}";
 }
 
+/// Outcome code carried in kAdmission wide events (field `a`); "reset" uses
+/// 3 (it has no Admission enumerator).
+std::uint64_t outcome_code(Admission a) noexcept {
+  return static_cast<std::uint64_t>(a);
+}
+
+std::uint64_t double_bits(double v) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
 }  // namespace
 
 const char* to_string(Admission a) noexcept {
@@ -28,7 +42,12 @@ const char* to_string(Admission a) noexcept {
 }
 
 BudgetGovernor::BudgetGovernor(GovernorConfig config)
-    : config_(config), telemetry_(&telemetry::resolve(config.telemetry)) {}
+    : config_(config),
+      telemetry_(&telemetry::resolve(config.telemetry)),
+      decision_event_(telemetry_->recorder().event_handle(
+          "governor.decision", telemetry::WideEventType::kAdmission)),
+      proactive_degrades_(telemetry_->metrics().counter(
+          "aegis_governor_proactive_degrades_total")) {}
 
 BudgetGovernor::Tenant& BudgetGovernor::tenant_for(std::uint64_t tenant_id) {
   auto [it, inserted] = tenants_.try_emplace(tenant_id);
@@ -73,7 +92,23 @@ AdmissionDecision BudgetGovernor::request_window(std::uint64_t tenant_id,
     return decision;
   }
 
-  for (std::size_t g = 1; g <= config_.max_granularity; g *= 2) {
+  // Proactive degradation (ROADMAP item 5): when the forecaster predicts
+  // this tenant exhausts its cap inside the horizon, start the ladder at
+  // granularity 2 — fewer releases per window now, instead of a forced
+  // refuse later. The forecast lock (level 17) nests above ours (15).
+  std::size_t g_start = 1;
+  if (config_.forecaster != nullptr && config_.proactive_horizon_ns > 0) {
+    const telemetry::BudgetForecast fc =
+        config_.forecaster->forecast(tenant_id);
+    if (fc.valid &&
+        fc.eta_ns < static_cast<double>(config_.proactive_horizon_ns) &&
+        config_.max_granularity >= 2) {
+      g_start = 2;
+      proactive_degrades_.inc();
+    }
+  }
+
+  for (std::size_t g = g_start; g <= config_.max_granularity; g *= 2) {
     const std::size_t releases = releases_for(slices, g);
     const double after = tenant.accountant.advanced_epsilon_if(
         per_slice_epsilon, releases, config_.delta);
@@ -99,6 +134,11 @@ AdmissionDecision BudgetGovernor::request_window(std::uint64_t tenant_id,
   decision.epsilon_after = tenant.accountant.advanced_epsilon(config_.delta);
   ++tenant.refused;
   record_decision(tenant_id, tenant, decision);
+  if (config_.dump_on_refuse) {
+    // Budget gate breach: snapshot the flight recorder so forensics can see
+    // the admission/span history that led here. No-op unless armed.
+    telemetry_->recorder().trigger_armed_dump();
+  }
   return decision;
 }
 
@@ -108,10 +148,19 @@ AdmissionDecision BudgetGovernor::request_window(std::uint64_t tenant_id,
 void BudgetGovernor::record_decision(std::uint64_t tenant_id,
                                      const Tenant& tenant,
                                      const AdmissionDecision& decision) {
-  telemetry_->budget().record(
+  const telemetry::BudgetEvent event = telemetry_->budget().stamp(
       tenant_id, to_string(decision.outcome),
       static_cast<std::uint32_t>(decision.granularity), decision.releases,
       decision.epsilon_after, tenant.epsilon_cap);
+  // Mirror into the flight recorder (wait-free) with the timeline's stamp,
+  // and feed the online forecaster, both in submission order.
+  decision_event_.record(event.t_ns, outcome_code(decision.outcome),
+                         decision.granularity, decision.releases,
+                         double_bits(decision.epsilon_after),
+                         static_cast<std::uint32_t>(tenant_id));
+  if (config_.forecaster != nullptr) {
+    config_.forecaster->ingest(event);
+  }
   tenant.epsilon_gauge.set(decision.epsilon_after);
   tenant.remaining_gauge.set(tenant.epsilon_cap - decision.epsilon_after);
 }
@@ -133,8 +182,13 @@ void BudgetGovernor::reset_tenant(std::uint64_t tenant_id) {
   it->second.admitted = 0;
   it->second.degraded = 0;
   it->second.refused = 0;
-  telemetry_->budget().record(tenant_id, "reset", 0, 0, 0.0,
-                              it->second.epsilon_cap);
+  const telemetry::BudgetEvent event = telemetry_->budget().stamp(
+      tenant_id, "reset", 0, 0, 0.0, it->second.epsilon_cap);
+  decision_event_.record(event.t_ns, /*outcome=*/3, 0, 0, double_bits(0.0),
+                         static_cast<std::uint32_t>(tenant_id));
+  if (config_.forecaster != nullptr) {
+    config_.forecaster->ingest(event);
+  }
   it->second.epsilon_gauge.set(0.0);
   it->second.remaining_gauge.set(it->second.epsilon_cap);
 }

@@ -25,10 +25,12 @@
 
 #include "dp/accountant.hpp"
 #include "service/service_stats.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace aegis::telemetry {
 class Registry;
+class BudgetForecaster;
 }
 
 namespace aegis::service {
@@ -56,6 +58,19 @@ struct GovernorConfig {
   /// telemetry::Registry::global()). TenantBudgetStats stays computed from
   /// the governor's own accountants either way.
   telemetry::Registry* telemetry = nullptr;
+  /// Online ε-exhaustion forecaster (telemetry/anomaly.hpp). When set, the
+  /// governor feeds it every decision AND consults it for PROACTIVE
+  /// degradation: a tenant whose forecast exhaustion ETA falls inside
+  /// `proactive_horizon_ns` starts the granularity ladder at 2 instead of
+  /// 1, spreading the remaining budget over more windows before the
+  /// accountant would force a harsher degrade (ROADMAP item 5). Null, or a
+  /// zero horizon, leaves admission byte-for-byte unchanged.
+  telemetry::BudgetForecaster* forecaster = nullptr;
+  std::uint64_t proactive_horizon_ns = 0;
+  /// Dump the armed flight recorder when a tenant is REFUSED (a budget
+  /// gate breach is exactly the "what led up to this" moment the recorder
+  /// exists for). No-op when no recorder is armed.
+  bool dump_on_refuse = false;
 };
 
 class BudgetGovernor {
@@ -109,6 +124,9 @@ class BudgetGovernor {
 
   GovernorConfig config_;
   telemetry::Registry* telemetry_;  // resolved (never null)
+  /// Admission wide events, resolved once (wait-free record path).
+  telemetry::EventHandle decision_event_;
+  telemetry::Counter proactive_degrades_;
   // aegis-lint: lock-level(15, noblock)
   mutable std::mutex mu_;
   std::map<std::uint64_t, Tenant> tenants_;  // ordered for stable snapshots

@@ -1,6 +1,7 @@
 #include "service/protection_service.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <stdexcept>
 
 #include "telemetry/registry.hpp"
@@ -16,9 +17,12 @@ TemplateCacheConfig with_telemetry(TemplateCacheConfig config,
   return config;
 }
 
-GovernorConfig with_telemetry(GovernorConfig config,
-                              telemetry::Registry* reg) {
+GovernorConfig with_telemetry(GovernorConfig config, telemetry::Registry* reg,
+                              telemetry::BudgetForecaster* forecaster) {
   config.telemetry = reg;
+  // The service-owned forecaster is fed every decision unless the caller
+  // wired an external one into the governor config themselves.
+  if (config.forecaster == nullptr) config.forecaster = forecaster;
   return config;
 }
 
@@ -31,13 +35,16 @@ ProtectionService::ProtectionService(ServiceConfig config)
                            : nullptr),
       telemetry_(config.telemetry != nullptr ? config.telemetry
                                              : owned_telemetry_.get()),
+      forecaster_(config.forecaster, telemetry_),
+      attack_monitor_(config.attack_monitor, telemetry_),
       cache_(with_telemetry(config.cache, telemetry_)),
-      governor_(with_telemetry(config.governor, telemetry_)),
+      governor_(with_telemetry(config.governor, telemetry_, &forecaster_)),
       manager_(config.num_threads, governor_, telemetry_),
       queue_(std::max<std::size_t>(1, config.queue_capacity)),
       submitted_(
           telemetry_->metrics().counter("aegis_sessions_submitted_total")),
       queue_depth_(telemetry_->metrics().gauge("aegis_service_queue_depth")) {
+  manager_.set_attack_monitor(&attack_monitor_);
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
@@ -56,6 +63,12 @@ std::size_t ProtectionService::register_template(
   auto analysis = cache_.get_or_analyze(key, engine.database(), [&] {
     return engine.analyze(application, secrets, offline);
   });
+
+  // First engine to register decides the vendor attack-event set unless the
+  // config pinned one explicitly.
+  if (attack_monitor_.attack_events().empty()) {
+    attack_monitor_.set_attack_events(engine.backend().attack_events());
+  }
 
   std::lock_guard lock(mu_);
   const auto it = template_ids_.find(key);
@@ -177,6 +190,13 @@ void ProtectionService::shutdown() {
   }
   queue_.close();
   if (dispatcher_.joinable()) dispatcher_.join();
+  if (!config_.shutdown_dump_path.empty()) {
+    // Post-drain flight-recorder snapshot: every worker has finished, so
+    // the merged dump holds the complete, deterministic event history of
+    // this service's registry.
+    std::ofstream out(config_.shutdown_dump_path, std::ios::binary);
+    if (out) telemetry_->recorder().write_dump(out);
+  }
 }
 
 ServiceStats ProtectionService::stats() const {

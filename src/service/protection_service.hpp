@@ -19,11 +19,13 @@
 #pragma once
 
 #include <chrono>
+#include <string>
 #include <thread>
 
 #include "service/bounded_queue.hpp"
 #include "service/session_manager.hpp"
 #include "service/template_cache.hpp"
+#include "telemetry/anomaly.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace aegis::service {
@@ -42,6 +44,18 @@ struct ServiceConfig {
   /// per-instance stats stay exact; the cache/governor/manager sinks are
   /// overridden to point at the resolved registry either way.
   telemetry::Registry* telemetry = nullptr;
+  /// Online anomaly layer (telemetry/anomaly.hpp). The ε-exhaustion
+  /// forecaster is always constructed and fed every governor decision —
+  /// pure observability; it only CHANGES admission when
+  /// governor.proactive_horizon_ns is set. The attack monitor scores every
+  /// executed session; when attack_monitor.attack_events is empty it is
+  /// populated from the first registered engine's PMU backend
+  /// (PmuBackend::attack_events()).
+  telemetry::ForecasterConfig forecaster;
+  telemetry::AttackMonitorConfig attack_monitor;
+  /// When non-empty, shutdown() writes the merged flight-recorder binary
+  /// dump of the service registry here after the dispatcher drains.
+  std::string shutdown_dump_path;
 };
 
 struct SessionSubmission {
@@ -97,6 +111,10 @@ class ProtectionService {
 
   BudgetGovernor& governor() noexcept { return governor_; }
   TemplateCache& cache() noexcept { return cache_; }
+  telemetry::BudgetForecaster& forecaster() noexcept { return forecaster_; }
+  telemetry::AttackProbabilityMonitor& attack_monitor() noexcept {
+    return attack_monitor_;
+  }
   std::size_t num_threads() const noexcept { return manager_.num_threads(); }
 
   /// The registry every component of this service records into (the
@@ -114,6 +132,10 @@ class ProtectionService {
   ServiceConfig config_;
   std::unique_ptr<telemetry::Registry> owned_telemetry_;
   telemetry::Registry* telemetry_;  // resolved (never null)
+  // Anomaly layer, constructed before the governor so the governor config
+  // can point at forecaster_ (a config-supplied forecaster wins).
+  telemetry::BudgetForecaster forecaster_;
+  telemetry::AttackProbabilityMonitor attack_monitor_;
   TemplateCache cache_;
   BudgetGovernor governor_;
   SessionManager manager_;

@@ -1,5 +1,6 @@
 #include "service/session_manager.hpp"
 
+#include "telemetry/anomaly.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/span_tracer.hpp"
 #include "util/rng.hpp"
@@ -99,7 +100,9 @@ SessionManager::SessionManager(std::size_t num_threads,
           telemetry_->metrics().counter("aegis_sessions_completed_total")),
       refused_(telemetry_->metrics().counter("aegis_sessions_refused_total")),
       degraded_(telemetry_->metrics().counter("aegis_sessions_degraded_total")),
-      active_(telemetry_->metrics().gauge("aegis_sessions_active")) {}
+      active_(telemetry_->metrics().gauge("aegis_sessions_active")),
+      rng_event_(telemetry_->recorder().event_handle(
+          "session.rng", telemetry::WideEventType::kRngCheckpoint)) {}
 
 SessionManager::~SessionManager() = default;
 
@@ -141,6 +144,15 @@ std::vector<SessionResult> SessionManager::run_fleet(
     telemetry::ScopedSpan span(telemetry_->spans(), "fleet.session", "service",
                                static_cast<std::uint32_t>(i),
                                requests[i].tenant_id);
+    // RNG-stream checkpoint: the request seed plus the derived stream seeds
+    // this session will consume, stamped with the request index. Wait-free
+    // and RNG-free, so the trace stays bit-identical.
+    rng_event_.record(
+        /*t_ns=*/i, requests[i].seed,
+        util::split_mix64(requests[i].seed, kVmStream),
+        util::split_mix64(requests[i].seed, kMonitorStream),
+        util::split_mix64(requests[i].seed, kObfuscatorStream),
+        static_cast<std::uint32_t>(requests[i].tenant_id));
     const Admission outcome = results[i].outcome;
     const double epsilon_after = results[i].epsilon_after;
     results[i] = run_protected_session(tpl, requests[i], granted[i], telemetry_);
@@ -149,6 +161,23 @@ std::vector<SessionResult> SessionManager::run_fleet(
     active_.add(-1.0);
     completed_.inc();
   });
+
+  // Phase 3 — attack scoring, serial and in submission order again (the
+  // monitor mutates shared gauge/alert state). The HostMonitor reads the
+  // template's monitored set exactly once per slice, i.e. perfectly
+  // periodically (read_gap_cv = 0), with no single-stepping.
+  if (attack_monitor_ != nullptr) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (granted[i] == 0) continue;
+      telemetry::SessionFeatures features;
+      features.tenant_id = requests[i].tenant_id;
+      features.monitored_events = tpl.monitored_events;
+      features.read_gap_cv = 0.0;
+      features.stepped_fraction = 0.0;
+      features.slices = requests[i].slices;
+      attack_monitor_->ingest(features);
+    }
+  }
   return results;
 }
 

@@ -27,6 +27,8 @@
 
 namespace aegis::telemetry {
 class Registry;
+class AttackProbabilityMonitor;
+struct SessionFeatures;
 }
 
 namespace aegis::service {
@@ -114,6 +116,16 @@ class SessionManager {
 
   telemetry::Registry& telemetry() const noexcept { return *telemetry_; }
 
+  /// Attaches the online attack-probability monitor. Executed sessions are
+  /// then scored serially, in submission order, AFTER the fleet fan-out
+  /// completes — scoring reads shared monitor state, so running it from
+  /// pool workers would make gauge/alert order depend on scheduling. Null
+  /// detaches. Scoring draws no RNG and never touches session results, so
+  /// the bit-identity contract is unaffected.
+  void set_attack_monitor(telemetry::AttackProbabilityMonitor* monitor) noexcept {
+    attack_monitor_ = monitor;
+  }
+
  private:
   util::ThreadPool pool_;
   BudgetGovernor* governor_;
@@ -126,6 +138,12 @@ class SessionManager {
   telemetry::Counter refused_;
   telemetry::Counter degraded_;
   telemetry::Gauge active_;
+  /// Per-session RNG-stream checkpoints (kRngCheckpoint wide events): the
+  /// request seed plus the derived VM/monitor/obfuscator stream seeds, so a
+  /// dump pinpoints exactly which randomness a session consumed. Stamped
+  /// with the request index (virtual time) on the worker — wait-free.
+  telemetry::EventHandle rng_event_;
+  telemetry::AttackProbabilityMonitor* attack_monitor_ = nullptr;
 };
 
 }  // namespace aegis::service

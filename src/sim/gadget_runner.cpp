@@ -59,7 +59,9 @@ GadgetRunner::GadgetRunner(const pmu::EventDatabase& db,
       rng_(seed),
       counters_(db, rng_.next_u64()),
       executions_(telemetry::Registry::global().metrics().counter(
-          "aegis_gadget_executions_total")) {
+          "aegis_gadget_executions_total")),
+      exec_event_(telemetry::Registry::global().recorder().event_handle(
+          "gadget.exec", telemetry::WideEventType::kHotExec)) {
   // isolcpus + core pinning: almost no external interference.
   config_.interrupt_rate = 0.002;
 }
@@ -138,6 +140,13 @@ std::span<const double> GadgetRunner::execute_once(
   // allocation; only a first-seen (uids, unroll) builds.
   const Superblock& sb = superblock(variant_uids, unroll);
   executions_.inc();
+  // Sampled flight-recorder record point (1-in-8): one branch on the fast
+  // iterations, a wait-free ring write on the sampled ones, stamped with a
+  // local ordinal rather than a shared clock.
+  if ((++exec_count_ & 7) == 0) {
+    exec_event_.record(exec_count_, sb.uids.size(),
+                       static_cast<std::uint64_t>(unroll));
+  }
   // Prolog runs before the first RDPMC.
   (void)execute_compiled(kProlog, uarch_);
 

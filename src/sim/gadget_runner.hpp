@@ -35,6 +35,7 @@
 #include "pmu/counter_file.hpp"
 #include "sim/executor.hpp"
 #include "sim/virtual_machine.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/arena.hpp"
 
@@ -109,6 +110,12 @@ class GadgetRunner {
   /// Resolved once at construction (telemetry-handle rule); incrementing in
   /// execute_once stays allocation-free.
   telemetry::Counter executions_;
+  /// Flight-recorder hot-path record point, also resolved at construction.
+  /// Sampled 1-in-8 executions and stamped with a LOCAL ordinal (no shared
+  /// clock traffic); bench_hot_path gates the enabled-vs-disabled overhead
+  /// on execute_once at <= 2%.
+  telemetry::EventHandle exec_event_;
+  std::uint64_t exec_count_ = 0;
 };
 
 }  // namespace aegis::sim

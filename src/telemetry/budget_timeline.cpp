@@ -7,9 +7,11 @@ void BudgetTimeline::set_time_source(TimeSource* time_source) {
   time_ = time_source;
 }
 
-void BudgetTimeline::record(std::uint64_t tenant_id, std::string_view outcome,
-                            std::uint32_t granularity, std::uint64_t releases,
-                            double epsilon_after, double epsilon_cap) {
+BudgetEvent BudgetTimeline::stamp(std::uint64_t tenant_id,
+                                  std::string_view outcome,
+                                  std::uint32_t granularity,
+                                  std::uint64_t releases, double epsilon_after,
+                                  double epsilon_cap) {
   std::lock_guard<std::mutex> lock(mu_);
   BudgetEvent e;
   e.seq = next_seq_++;
@@ -20,7 +22,8 @@ void BudgetTimeline::record(std::uint64_t tenant_id, std::string_view outcome,
   e.releases = releases;
   e.epsilon_after = epsilon_after;
   e.epsilon_cap = epsilon_cap;
-  events_.push_back(std::move(e));
+  events_.push_back(e);
+  return e;
 }
 
 std::vector<BudgetEvent> BudgetTimeline::events() const {

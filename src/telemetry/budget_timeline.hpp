@@ -41,12 +41,17 @@ class BudgetTimeline {
 
   void set_time_source(TimeSource* time_source);
 
-  /// Stamps seq + t_ns and appends. Allocates; callers hold no data-plane
-  /// lock below level 57 when recording (governor's level-15 lock is fine:
-  /// lock order is ascending).
-  void record(std::uint64_t tenant_id, std::string_view outcome,
-              std::uint32_t granularity, std::uint64_t releases,
-              double epsilon_after, double epsilon_cap);
+  /// Stamps seq + t_ns and appends; returns a copy of the stamped event so
+  /// callers (governor → forecaster, wide-event mirror) can reuse the stamp
+  /// without consulting the TimeSource again. Allocates; callers hold no
+  /// data-plane lock below level 57 when stamping (governor's level-15
+  /// lock is fine: lock order is ascending). Deliberately NOT named
+  /// `record`: that name group belongs to the wait-free
+  /// EventHandle::record, and an allocating member in the same group would
+  /// poison every noalloc hot path for the interprocedural linter.
+  BudgetEvent stamp(std::uint64_t tenant_id, std::string_view outcome,
+                    std::uint32_t granularity, std::uint64_t releases,
+                    double epsilon_after, double epsilon_cap);
 
   /// Events in recording order (seq ascending).
   std::vector<BudgetEvent> events() const;

@@ -30,9 +30,80 @@ std::string_view base_name(std::string_view name) {
   return brace == std::string_view::npos ? name : name.substr(0, brace);
 }
 
-void type_line_once(std::string_view name, std::string_view type,
+/// Prometheus text-format escaping. HELP text escapes backslash and line
+/// feed; label values additionally escape the double quote (the spec's
+/// three escapes — anything else passes through as UTF-8).
+std::string prom_escape(std::string_view s, bool quote_too) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '"' && quote_too) {
+      out += "\\\"";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_help(std::string_view s) {
+  return prom_escape(s, /*quote_too=*/false);
+}
+
+/// Re-escapes the label VALUES of an already-composed `base{k="v",...}`
+/// metric name. Values were inserted raw by registration sites, so a value
+/// containing `"` / `\` / newline would otherwise corrupt the exposition.
+/// A value is taken to end at a quote followed by `,` or the closing `}` —
+/// the only ambiguity raw composition leaves.
+std::string escape_labels(std::string_view name) {
+  const auto brace = name.find('{');
+  if (brace == std::string_view::npos || name.back() != '}') {
+    return std::string(name);
+  }
+  std::string out(name.substr(0, brace + 1));
+  const std::string_view body = name.substr(brace + 1, name.size() - brace - 2);
+  std::size_t i = 0;
+  while (i < body.size()) {
+    const auto eq = body.find("=\"", i);
+    if (eq == std::string_view::npos) {
+      out.append(body.substr(i));
+      break;
+    }
+    out.append(body.substr(i, eq - i + 2));  // key and ="
+    i = eq + 2;
+    std::size_t j = i;
+    while (j < body.size() &&
+           !(body[j] == '"' && (j + 1 == body.size() || body[j + 1] == ','))) {
+      ++j;
+    }
+    out += prom_escape(body.substr(i, j - i), /*quote_too=*/true);
+    out += '"';
+    i = j < body.size() ? j + 1 : j;
+  }
+  out += '}';
+  return out;
+}
+
+void help_line_once(std::string_view base, const MetricsSnapshot& snap,
                     std::set<std::string>& seen, std::ostream& os) {
+  if (!seen.insert(std::string(base)).second) return;
+  for (const auto& h : snap.help) {
+    if (h.name == base) {
+      os << "# HELP " << base << ' ' << escape_help(h.help) << '\n';
+      return;
+    }
+  }
+}
+
+void type_line_once(std::string_view name, std::string_view type,
+                    const MetricsSnapshot& snap, std::set<std::string>& seen,
+                    std::set<std::string>& helped, std::ostream& os) {
   const std::string base(base_name(name));
+  help_line_once(base, snap, helped, os);
   if (seen.insert(base).second) {
     os << "# TYPE " << base << ' ' << type << '\n';
   }
@@ -74,16 +145,17 @@ std::string json_escape(std::string_view s) {
 
 void write_prometheus(const MetricsSnapshot& snap, std::ostream& os) {
   std::set<std::string> typed;
+  std::set<std::string> helped;
   for (const auto& c : snap.counters) {
-    type_line_once(c.name, "counter", typed, os);
-    os << c.name << ' ' << fmt_u64(c.value) << '\n';
+    type_line_once(c.name, "counter", snap, typed, helped, os);
+    os << escape_labels(c.name) << ' ' << fmt_u64(c.value) << '\n';
   }
   for (const auto& g : snap.gauges) {
-    type_line_once(g.name, "gauge", typed, os);
-    os << g.name << ' ' << fmt_double(g.value) << '\n';
+    type_line_once(g.name, "gauge", snap, typed, helped, os);
+    os << escape_labels(g.name) << ' ' << fmt_double(g.value) << '\n';
   }
   for (const auto& h : snap.histograms) {
-    type_line_once(h.name, "histogram", typed, os);
+    type_line_once(h.name, "histogram", snap, typed, helped, os);
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < h.bounds.size(); ++i) {
       cumulative += h.buckets[i];

@@ -17,7 +17,11 @@ namespace aegis::telemetry {
 /// Prometheus text format. Counters print as integers, gauges as %.10g;
 /// histograms expand to cumulative `_bucket{le="..."}` rows plus `_sum` and
 /// `_count`. A `# TYPE` line is emitted once per metric base name (the part
-/// before any `{label}` suffix).
+/// before any `{label}` suffix), preceded by a `# HELP` line when the
+/// registry registered one (MetricsRegistry::set_help). Per the text-format
+/// spec, HELP text escapes `\` and line feeds, and label VALUES additionally
+/// escape `"` — raw registration-site label values can't corrupt the
+/// exposition.
 void write_prometheus(const MetricsSnapshot& snap, std::ostream& os);
 
 /// One JSON object: {"counters": {...}, "gauges": {...},

@@ -66,6 +66,12 @@ Histogram MetricsRegistry::histogram(std::string_view name,
   return Histogram(it->second.get());
 }
 
+void MetricsRegistry::set_help(std::string_view base_name,
+                               std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[std::string(base_name)] = std::string(help);
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot out;
@@ -89,6 +95,10 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     s.count = cell->count.load(std::memory_order_relaxed);
     s.sum = cell->sum.load(std::memory_order_relaxed);
     out.histograms.push_back(std::move(s));
+  }
+  out.help.reserve(help_.size());
+  for (const auto& [name, text] : help_) {
+    out.help.push_back({name, text});
   }
   return out;
 }
@@ -131,10 +141,21 @@ MetricsSnapshot merge_snapshots(const MetricsSnapshot& a,
     // Mismatched bounds: keep a's data (documented behavior).
   }
 
+  for (const auto& hb : b.help) {
+    auto it = std::find_if(out.help.begin(), out.help.end(),
+                           [&](const HelpSample& s) { return s.name == hb.name; });
+    if (it != out.help.end()) {
+      it->help = hb.help;  // last writer wins, like gauges
+    } else {
+      out.help.push_back(hb);
+    }
+  }
+
   auto by_name = [](const auto& x, const auto& y) { return x.name < y.name; };
   std::sort(out.counters.begin(), out.counters.end(), by_name);
   std::sort(out.gauges.begin(), out.gauges.end(), by_name);
   std::sort(out.histograms.begin(), out.histograms.end(), by_name);
+  std::sort(out.help.begin(), out.help.end(), by_name);
   return out;
 }
 

@@ -166,11 +166,20 @@ struct HistogramSample {
   double sum = 0.0;
 };
 
+struct HelpSample {
+  std::string name;  // metric BASE name (no label suffix)
+  std::string help;
+};
+
 /// Point-in-time copy of every metric, sorted by name.
 struct MetricsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+  /// Registered HELP strings (set_help), sorted by base name. Metrics
+  /// without one get no # HELP line, so exports from registries that never
+  /// call set_help are byte-identical to before HELP existed.
+  std::vector<HelpSample> help;
 };
 
 /// Merge two snapshots (e.g. from per-service private registries): counters
@@ -192,6 +201,11 @@ class MetricsRegistry {
   Gauge gauge(std::string_view name);
   Histogram histogram(std::string_view name, std::span<const double> bounds);
 
+  /// Attaches a Prometheus HELP string to a metric BASE name (the part
+  /// before any {label} suffix). Idempotent; the last call wins. The
+  /// exporter escapes `\` and newlines per the text-format spec.
+  void set_help(std::string_view base_name, std::string_view help);
+
   MetricsSnapshot snapshot() const;
 
  private:
@@ -205,6 +219,7 @@ class MetricsRegistry {
       gauges_;
   std::map<std::string, std::unique_ptr<detail::HistogramCell>, std::less<>>
       histograms_;
+  std::map<std::string, std::string, std::less<>> help_;
 };
 
 }  // namespace aegis::telemetry

@@ -1,15 +1,33 @@
 #include "telemetry/registry.hpp"
 
+#include <cstdlib>
+
 namespace aegis::telemetry {
+
+namespace {
+
+/// Resolves the span mirror handles once per registry: spans record
+/// begin/end wide events through these (wait-free), never by name.
+void wire_spans(FlightRecorder& recorder, SpanTracer& spans) {
+  spans.set_recorder(
+      recorder.event_handle("span", WideEventType::kSpanBegin),
+      recorder.event_handle("span", WideEventType::kSpanEnd));
+}
+
+}  // namespace
 
 Registry::Registry()
     : owned_time_(std::make_unique<TickTimeSource>()),
       time_(owned_time_.get()),
       spans_(time_),
-      budget_(time_) {}
+      budget_(time_) {
+  wire_spans(recorder_, spans_);
+}
 
 Registry::Registry(TimeSource* time_source)
-    : time_(time_source), spans_(time_), budget_(time_) {}
+    : time_(time_source), spans_(time_), budget_(time_) {
+  wire_spans(recorder_, spans_);
+}
 
 void Registry::set_time_source(TimeSource* time_source) {
   time_ = time_source;
@@ -19,6 +37,17 @@ void Registry::set_time_source(TimeSource* time_source) {
 
 Registry& Registry::global() {
   static Registry instance;
+  // AEGIS_FR_DUMP=<path-prefix> arms crash/terminate dumps of the global
+  // recorder to "<prefix>.<pid>.frd" — how CI harvests flight-recorder
+  // dumps from failed test legs with zero per-test plumbing.
+  static const bool armed = [] {
+    const char* prefix = std::getenv("AEGIS_FR_DUMP");
+    if (prefix != nullptr && prefix[0] != '\0') {
+      instance.recorder().arm_crash_dump(prefix);
+    }
+    return true;
+  }();
+  (void)armed;
   return instance;
 }
 

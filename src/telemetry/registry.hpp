@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "telemetry/budget_timeline.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/span_tracer.hpp"
 #include "telemetry/time_source.hpp"
@@ -36,6 +37,8 @@ class Registry {
   const SpanTracer& spans() const noexcept { return spans_; }
   BudgetTimeline& budget() noexcept { return budget_; }
   const BudgetTimeline& budget() const noexcept { return budget_; }
+  FlightRecorder& recorder() noexcept { return recorder_; }
+  const FlightRecorder& recorder() const noexcept { return recorder_; }
   TimeSource& time_source() noexcept { return *time_; }
 
   /// Rewires tracer + timeline to a new source (not owned).
@@ -48,6 +51,9 @@ class Registry {
   std::unique_ptr<TimeSource> owned_time_;
   TimeSource* time_;
   MetricsRegistry metrics_;
+  // Declared before the tracer: spans mirror begin/end wide events into the
+  // recorder through handles resolved at construction.
+  FlightRecorder recorder_;
   SpanTracer spans_;
   BudgetTimeline budget_;
 };

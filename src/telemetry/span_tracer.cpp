@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/hash.hpp"
+
 namespace aegis::telemetry {
 
 namespace {
@@ -29,6 +31,7 @@ std::uint64_t SpanTracer::begin(std::string_view name,
   s.track = track;
   s.arg = arg;
   const std::uint64_t id = s.id;
+  begin_event_.record(s.begin_ns, id, util::fnv1a(name), parent, track);
   open_.emplace(id, std::move(s));
   return id;
 }
@@ -41,6 +44,8 @@ void SpanTracer::end(std::uint64_t id) {
   if (it->second.end_ns < it->second.begin_ns) {
     it->second.end_ns = it->second.begin_ns;
   }
+  end_event_.record(it->second.end_ns, id, util::fnv1a(it->second.name), 0,
+                    it->second.track);
   completed_.push_back(std::move(it->second));
   open_.erase(it);
 }
@@ -60,6 +65,9 @@ void SpanTracer::record_complete(std::string_view name,
   s.end_ns = end_ns < begin_ns ? begin_ns : end_ns;
   s.track = track;
   s.arg = arg;
+  const std::uint64_t name_hash = util::fnv1a(name);
+  begin_event_.record(s.begin_ns, s.id, name_hash, parent, track);
+  end_event_.record(s.end_ns, s.id, name_hash, 0, track);
   completed_.push_back(std::move(s));
 }
 

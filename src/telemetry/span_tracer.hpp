@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/time_source.hpp"
 
 namespace aegis::telemetry {
@@ -42,6 +43,15 @@ class SpanTracer {
   SpanTracer& operator=(const SpanTracer&) = delete;
 
   void set_time_source(TimeSource* time_source);
+
+  /// Mirrors span begin/end into the flight recorder through pre-resolved
+  /// handles (Registry wires this at construction). Wide events carry
+  /// (t, span id, fnv1a(name), parent, track) so the crash dump shows what
+  /// phases were in flight without the tracer's heap-backed span map.
+  void set_recorder(EventHandle begin_event, EventHandle end_event) {
+    begin_event_ = begin_event;
+    end_event_ = end_event;
+  }
 
   /// Opens a span stamped with the current time; returns its id (never 0).
   std::uint64_t begin(std::string_view name, std::string_view category,
@@ -68,6 +78,8 @@ class SpanTracer {
   // aegis-lint: lock-level(55, noblock)
   mutable std::mutex mu_;
   TimeSource* time_;
+  EventHandle begin_event_;  // wait-free; safe to fire while holding mu_
+  EventHandle end_event_;
   std::uint64_t next_id_ = 1;
   std::map<std::uint64_t, Span> open_;
   std::vector<Span> completed_;

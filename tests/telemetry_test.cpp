@@ -244,7 +244,7 @@ void populate_golden(Registry& reg, ManualTimeSource& clock) {
   reg.spans().end(id);
   reg.spans().record_complete("window", "sim", 2000, 2500, 3, 7);
 
-  reg.budget().record(5, "admit", 1, 60, 2.25, 8.0);
+  reg.budget().stamp(5, "admit", 1, 60, 2.25, 8.0);
 }
 
 TEST(Exporters, PrometheusGolden) {
@@ -264,6 +264,42 @@ TEST(Exporters, PrometheusGolden) {
             "aegis_demo_reps_bucket{le=\"+Inf\"} 3\n"
             "aegis_demo_reps_sum 55.5\n"
             "aegis_demo_reps_count 3\n");
+}
+
+TEST(Exporters, PrometheusHelpLinesAreOptInAndEscaped) {
+  Registry reg;
+  reg.metrics().counter("aegis_helped_total").inc(1);
+  reg.metrics().counter("aegis_unhelped_total").inc(2);
+  reg.metrics().set_help("aegis_helped_total",
+                         "line one\nline two with a back\\slash");
+  std::ostringstream os;
+  write_prometheus(reg.metrics().snapshot(), os);
+  EXPECT_EQ(os.str(),
+            "# HELP aegis_helped_total line one\\nline two with a "
+            "back\\\\slash\n"
+            "# TYPE aegis_helped_total counter\n"
+            "aegis_helped_total 1\n"
+            "# TYPE aegis_unhelped_total counter\n"
+            "aegis_unhelped_total 2\n")
+      << "HELP must be opt-in (no line for aegis_unhelped_total) and must "
+         "escape backslash + newline per the text-format spec";
+}
+
+TEST(Exporters, PrometheusLabelValuesEscapeQuoteBackslashAndNewline) {
+  Registry reg;
+  // Registration sites compose label values raw; a hostile value must not
+  // be able to break out of the quoted string or inject a sample line.
+  reg.metrics()
+      .counter("aegis_evil_total{tenant=\"a\\b\"\nc\",zone=\"ok\"}")
+      .inc(7);
+  reg.metrics().gauge("aegis_plain{tenant=\"4\"}").set(1.5);
+  std::ostringstream os;
+  write_prometheus(reg.metrics().snapshot(), os);
+  EXPECT_EQ(os.str(),
+            "# TYPE aegis_evil_total counter\n"
+            "aegis_evil_total{tenant=\"a\\\\b\\\"\\nc\",zone=\"ok\"} 7\n"
+            "# TYPE aegis_plain gauge\n"
+            "aegis_plain{tenant=\"4\"} 1.5\n");
 }
 
 TEST(Exporters, JsonSnapshotGolden) {
@@ -395,7 +431,7 @@ TEST(Registry, SetTimeSourceRewiresSpansAndBudget) {
   reg.set_time_source(&manual);
   const std::uint64_t id = reg.spans().begin("s", "t");
   reg.spans().end(id);
-  reg.budget().record(1, "admit", 1, 1, 0.5, 8.0);
+  reg.budget().stamp(1, "admit", 1, 1, 0.5, 8.0);
   const auto spans = reg.spans().completed();
   ASSERT_EQ(spans.size(), 1u);
   EXPECT_EQ(spans[0].begin_ns, 777u);

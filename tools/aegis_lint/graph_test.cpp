@@ -145,6 +145,25 @@ TEST(NoallocTransitive, GraphPassCatchesTheSeededAllocation) {
   EXPECT_NE(f->finding.message.find("push_back"), std::string::npos);
 }
 
+TEST(TelemetryHandleFixture, RecorderByNameSitesFlaggedHandleIdiomClean) {
+  // Committed fixture pair in testdata/telemetry_handle/ (its own
+  // directory: fixture/ is pinned by golden_graph.txt and must not grow).
+  // recorder_bad.cpp resolves and records by name inside a noalloc region
+  // (two findings); recorder_ok.cpp uses the ctor-resolve + wait-free
+  // record idiom (zero findings).
+  ProjectOptions o;
+  o.tree.root = AEGIS_LINT_TESTDATA;
+  o.tree.paths = {"telemetry_handle"};
+  const ProjectResult r = lint_project(o);
+  std::size_t bad = 0;
+  for (const FileFinding& f : r.findings) {
+    EXPECT_EQ(f.finding.rule, "telemetry-handle") << render(r);
+    EXPECT_EQ(f.file, "telemetry_handle/recorder_bad.cpp") << render(r);
+    ++bad;
+  }
+  EXPECT_EQ(bad, 2u) << render(r);
+}
+
 TEST(RngStream, UnannotatedDrawIsFlaggedAnnotatedRootIsClean) {
   const ProjectResult r = lint_project(fixture_options());
   const FileFinding* f = find_rule(r.findings, "rng-stream");

@@ -532,6 +532,40 @@ TEST(TelemetryHandle, RegistrationOutsideTheRegionIsUnchecked) {
   EXPECT_TRUE(fs.empty()) << messages(fs);
 }
 
+TEST(TelemetryHandle, FlightRecorderByNameLookupInNoallocRegionIsFlagged) {
+  const auto fs = run(
+      "// aegis-lint: noalloc\n"
+      "std::span<const double> GadgetRunner::execute_once(\n"
+      "    std::span<const std::uint32_t> uids, double unroll) {\n"
+      "  telemetry::Registry::global().recorder().event_handle(\n"
+      "      \"gadget.exec\", telemetry::WideEventType::kHotExec);\n"
+      "  return read_all(uids);\n"
+      "}\n");
+  EXPECT_TRUE(has_rule(fs, "telemetry-handle")) << messages(fs);
+}
+
+TEST(TelemetryHandle, FlightRecorderByNameRecordInNoallocRegionIsFlagged) {
+  const auto fs = run(
+      "// aegis-lint: noalloc-begin\n"
+      "recorder.record_named(\"gadget.exec\", t, a, b);\n"
+      "// aegis-lint: noalloc-end\n");
+  EXPECT_TRUE(has_rule(fs, "telemetry-handle")) << messages(fs);
+}
+
+TEST(TelemetryHandle, RecordingThroughAResolvedEventHandleIsFine) {
+  // The required flight-recorder idiom mirrors metrics: event_handle() at
+  // construction, wait-free EventHandle::record on the hot path.
+  const auto fs = run(
+      "GadgetRunner::GadgetRunner()\n"
+      "    : exec_event_(telemetry::Registry::global().recorder().event_handle(\n"
+      "          \"gadget.exec\", telemetry::WideEventType::kHotExec)) {}\n"
+      "// aegis-lint: noalloc\n"
+      "void GadgetRunner::execute_once() {\n"
+      "  exec_event_.record(exec_count_, uids, unroll);\n"
+      "}\n");
+  EXPECT_TRUE(fs.empty()) << messages(fs);
+}
+
 TEST(TelemetryHandle, SuppressedWithReason) {
   const auto fs = run(
       "// aegis-lint: noalloc\n"

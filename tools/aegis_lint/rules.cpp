@@ -360,14 +360,18 @@ void rule_noalloc(const LexOutput& file,
 // telemetry-handle
 
 const std::set<std::string, std::less<>> kRegistryLookups = {
-    "counter", "gauge", "histogram"};
+    "counter", "gauge", "histogram", "event_handle", "record_named"};
 
 /// Inside a noalloc region, `counter("name")` / `gauge("name")` /
 /// `histogram("name", ...)` is a by-name registry lookup: it builds a
 /// std::string key and may take the registry lock — both banned on hot
-/// paths. Handles must be resolved once (constructor or function-local
-/// static) and recorded through; recording ops (`inc`, `observe`, `set`,
-/// `add`) take no string and never trip this rule.
+/// paths. The flight recorder has the same split: `event_handle("name",
+/// ...)` resolves a stream by name (registration mutex + name-table
+/// append) and `record_named("name", ...)` is the by-name record
+/// convenience, so both are banned too. Handles must be resolved once
+/// (constructor or function-local static) and recorded through; recording
+/// ops (`inc`, `observe`, `set`, `add`, `EventHandle::record`) take no
+/// string and never trip this rule.
 void rule_telemetry_handle(const LexOutput& file,
                            const std::vector<TokenRegion>& regions,
                            std::vector<Finding>& out) {
@@ -680,8 +684,9 @@ std::vector<RuleInfo> rule_catalog() {
        "no allocation inside '// aegis-lint: noalloc' functions or "
        "noalloc-begin/-end regions"},
       {"telemetry-handle", "telemetry-ok",
-       "no by-name metric lookup (counter/gauge/histogram(\"...\")) inside "
-       "noalloc regions; resolve handles once and record through them"},
+       "no by-name metric or flight-recorder lookup (counter/gauge/"
+       "histogram/event_handle/record_named(\"...\")) inside noalloc "
+       "regions; resolve handles once and record through them"},
       {"dispatch-once", "dispatch-ok",
        "no CPU-feature query or SIMD kernel resolution "
        "(__builtin_cpu_supports/cpuid/detect_cpu_features/best_isa/...) "

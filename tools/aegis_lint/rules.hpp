@@ -22,10 +22,13 @@
 //                      allocating container declarations.
 //                                                  suppress: alloc-ok(...)
 //   telemetry-handle   inside the same noalloc regions: no by-name metric
-//                      lookup (`counter("...")`/`gauge("...")`/
-//                      `histogram("...")`) — a string key plus the registry
-//                      lock. Resolve telemetry handles once at construction
-//                      and record through them.  suppress: telemetry-ok(...)
+//                      or flight-recorder lookup (`counter("...")`/
+//                      `gauge("...")`/`histogram("...")`/
+//                      `event_handle("...")`/`record_named("...")`) — a
+//                      string key plus the registry lock. Resolve telemetry
+//                      handles once at construction and record through
+//                      them (EventHandle::record is the sanctioned wait-
+//                      free path).           suppress: telemetry-ok(...)
 //   dispatch-once      inside the same noalloc regions: no CPU-feature query
 //                      or SIMD kernel resolution (__builtin_cpu_supports,
 //                      __get_cpuid*, detect_cpu_features, best_isa,
@@ -88,7 +91,7 @@ struct RuleInfo {
 /// Bumped whenever a rule's behavior changes. Part of every incremental-
 /// cache key (a stale entry from an older rule set can never satisfy a
 /// lookup) and of the CI cache key, and reported as the SARIF tool version.
-inline constexpr std::string_view kRuleSetVersion = "aegis-lint-2.0";
+inline constexpr std::string_view kRuleSetVersion = "aegis-lint-2.1";
 
 // ---------------------------------------------------------------------------
 // Shared scan helpers. These power both the lexical rules in rules.cpp and

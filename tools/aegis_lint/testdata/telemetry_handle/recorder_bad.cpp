@@ -1,0 +1,16 @@
+// Negative fixture for the telemetry-handle rule's flight-recorder
+// extension: both by-name recorder entry points inside a noalloc region.
+// Expected findings: two telemetry-handle hits (event_handle, record_named),
+// nothing else.
+#include "recorder_fixture.hpp"
+
+namespace fixture {
+
+// aegis-lint: noalloc
+void HotLoop::step(std::uint64_t t) {
+  telemetry::Registry::global().recorder().event_handle(
+      "hotloop.step", telemetry::WideEventType::kHotExec);
+  telemetry::Registry::global().recorder().record_named("hotloop.step", t);
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Shared declarations for the telemetry_handle fixture pair. Finding-free.
+#pragma once
+
+#include <cstdint>
+
+namespace telemetry {
+class EventHandle {
+ public:
+  void record(std::uint64_t a, std::uint64_t b) const noexcept;
+};
+enum class WideEventType { kHotExec };
+struct Recorder {
+  EventHandle event_handle(const char* name, WideEventType type);
+  void record_named(const char* name, std::uint64_t t);
+};
+struct Registry {
+  static Registry& global();
+  Recorder& recorder();
+};
+}  // namespace telemetry
+
+namespace fixture {
+
+struct HotLoop {
+  void step(std::uint64_t t);
+};
+
+class ColdPath {
+ public:
+  ColdPath();
+  void step(std::uint64_t t);
+
+ private:
+  telemetry::EventHandle step_event_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Positive fixture for the telemetry-handle rule's flight-recorder
+// extension: the sanctioned idiom. The handle is resolved once in the
+// constructor (outside any noalloc region); the noalloc hot path records
+// through the wait-free EventHandle. Expected findings: none.
+#include "recorder_fixture.hpp"
+
+namespace fixture {
+
+ColdPath::ColdPath()
+    : step_event_(telemetry::Registry::global().recorder().event_handle(
+          "coldpath.step", telemetry::WideEventType::kHotExec)) {}
+
+// aegis-lint: noalloc
+void ColdPath::step(std::uint64_t t) { step_event_.record(t, t + 1); }
+
+}  // namespace fixture
